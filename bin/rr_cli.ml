@@ -1,0 +1,388 @@
+(* rr — command-line front end for the robust-routing library.
+
+     rr topo --name nsfnet
+     rr route --topo nsfnet -s 0 -d 13 --policy cost-approx -w 8
+     rr simulate --topo eon --policy load-cost --erlang 30 --duration 400
+     rr audit --topo nsfnet -w 4 *)
+
+open Cmdliner
+
+module Net = Rr_wdm.Network
+module RR = Robust_routing
+module Router = RR.Router
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                     *)
+
+let topo_conv =
+  let parse s =
+    match s with
+    | "nsfnet" -> Ok Rr_topo.Reference.nsfnet
+    | "eon" -> Ok Rr_topo.Reference.eon
+    | _ -> (
+      match String.split_on_char ':' s with
+      | [ "ring"; n ] -> (
+        match int_of_string_opt n with
+        | Some n when n >= 3 -> Ok (Rr_topo.Reference.ring n)
+        | _ -> Error (`Msg "ring:<n> needs n >= 3"))
+      | [ "grid"; r; c ] -> (
+        match (int_of_string_opt r, int_of_string_opt c) with
+        | Some r, Some c when r >= 1 && c >= 1 -> Ok (Rr_topo.Reference.grid r c)
+        | _ -> Error (`Msg "grid:<rows>:<cols>"))
+      | [ "torus"; r; c ] -> (
+        match (int_of_string_opt r, int_of_string_opt c) with
+        | Some r, Some c when r >= 3 && c >= 3 -> Ok (Rr_topo.Reference.torus r c)
+        | _ -> Error (`Msg "torus:<rows>:<cols> needs both >= 3"))
+      | [ "waxman"; n ] -> (
+        match int_of_string_opt n with
+        | Some n when n >= 2 ->
+          Ok (Rr_topo.Random_topo.waxman ~rng:(Rr_util.Rng.create 1) ~n ())
+        | _ -> Error (`Msg "waxman:<n>"))
+      | _ -> Error (`Msg (Printf.sprintf "unknown topology %S" s)))
+  in
+  let print fmt t = Format.fprintf fmt "%s" t.Rr_topo.Fitout.t_name in
+  Arg.conv (parse, print)
+
+let topo_arg =
+  let doc =
+    "Topology: nsfnet, eon, ring:<n>, grid:<rows>:<cols>, torus:<rows>:<cols> or waxman:<n>."
+  in
+  Arg.(value & opt topo_conv Rr_topo.Reference.nsfnet & info [ "topo"; "t" ] ~doc)
+
+let policy_conv =
+  let parse s =
+    match Router.policy_of_string s with
+    | Some p -> Ok p
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown policy %S; one of %s" s
+             (String.concat ", " (List.map Router.policy_name Router.all_policies))))
+  in
+  Arg.conv (parse, fun fmt p -> Format.fprintf fmt "%s" (Router.policy_name p))
+
+let policy_arg =
+  let doc = "Routing policy." in
+  Arg.(value & opt policy_conv Router.Cost_approx & info [ "policy"; "p" ] ~doc)
+
+let wavelengths_arg =
+  Arg.(value & opt int 8 & info [ "wavelengths"; "w" ] ~doc:"Wavelengths per fibre.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"PRNG seed.")
+
+let file_arg =
+  let doc = "Load the network from a .wdm description file instead of --topo." in
+  Arg.(value & opt (some file) None & info [ "file"; "f" ] ~doc)
+
+let build_net topo w seed =
+  Rr_topo.Fitout.fit_out ~rng:(Rr_util.Rng.create seed) ~n_wavelengths:w topo
+
+let resolve_net file topo w seed =
+  match file with
+  | None -> build_net topo w seed
+  | Some path -> (
+    match Rr_wdm.Network_io.parse_file path with
+    | Ok net -> net
+    | Error e ->
+      Printf.eprintf "%s: %s\n" path e;
+      exit 1)
+
+(* ------------------------------------------------------------------ *)
+(* topo                                                                 *)
+
+let topo_cmd =
+  let run topo =
+    Printf.printf "%s: %d nodes, %d directed links\n" topo.Rr_topo.Fitout.t_name
+      topo.Rr_topo.Fitout.t_nodes
+      (List.length topo.Rr_topo.Fitout.t_links);
+    List.iter
+      (fun (u, v, w) -> Printf.printf "  %2d -> %2d  (%.0f)\n" u v w)
+      topo.Rr_topo.Fitout.t_links
+  in
+  Cmd.v (Cmd.info "topo" ~doc:"Print a topology's links.")
+    Term.(const run $ topo_arg)
+
+(* ------------------------------------------------------------------ *)
+(* route                                                                *)
+
+let route_cmd =
+  let src =
+    Arg.(required & opt (some int) None & info [ "source"; "s" ] ~doc:"Source node.")
+  in
+  let dst =
+    Arg.(required & opt (some int) None & info [ "dest"; "d" ] ~doc:"Destination node.")
+  in
+  let run topo file policy w seed s d =
+    let net = resolve_net file topo w seed in
+    if s < 0 || s >= Net.n_nodes net || d < 0 || d >= Net.n_nodes net || s = d then begin
+      Printf.eprintf "invalid node pair %d -> %d\n" s d;
+      exit 1
+    end;
+    match Router.route net policy ~source:s ~target:d with
+    | None ->
+      Printf.printf "no robust route from %d to %d under policy %s\n" s d
+        (Router.policy_name policy);
+      exit 2
+    | Some sol ->
+      Format.printf "%a@." (RR.Types.pp net) sol;
+      Printf.printf "total cost %.3f\n" (RR.Types.total_cost net sol)
+  in
+  Cmd.v
+    (Cmd.info "route" ~doc:"Compute a robust route for one request.")
+    Term.(
+      const run $ topo_arg $ file_arg $ policy_arg $ wavelengths_arg $ seed_arg
+      $ src $ dst)
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                             *)
+
+let simulate_cmd =
+  let erlang =
+    Arg.(value & opt float 20.0 & info [ "erlang" ] ~doc:"Offered load (arrival rate x holding).")
+  in
+  let duration =
+    Arg.(value & opt float 300.0 & info [ "duration" ] ~doc:"Simulated time.")
+  in
+  let failure_rate =
+    Arg.(value & opt float 0.0 & info [ "failure-rate" ] ~doc:"Link failures per unit time.")
+  in
+  let node_failure_rate =
+    Arg.(value & opt float 0.0 & info [ "node-failure-rate" ] ~doc:"Node outages per unit time.")
+  in
+  let reprovision =
+    Arg.(value & flag & info [ "reprovision" ] ~doc:"Re-provision backups after switch-over.")
+  in
+  let run topo policy w seed erlang duration failure_rate node_failure_rate reprovision =
+    let net = build_net topo w seed in
+    let workload =
+      Rr_sim.Workload.make ~arrival_rate:(erlang /. 10.0) ~mean_holding:10.0
+    in
+    let cfg =
+      {
+        (Rr_sim.Simulator.default_config policy workload) with
+        duration;
+        seed;
+        failure_rate;
+        node_failure_rate;
+        reprovision_backup = reprovision;
+        repair_time = 40.0;
+      }
+    in
+    let r = Rr_sim.Simulator.run net cfg in
+    let c = r.Rr_sim.Simulator.counters in
+    Printf.printf "policy            %s\n" (Router.policy_name policy);
+    Printf.printf "offered           %d\n" c.offered;
+    Printf.printf "admitted          %d\n" c.admitted;
+    Printf.printf "blocking          %.2f%%\n"
+      (100.0 *. Rr_sim.Metrics.blocking_probability c);
+    Printf.printf "mean network load %.3f (peak %.3f)\n" r.mean_load r.peak_load;
+    Printf.printf "reconfig triggers %d\n" c.reconfigurations;
+    if failure_rate > 0.0 || node_failure_rate > 0.0 then begin
+      Printf.printf "failures          %d (node outages %d)\n" c.failures_injected
+        r.node_failures;
+      Printf.printf "switch-overs      %d\n" c.restorations_ok;
+      Printf.printf "passive reroutes  %d\n" c.passive_reroutes_ok;
+      Printf.printf "endpoint losses   %d\n" c.endpoint_losses;
+      Printf.printf "dropped           %d\n" r.dropped;
+      Printf.printf "reprovisioned     %d\n" r.backups_reprovisioned;
+      Printf.printf "restoration       %.1f%%\n"
+        (100.0 *. Rr_sim.Metrics.restoration_success c)
+    end
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run a dynamic-traffic simulation.")
+    Term.(
+      const run $ topo_arg $ policy_arg $ wavelengths_arg $ seed_arg $ erlang
+      $ duration $ failure_rate $ node_failure_rate $ reprovision)
+
+(* ------------------------------------------------------------------ *)
+(* audit                                                                *)
+
+let audit_cmd =
+  let run topo w seed =
+    let net = build_net topo w seed in
+    let n = Net.n_nodes net in
+    let stranded = ref 0 and ok = ref 0 in
+    for s = 0 to n - 1 do
+      for d = 0 to n - 1 do
+        if s <> d then
+          if RR.Approx_cost.route net ~source:s ~target:d = None then begin
+            incr stranded;
+            Printf.printf "stranded: %d -> %d\n" s d
+          end
+          else incr ok
+      done
+    done;
+    Printf.printf "%d/%d ordered pairs protectable\n" !ok (!ok + !stranded);
+    if !stranded = 0 then print_endline "topology survives any single link failure"
+  in
+  Cmd.v
+    (Cmd.info "audit" ~doc:"Check protected-service availability for all pairs.")
+    Term.(const run $ topo_arg $ wavelengths_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* analyze                                                              *)
+
+let analyze_cmd =
+  let run topo =
+    let report = Rr_topo.Analysis.analyse topo in
+    Printf.printf "%s:\n" topo.Rr_topo.Fitout.t_name;
+    Format.printf "%a@." Rr_topo.Analysis.pp report;
+    if not report.Rr_topo.Analysis.two_edge_connected then
+      print_endline
+        "warning: bridge fibres present — some pairs cannot be protected \
+         against link failure";
+    if not report.Rr_topo.Analysis.biconnected then
+      print_endline
+        "warning: articulation points present — some pairs cannot be \
+         protected against node failure"
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Structural survivability analysis of a topology.")
+    Term.(const run $ topo_arg)
+
+(* ------------------------------------------------------------------ *)
+(* batch                                                                *)
+
+let batch_cmd =
+  let size =
+    Arg.(value & opt int 20 & info [ "size" ] ~doc:"Requests per batch.")
+  in
+  let order_conv =
+    let parse = function
+      | "fifo" -> Ok RR.Batch.Fifo
+      | "shortest-first" -> Ok RR.Batch.Shortest_first
+      | "longest-first" -> Ok RR.Batch.Longest_first
+      | "random" -> Ok (RR.Batch.Random 1)
+      | s -> Error (`Msg (Printf.sprintf "unknown order %S" s))
+    in
+    Arg.conv (parse, fun fmt o -> Format.fprintf fmt "%s" (RR.Batch.order_name o))
+  in
+  let order =
+    Arg.(value & opt order_conv RR.Batch.Fifo & info [ "order" ] ~doc:"Processing order.")
+  in
+  let run topo policy w seed size order =
+    let net = build_net topo w seed in
+    let rng = Rr_util.Rng.create seed in
+    let reqs =
+      List.init size (fun _ ->
+          let s, d = Rr_sim.Workload.random_pair rng ~n_nodes:(Net.n_nodes net) in
+          { RR.Types.src = s; dst = d })
+    in
+    let r = RR.Batch.process ~order net policy reqs in
+    List.iter
+      (fun o ->
+        match o.RR.Batch.solution with
+        | Some sol ->
+          Printf.printf "%2d -> %2d  admitted  cost %.1f\n" o.RR.Batch.request.RR.Types.src
+            o.RR.Batch.request.RR.Types.dst (RR.Types.total_cost net sol)
+        | None ->
+          Printf.printf "%2d -> %2d  DROPPED\n" o.RR.Batch.request.RR.Types.src
+            o.RR.Batch.request.RR.Types.dst)
+      r.RR.Batch.outcomes;
+    Printf.printf "\nadmitted %d / %d, total cost %.1f, final load %.3f\n"
+      r.RR.Batch.admitted size r.RR.Batch.total_cost r.RR.Batch.final_load
+  in
+  Cmd.v
+    (Cmd.info "batch" ~doc:"Process one batch of random requests (Section 2).")
+    Term.(const run $ topo_arg $ policy_arg $ wavelengths_arg $ seed_arg $ size $ order)
+
+(* ------------------------------------------------------------------ *)
+(* provision                                                            *)
+
+let provision_cmd =
+  let demands =
+    Arg.(value & opt int 12 & info [ "demands" ] ~doc:"Number of random demands.")
+  in
+  let improve =
+    Arg.(value & flag & info [ "improve" ] ~doc:"Run pairwise local search after the sequential pass.")
+  in
+  let run topo file policy w seed demands improve =
+    let net = resolve_net file topo w seed in
+    let rng = Rr_util.Rng.create (seed + 1) in
+    let reqs =
+      List.init demands (fun _ ->
+          let s, d = Rr_sim.Workload.random_pair rng ~n_nodes:(Net.n_nodes net) in
+          { RR.Types.src = s; dst = d })
+    in
+    let plan =
+      if improve then RR.Provisioning.local_search ~policy net reqs
+      else RR.Provisioning.sequential ~policy net reqs
+    in
+    List.iter
+      (fun p ->
+        match p.RR.Provisioning.solution with
+        | Some sol ->
+          Printf.printf "%2d -> %2d  served  cost %.1f\n"
+            p.RR.Provisioning.request.RR.Types.src
+            p.RR.Provisioning.request.RR.Types.dst
+            (RR.Types.total_cost net sol)
+        | None ->
+          Printf.printf "%2d -> %2d  UNSERVED\n"
+            p.RR.Provisioning.request.RR.Types.src
+            p.RR.Provisioning.request.RR.Types.dst)
+      plan.RR.Provisioning.placements;
+    Printf.printf
+      "\nserved %d/%d, total cost %.1f, final load %.3f, improvement steps %d\n"
+      plan.RR.Provisioning.served demands plan.RR.Provisioning.total_cost
+      plan.RR.Provisioning.network_load plan.RR.Provisioning.iterations
+  in
+  Cmd.v
+    (Cmd.info "provision" ~doc:"Statically provision a random demand set.")
+    Term.(
+      const run $ topo_arg $ file_arg $ policy_arg $ wavelengths_arg $ seed_arg
+      $ demands $ improve)
+
+(* ------------------------------------------------------------------ *)
+(* dot                                                                  *)
+
+let dot_cmd =
+  let src = Arg.(value & opt (some int) None & info [ "source"; "s" ] ~doc:"Route source.") in
+  let dst = Arg.(value & opt (some int) None & info [ "dest"; "d" ] ~doc:"Route destination.") in
+  let out = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~doc:"Output file (default stdout).") in
+  let run topo file policy w seed s d out =
+    let net = resolve_net file topo w seed in
+    let highlight =
+      match (s, d) with
+      | Some s, Some d -> (
+        match Router.route net policy ~source:s ~target:d with
+        | None ->
+          Printf.eprintf "no robust route %d -> %d\n" s d;
+          exit 2
+        | Some sol ->
+          let prim =
+            List.map (fun e -> (e, "blue")) (Rr_wdm.Semilightpath.links sol.RR.Types.primary)
+          in
+          let back =
+            match sol.RR.Types.backup with
+            | Some b -> List.map (fun e -> (e, "red")) (Rr_wdm.Semilightpath.links b)
+            | None -> []
+          in
+          prim @ back)
+      | _ -> []
+    in
+    let dot = Rr_wdm.Network_io.to_dot ~highlight net in
+    match out with
+    | None -> print_string dot
+    | Some path ->
+      Out_channel.with_open_text path (fun oc -> Out_channel.output_string oc dot);
+      Printf.printf "wrote %s (primary blue, backup red)\n" path
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Export the network (optionally with a routed pair) as GraphViz.")
+    Term.(
+      const run $ topo_arg $ file_arg $ policy_arg $ wavelengths_arg $ seed_arg
+      $ src $ dst $ out)
+
+let () =
+  let info =
+    Cmd.info "rr" ~version:"1.0.0"
+      ~doc:"Robust routing in wide-area WDM networks (IPPS 2001 reproduction)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            topo_cmd; route_cmd; simulate_cmd; audit_cmd; analyze_cmd;
+            batch_cmd; provision_cmd; dot_cmd;
+          ]))

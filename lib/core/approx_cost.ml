@@ -1,0 +1,45 @@
+module Aux = Rr_wdm.Auxiliary
+module Layered = Rr_wdm.Layered
+
+type detail = {
+  aux : Aux.t;
+  aux_weight : float;
+  links1 : int list;
+  links2 : int list;
+  solution : Types.solution;
+  refined_cost : float;
+}
+
+(* Refine one auxiliary path: optimal semilightpath within the physical
+   subgraph its traversal arcs induce. *)
+let refine net ~source ~target links =
+  let set = Hashtbl.create 16 in
+  List.iter (fun e -> Hashtbl.replace set e ()) links;
+  Layered.optimal net ~link_enabled:(Hashtbl.mem set) ~source ~target
+
+let route_detailed net ~source ~target =
+  let aux = Aux.gprime net ~source ~target in
+  match Aux.disjoint_pair aux with
+  | None -> None
+  | Some ((p1, p2), aux_weight) ->
+    let links1 = Aux.links_of_path aux p1 in
+    let links2 = Aux.links_of_path aux p2 in
+    (match (refine net ~source ~target links1, refine net ~source ~target links2) with
+     | Some (sl1, c1), Some (sl2, c2) ->
+       (* Serve the cheaper path as primary. *)
+       let (primary, _), (backup, _) =
+         if c1 <= c2 then ((sl1, c1), (sl2, c2)) else ((sl2, c2), (sl1, c1))
+       in
+       Some
+         {
+           aux;
+           aux_weight;
+           links1;
+           links2;
+           solution = { Types.primary; backup = Some backup };
+           refined_cost = c1 +. c2;
+         }
+     | _ -> None)
+
+let route net ~source ~target =
+  Option.map (fun d -> d.solution) (route_detailed net ~source ~target)

@@ -1,0 +1,31 @@
+(** The Section 3.3 approximation algorithm for the optimal edge-disjoint
+    semilightpath problem.
+
+    Pipeline: build the auxiliary graph [G'] on the residual network, run
+    Suurballe ([Find_Two_Paths]) from [s'] to [t''], induce the two
+    link-disjoint physical subgraphs [G₁], [G₂], and refine each with the
+    optimal-semilightpath search (Lemma 2).  Theorem 2: the result costs at
+    most twice the optimum when every node's conversion cost is bounded by
+    the cost of traversing any incident link. *)
+
+type detail = {
+  aux : Rr_wdm.Auxiliary.t;
+  aux_weight : float;
+      (** ω(P₁) + ω(P₂) — also the cost of the unrefined images
+          [P₁₁], [P₂₂] (proof of Lemma 2). *)
+  links1 : int list;  (** physical links induced by the first aux path *)
+  links2 : int list;
+  solution : Types.solution;
+  refined_cost : float;  (** C(P₁′) + C(P₂′) ≤ [aux_weight] *)
+}
+
+val route : Rr_wdm.Network.t -> source:int -> target:int -> Types.solution option
+(** [None] when no two edge-disjoint semilightpaths exist in the residual
+    network (or when a degenerate converter configuration admits no
+    consistent wavelength chain along the chosen subgraphs — impossible
+    under the paper's full-switching assumption (i)). *)
+
+val route_detailed :
+  Rr_wdm.Network.t -> source:int -> target:int -> detail option
+(** Same, exposing the intermediate quantities that the Lemma 2 and
+    Theorem 2 experiments report. *)

@@ -1,0 +1,53 @@
+module Aux = Rr_wdm.Auxiliary
+module Net = Rr_wdm.Network
+module Layered = Rr_wdm.Layered
+
+type result = {
+  theta : float;
+  bottleneck : float;
+  solution : Types.solution;
+}
+
+let refine net ~source ~target links =
+  let set = Hashtbl.create 16 in
+  List.iter (fun e -> Hashtbl.replace set e ()) links;
+  Layered.optimal net ~link_enabled:(Hashtbl.mem set) ~source ~target
+
+let route ?base ?resolution net ~source ~target =
+  match Mincog.route ?base ?resolution net ~source ~target with
+  | None -> None
+  | Some phase1 ->
+    let theta = phase1.Mincog.theta in
+    let aux = Aux.grc net ~theta ~source ~target in
+    (match Aux.disjoint_pair aux with
+     | None ->
+       (* ϑ was feasible in phase 1, so G_rc (same topology as G_c) must
+          admit a pair; fall back to the phase-1 routes defensively. *)
+       Some
+         {
+           theta;
+           bottleneck = phase1.Mincog.bottleneck;
+           solution = phase1.Mincog.solution;
+         }
+     | Some ((p1, p2), _) ->
+       let links1 = Aux.links_of_path aux p1 in
+       let links2 = Aux.links_of_path aux p2 in
+       (match
+          (refine net ~source ~target links1, refine net ~source ~target links2)
+        with
+        | Some (sl1, c1), Some (sl2, c2) ->
+          let primary, backup = if c1 <= c2 then (sl1, sl2) else (sl2, sl1) in
+          let bottleneck =
+            List.fold_left
+              (fun acc e -> Float.max acc (Net.link_load net e))
+              0.0 (links1 @ links2)
+          in
+          Some
+            { theta; bottleneck; solution = { Types.primary; backup = Some backup } }
+        | _ ->
+          Some
+            {
+              theta;
+              bottleneck = phase1.Mincog.bottleneck;
+              solution = phase1.Mincog.solution;
+            }))

@@ -1,0 +1,22 @@
+(** Section 4.2 — minimising network load *and* routing cost.
+
+    Phase 1 fixes a feasible load threshold [ϑ] with
+    {!Mincog.route}; phase 2 rebuilds the threshold-filtered auxiliary
+    graph with cost weights ([G_rc]), runs Suurballe, and refines the two
+    induced subgraphs into optimal semilightpaths.  This is the paper's
+    headline "simultaneous" algorithm: among the lightly-loaded part of the
+    network it picks the cheapest robust route. *)
+
+type result = {
+  theta : float;       (** threshold accepted in phase 1 *)
+  bottleneck : float;  (** max link load along the phase-2 pair *)
+  solution : Types.solution;
+}
+
+val route :
+  ?base:float ->
+  ?resolution:int ->
+  Rr_wdm.Network.t ->
+  source:int ->
+  target:int ->
+  result option

@@ -1,0 +1,90 @@
+module Net = Rr_wdm.Network
+
+type order =
+  | Fifo
+  | Shortest_first
+  | Longest_first
+  | Random of int
+
+type outcome = {
+  request : Types.request;
+  solution : Types.solution option;
+}
+
+type result = {
+  outcomes : outcome list;
+  admitted : int;
+  dropped : int;
+  total_cost : float;
+  final_load : float;
+}
+
+let order_name = function
+  | Fifo -> "fifo"
+  | Shortest_first -> "shortest-first"
+  | Longest_first -> "longest-first"
+  | Random _ -> "random"
+
+let hop_distance net req =
+  let d =
+    Rr_graph.Traversal.bfs_dist
+      ~enabled:(fun e -> Net.has_available net e)
+      (Net.graph net) ~source:req.Types.src
+  in
+  if req.Types.dst >= 0 && req.Types.dst < Array.length d then d.(req.Types.dst)
+  else -1
+
+let arrange net order requests =
+  match order with
+  | Fifo -> requests
+  | Shortest_first | Longest_first ->
+    let keyed =
+      List.map
+        (fun r ->
+          let d = hop_distance net r in
+          ((if d < 0 then max_int else d), r))
+        requests
+    in
+    let cmp (a, _) (b, _) =
+      match order with Longest_first -> compare b a | _ -> compare a b
+    in
+    List.map snd (List.stable_sort cmp keyed)
+  | Random seed ->
+    let arr = Array.of_list requests in
+    Rr_util.Rng.shuffle (Rr_util.Rng.create seed) arr;
+    Array.to_list arr
+
+let valid net req =
+  let n = Net.n_nodes net in
+  req.Types.src >= 0 && req.Types.src < n && req.Types.dst >= 0
+  && req.Types.dst < n && req.Types.src <> req.Types.dst
+
+let process ?(order = Fifo) net policy requests =
+  let ordered = arrange net order requests in
+  let outcomes =
+    List.map
+      (fun req ->
+        let solution =
+          if valid net req then
+            Router.admit net policy ~source:req.Types.src ~target:req.Types.dst
+          else None
+        in
+        { request = req; solution })
+      ordered
+  in
+  let admitted = List.length (List.filter (fun o -> o.solution <> None) outcomes) in
+  let total_cost =
+    List.fold_left
+      (fun acc o ->
+        match o.solution with
+        | Some sol -> acc +. Types.total_cost net sol
+        | None -> acc)
+      0.0 outcomes
+  in
+  {
+    outcomes;
+    admitted;
+    dropped = List.length outcomes - admitted;
+    total_cost;
+    final_load = Net.network_load net;
+  }

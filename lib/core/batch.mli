@@ -1,0 +1,48 @@
+(** Periodic batch admission (Section 2).
+
+    "The network accepts user connection requests periodically.  At a given
+    time interval, suppose a set of requests is given.  The algorithm
+    processes these requests one by one.  Once a request is processed and
+    there is a solution for it, the algorithm establishes the routes for it
+    immediately.  Otherwise, the request is dropped."
+
+    Because each admission consumes wavelengths, the *order* in which a
+    batch is processed changes which later requests fit; this module
+    implements the paper's sequential discipline plus standard orderings
+    to quantify that effect. *)
+
+type order =
+  | Fifo            (** as given — the paper's discipline *)
+  | Shortest_first  (** ascending hop distance (cheap requests first) *)
+  | Longest_first   (** descending hop distance *)
+  | Random of int   (** seeded shuffle *)
+
+type outcome = {
+  request : Types.request;
+  solution : Types.solution option;  (** [None] = dropped *)
+}
+
+type result = {
+  outcomes : outcome list;  (** in processing order *)
+  admitted : int;
+  dropped : int;
+  total_cost : float;       (** over admitted requests *)
+  final_load : float;       (** network load after the batch *)
+}
+
+val process :
+  ?order:order ->
+  Rr_wdm.Network.t ->
+  Router.policy ->
+  Types.request list ->
+  result
+(** Routes and allocates each request in turn on the live network (the
+    network is mutated, as in operation).  Invalid requests
+    ([src = dst] or out of range) are dropped rather than raising. *)
+
+val order_name : order -> string
+
+val arrange :
+  Rr_wdm.Network.t -> order -> Types.request list -> Types.request list
+(** The processing order {!process} would use, without admitting anything
+    (hop distances are measured on the current residual network). *)

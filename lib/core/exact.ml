@@ -1,0 +1,91 @@
+module Digraph = Rr_graph.Digraph
+module Layered = Rr_wdm.Layered
+
+exception Budget_exceeded
+
+(* DFS enumeration of node-simple s-t paths over the residual network. *)
+let enumerate_simple_paths ?(max_paths = 50_000) net ~source ~target =
+  let g = Rr_wdm.Network.graph net in
+  let n = Digraph.n_nodes g in
+  let visited = Array.make n false in
+  let acc = ref [] in
+  let count = ref 0 in
+  let rec dfs v path =
+    if v = target then begin
+      incr count;
+      if !count > max_paths then raise Budget_exceeded;
+      acc := List.rev path :: !acc
+    end
+    else begin
+      visited.(v) <- true;
+      Array.iter
+        (fun e ->
+          if Rr_wdm.Network.has_available net e then begin
+            let u = Digraph.dst g e in
+            if not visited.(u) then dfs u (e :: path)
+          end)
+        (Digraph.out_edges g v);
+      visited.(v) <- false
+    end
+  in
+  dfs source [];
+  List.rev !acc
+
+let route ?max_paths net ~source ~target =
+  if source = target then invalid_arg "Exact.route: source = target";
+  let paths = enumerate_simple_paths ?max_paths net ~source ~target in
+  (* Optimal per-path assignment; paths with no feasible wavelength chain
+     cannot appear in any solution and are dropped. *)
+  let assigned =
+    List.filter_map
+      (fun links ->
+        match Layered.assign_on_path net links with
+        | Some (slp, c) ->
+          let mask = Hashtbl.create 8 in
+          List.iter (fun e -> Hashtbl.replace mask e ()) links;
+          Some (c, slp, mask)
+        | None -> None)
+      paths
+  in
+  let arr =
+    Array.of_list
+      (List.sort (fun (c1, _, _) (c2, _, _) -> compare c1 c2) assigned)
+  in
+  let np = Array.length arr in
+  let disjoint (_, _, m1) (_, _, m2) =
+    Hashtbl.fold (fun e () acc -> acc && not (Hashtbl.mem m1 e)) m2 true
+  in
+  (* Paths are cost-sorted, so for a fixed [i] the first disjoint [j > i]
+     closes the best pair involving [i]; and once [2·cᵢ] reaches the
+     incumbent no later pair can improve. *)
+  let best = ref infinity in
+  let best_pair = ref None in
+  let rec outer i =
+    if i < np then begin
+      let (ci, _, _) as pi = arr.(i) in
+      if 2.0 *. ci < !best then begin
+        let rec inner j =
+          if j < np then begin
+            let (cj, _, _) as pj = arr.(j) in
+            if ci +. cj < !best then
+              if disjoint pi pj then begin
+                best := ci +. cj;
+                best_pair := Some (pi, pj)
+              end
+              else inner (j + 1)
+          end
+        in
+        inner (i + 1);
+        outer (i + 1)
+      end
+    end
+  in
+  outer 0;
+  match !best_pair with
+  | None -> None
+  | Some ((c1, sl1, _), (c2, sl2, _)) ->
+    let primary, backup = if c1 <= c2 then (sl1, sl2) else (sl2, sl1) in
+    Some ({ Types.primary; backup = Some backup }, !best)
+
+let optimal_cost ?max_paths net ~source ~target =
+  Option.map snd (route ?max_paths net ~source ~target)

@@ -1,0 +1,41 @@
+(** Exact minimum-cost edge-disjoint semilightpath pairs (combinatorial).
+
+    Ground truth for the Theorem 2 ratio experiments.  Because the two
+    paths share no physical link, the joint wavelength assignment
+    decomposes: the optimum equals the minimum over edge-disjoint pairs of
+    *node-simple* physical paths of the per-path optimal assignments
+    (Viterbi DP over wavelengths, {!Rr_wdm.Layered.assign_on_path}).
+
+    Node-simplicity matches the paper's own integer program (constraints 5
+    and 6 admit at most one incoming and outgoing link per node), so this
+    solver computes exactly the quantity the paper calls optimal.  The
+    search enumerates simple paths in increasing assigned-cost order with
+    branch-and-bound pruning; it is exponential in the worst case and meant
+    for the small instances of the ratio experiments. *)
+
+exception Budget_exceeded
+
+val route :
+  ?max_paths:int ->
+  Rr_wdm.Network.t ->
+  source:int ->
+  target:int ->
+  (Types.solution * float) option
+(** Optimal pair and its total cost.  [max_paths] (default [50_000]) bounds
+    the number of simple physical paths enumerated; {!Budget_exceeded} is
+    raised when the instance is too large to certify optimality. *)
+
+val optimal_cost :
+  ?max_paths:int ->
+  Rr_wdm.Network.t ->
+  source:int ->
+  target:int ->
+  float option
+
+val enumerate_simple_paths :
+  ?max_paths:int ->
+  Rr_wdm.Network.t ->
+  source:int ->
+  target:int ->
+  int list list
+(** All node-simple physical paths (edge-id lists) — exposed for tests. *)

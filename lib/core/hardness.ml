@@ -1,0 +1,90 @@
+module Net = Rr_wdm.Network
+module Bitset = Rr_util.Bitset
+
+type pair_weight = Both_zero | First_one | Second_one
+
+type instance = {
+  i_nodes : int;
+  i_links : (int * int * pair_weight) list;
+  i_src : int;
+  i_dst : int;
+}
+
+(* λ0 plays the paper's λ1 (first cost component), λ1 plays λ2. *)
+let lambdas_of = function
+  | Both_zero -> [ 0; 1 ]
+  | First_one -> [ 1 ] (* (1,0): λ1 unavailable *)
+  | Second_one -> [ 0 ] (* (0,1): λ2 unavailable *)
+
+let to_network inst =
+  let links =
+    List.map
+      (fun (u, v, pw) ->
+        {
+          Net.ls_src = u;
+          ls_dst = v;
+          ls_lambdas = lambdas_of pw;
+          ls_weight = (fun _ -> 0.0);
+        })
+      inst.i_links
+  in
+  Net.create ~n_nodes:inst.i_nodes ~n_wavelengths:2 ~links
+    ~converters:(fun _ -> Rr_wdm.Conversion.No_conversion)
+
+(* Simple s-t paths of the reduced network that are continuously feasible
+   on wavelength [l]. *)
+let feasible_paths net ~lambda ~source ~target =
+  Exact.enumerate_simple_paths net ~source ~target
+  |> List.filter
+       (fun links ->
+         List.for_all (fun e -> Bitset.mem (Net.lambdas net e) lambda) links)
+
+let decide_zero_cost inst =
+  let net = to_network inst in
+  let on_l0 = feasible_paths net ~lambda:0 ~source:inst.i_src ~target:inst.i_dst in
+  let on_l1 = feasible_paths net ~lambda:1 ~source:inst.i_src ~target:inst.i_dst in
+  List.exists
+    (fun p1 ->
+      let set = Hashtbl.create 8 in
+      List.iter (fun e -> Hashtbl.replace set e ()) p1;
+      List.exists (List.for_all (fun e -> not (Hashtbl.mem set e))) on_l1)
+    on_l0
+
+(* Ground truth on the original pair-weighted digraph: DFS enumeration of
+   node-simple paths with zero cost under the respective component. *)
+let brute_force_decide inst =
+  let links = Array.of_list inst.i_links in
+  let out = Array.make inst.i_nodes [] in
+  Array.iteri
+    (fun id (u, _, _) -> out.(u) <- id :: out.(u))
+    links;
+  let zero_under component id =
+    let _, _, pw = links.(id) in
+    match (component, pw) with
+    | _, Both_zero -> true
+    | `First, Second_one -> true (* pair (0,1): first component is 0 *)
+    | `Second, First_one -> true (* pair (1,0): second component is 0 *)
+    | `First, First_one | `Second, Second_one -> false
+  in
+  let enumerate component =
+    let visited = Array.make inst.i_nodes false in
+    let acc = ref [] in
+    let rec dfs v path =
+      if v = inst.i_dst then acc := List.rev path :: !acc
+      else begin
+        visited.(v) <- true;
+        List.iter
+          (fun id ->
+            let _, w, _ = links.(id) in
+            if zero_under component id && not visited.(w) then dfs w (id :: path))
+          out.(v);
+        visited.(v) <- false
+      end
+    in
+    dfs inst.i_src [];
+    !acc
+  in
+  let firsts = enumerate `First and seconds = enumerate `Second in
+  List.exists
+    (fun p1 -> List.exists (fun p2 -> List.for_all (fun e -> not (List.mem e p1)) p2) seconds)
+    firsts

@@ -1,0 +1,164 @@
+module Net = Rr_wdm.Network
+module Bitset = Rr_util.Bitset
+module Digraph = Rr_graph.Digraph
+module Slp = Rr_wdm.Semilightpath
+
+(* One routing-variable family (x for the primary, y for the backup): the
+   paper's constraints (4)-(9) and (10)-(15) are identical in shape. *)
+type family = {
+  var : (int * int, Rr_ilp.Ilp.var) Hashtbl.t; (* (link, λ) -> variable *)
+}
+
+let build_family ilp net ~prefix =
+  let var = Hashtbl.create 64 in
+  for e = 0 to Net.n_links net - 1 do
+    Bitset.iter
+      (fun l ->
+        let name = Printf.sprintf "%s_e%d_l%d" prefix e l in
+        let v = Rr_ilp.Ilp.add_binary ilp ~obj:(Net.weight net e l) name in
+        Hashtbl.replace var (e, l) v)
+      (Net.available net e)
+  done;
+  { var }
+
+let lambda_terms net fam e coeff =
+  Bitset.fold
+    (fun l acc -> (Hashtbl.find fam.var (e, l), coeff) :: acc)
+    (Net.available net e) []
+
+(* Constraints (4)-(9) for a family, with [s]/[t] from the request. *)
+let add_path_constraints ilp net fam ~source ~target =
+  let g = Net.graph net in
+  let live e = Net.has_available net e in
+  (* (4): one wavelength per used link *)
+  for e = 0 to Net.n_links net - 1 do
+    if live e then Rr_ilp.Ilp.add_le ilp (lambda_terms net fam e 1.0) 1.0
+  done;
+  for v = 0 to Net.n_nodes net - 1 do
+    let outs =
+      Array.to_list (Digraph.out_edges g v)
+      |> List.filter live
+      |> List.concat_map (fun e -> lambda_terms net fam e 1.0)
+    in
+    let ins =
+      Array.to_list (Digraph.in_edges g v)
+      |> List.filter live
+      |> List.concat_map (fun e -> lambda_terms net fam e 1.0)
+    in
+    (* (5)/(6): node-simple paths *)
+    if v <> target && outs <> [] then Rr_ilp.Ilp.add_le ilp outs 1.0;
+    if v <> source && ins <> [] then Rr_ilp.Ilp.add_le ilp ins 1.0;
+    (* (7): conservation at intermediate nodes *)
+    if v <> source && v <> target then begin
+      let neg = List.map (fun (x, c) -> (x, -.c)) ins in
+      if outs <> [] || ins <> [] then Rr_ilp.Ilp.add_eq ilp (outs @ neg) 0.0
+    end;
+    (* (8)/(9): unit flow out of s and into t *)
+    if v = source then Rr_ilp.Ilp.add_eq ilp outs 1.0;
+    if v = target then Rr_ilp.Ilp.add_eq ilp ins 1.0
+  done
+
+(* Conversion-cost linearisation (17)/(18) + disallowed-pair cuts for one
+   family, over adjacent link pairs.  Returns nothing; z variables carry
+   objective coefficient 1 through their definition constraints. *)
+let add_conversion_constraints ilp net fam ~prefix =
+  let g = Net.graph net in
+  let live e = Net.has_available net e in
+  for v = 0 to Net.n_nodes net - 1 do
+    Array.iter
+      (fun e ->
+        if live e then
+          Array.iter
+            (fun e' ->
+              if live e' && e <> e' then begin
+                (* z_{e,e'} >= c_v(λ1,λ2)·(x_{e,λ1} + x_{e',λ2} − 1) *)
+                let z =
+                  Rr_ilp.Ilp.add_continuous ilp ~obj:1.0
+                    (Printf.sprintf "%s_z_e%d_e%d" prefix e e')
+                in
+                Bitset.iter
+                  (fun l1 ->
+                    Bitset.iter
+                      (fun l2 ->
+                        let x1 = Hashtbl.find fam.var (e, l1) in
+                        let x2 = Hashtbl.find fam.var (e', l2) in
+                        match Net.conv_cost net v l1 l2 with
+                        | Some c ->
+                          if c > 0.0 then
+                            Rr_ilp.Ilp.add_le ilp
+                              [ (x1, c); (x2, c); (z, -1.0) ]
+                              c
+                        | None ->
+                          (* conversion impossible: consecutive use of
+                             (e,λ1) then (e',λ2) is forbidden *)
+                          Rr_ilp.Ilp.add_le ilp [ (x1, 1.0); (x2, 1.0) ] 1.0)
+                      (Net.available net e'))
+                  (Net.available net e)
+              end)
+            (Digraph.out_edges g v))
+      (Digraph.in_edges g v)
+  done
+
+let build net ~source ~target =
+  if source = target then invalid_arg "Ilp_exact: source = target";
+  let ilp = Rr_ilp.Ilp.create () in
+  let x = build_family ilp net ~prefix:"x" in
+  let y = build_family ilp net ~prefix:"y" in
+  add_path_constraints ilp net x ~source ~target;
+  add_path_constraints ilp net y ~source ~target;
+  add_conversion_constraints ilp net x ~prefix:"x";
+  add_conversion_constraints ilp net y ~prefix:"y";
+  (* (16): a physical link serves at most one of the two paths *)
+  for e = 0 to Net.n_links net - 1 do
+    if Net.has_available net e then
+      Rr_ilp.Ilp.add_le ilp
+        (lambda_terms net x e 1.0 @ lambda_terms net y e 1.0)
+        1.0
+  done;
+  (ilp, x, y)
+
+let model_size net ~source ~target =
+  let ilp, _, _ = build net ~source ~target in
+  (Rr_ilp.Ilp.n_vars ilp, Rr_ilp.Ilp.n_constraints ilp)
+
+(* Decode one family's incidence vector into a semilightpath by walking
+   from the source. *)
+let var fam e l = Hashtbl.find_opt fam.var (e, l)
+
+let decode net fam values ~source ~target =
+  let g = Net.graph net in
+  let hop_from v =
+    let found = ref None in
+    Array.iter
+      (fun e ->
+        Bitset.iter
+          (fun l ->
+            match Hashtbl.find_opt fam.var (e, l) with
+            | Some x when values.(x) > 0.5 -> found := Some { Slp.edge = e; lambda = l }
+            | _ -> ())
+          (Net.available net e))
+      (Digraph.out_edges g v);
+    !found
+  in
+  let rec walk v acc =
+    if v = target then Some { Slp.hops = List.rev acc }
+    else
+      match hop_from v with
+      | None -> None
+      | Some h -> walk (Net.link_dst net h.edge) (h :: acc)
+  in
+  walk source []
+
+let route ?node_limit net ~source ~target =
+  let ilp, x, y = build net ~source ~target in
+  match Rr_ilp.Ilp.solve ?node_limit ilp with
+  | None -> None
+  | Some { Rr_ilp.Ilp.objective; values; _ } ->
+    (match
+       (decode net x values ~source ~target, decode net y values ~source ~target)
+     with
+     | Some p, Some b ->
+       let cp = Slp.cost net p and cb = Slp.cost net b in
+       let primary, backup = if cp <= cb then (p, b) else (b, p) in
+       Some ({ Types.primary; backup = Some backup }, objective)
+     | _ -> failwith "Ilp_exact.route: solution decoding failed")

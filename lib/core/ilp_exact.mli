@@ -1,0 +1,51 @@
+(** The paper's Section 3.1 exact formulation: a 0/1 integer program over
+    per-(link, wavelength) routing variables [x] (primary) and [y]
+    (backup), with linearised conversion-cost terms [z], [t]
+    (Eqs. 3–21), solved by {!Rr_ilp.Ilp} branch-and-bound.
+
+    Variables are instantiated only for *available* wavelengths of the
+    residual network, which is equivalent to (and much smaller than) the
+    full [m·W] grid.  Disallowed conversions additionally contribute
+    pairwise exclusion constraints [x_{e,λ₁} + x_{e',λ₂} <= 1] — implicit
+    in the paper, which prices every conversion.
+
+    This solver exists for fidelity and cross-checking: use {!Exact} for
+    anything beyond toy instances. *)
+
+val route :
+  ?node_limit:int ->
+  Rr_wdm.Network.t ->
+  source:int ->
+  target:int ->
+  (Types.solution * float) option
+(** Optimal pair and objective value; [None] when the IP is infeasible
+    (no two edge-disjoint semilightpaths). *)
+
+val model_size : Rr_wdm.Network.t -> source:int -> target:int -> int * int
+(** (variables, constraints) of the generated program — reported by the
+    ILP-X experiment. *)
+
+(** {1 Building blocks}
+
+    Exposed so {!Provisioning.ilp_joint} can assemble the multi-request
+    joint program from the same constraint generators. *)
+
+type family
+(** One routing-variable family: binary [x_{e,λ}] per available
+    (link, wavelength). *)
+
+val build_family : Rr_ilp.Ilp.t -> Rr_wdm.Network.t -> prefix:string -> family
+val add_path_constraints :
+  Rr_ilp.Ilp.t -> Rr_wdm.Network.t -> family -> source:int -> target:int -> unit
+val add_conversion_constraints :
+  Rr_ilp.Ilp.t -> Rr_wdm.Network.t -> family -> prefix:string -> unit
+val var : family -> int -> int -> Rr_ilp.Ilp.var option
+(** [var fam e λ] — the binary for using wavelength λ on link [e]. *)
+
+val decode :
+  Rr_wdm.Network.t ->
+  family ->
+  float array ->
+  source:int ->
+  target:int ->
+  Rr_wdm.Semilightpath.t option

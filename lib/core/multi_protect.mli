@@ -1,0 +1,20 @@
+(** k-fold protection (extension beyond the paper).
+
+    Generalises the primary/backup pair to [k] pairwise edge-disjoint
+    semilightpaths — 1 working path plus [k-1] reserved backups, surviving
+    any [k-1] simultaneous link failures.  A minimum-cost flow of [k] units
+    on the auxiliary graph [G'] replaces Suurballe (which is exactly the
+    [k = 2] case), and each flow path is refined to an optimal
+    semilightpath in its induced subgraph, as in Section 3.3. *)
+
+val route :
+  Rr_wdm.Network.t ->
+  k:int ->
+  source:int ->
+  target:int ->
+  Rr_wdm.Semilightpath.t list option
+(** [k >= 1] pairwise edge-disjoint semilightpaths ordered by cost, or
+    [None] when fewer than [k] edge-disjoint routes exist. *)
+
+val max_protection : Rr_wdm.Network.t -> source:int -> target:int -> int
+(** Largest feasible [k] in the residual network (a max-flow value). *)

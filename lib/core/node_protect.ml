@@ -1,0 +1,41 @@
+module Aux = Rr_wdm.Auxiliary
+module Net = Rr_wdm.Network
+module Layered = Rr_wdm.Layered
+module Slp = Rr_wdm.Semilightpath
+
+let refine net ~source ~target links =
+  let set = Hashtbl.create 16 in
+  List.iter (fun e -> Hashtbl.replace set e ()) links;
+  Layered.optimal net ~link_enabled:(Hashtbl.mem set) ~source ~target
+
+let route net ~source ~target =
+  let aux = Aux.gprime_gated net ~source ~target in
+  match Aux.disjoint_pair aux with
+  | None -> None
+  | Some ((p1, p2), _) ->
+    let links1 = Aux.links_of_path aux p1 in
+    let links2 = Aux.links_of_path aux p2 in
+    (match (refine net ~source ~target links1, refine net ~source ~target links2) with
+     | Some (sl1, c1), Some (sl2, c2) ->
+       let primary, backup = if c1 <= c2 then (sl1, sl2) else (sl2, sl1) in
+       Some { Types.primary; backup = Some backup }
+     | _ -> None)
+
+let internal_nodes net p =
+  match Slp.links p with
+  | [] -> []
+  | links ->
+    (* every link head except the final one *)
+    let rec go = function
+      | [ _ ] | [] -> []
+      | e :: rest -> Net.link_dst net e :: go rest
+    in
+    go links
+
+let node_disjoint net sol =
+  match sol.Types.backup with
+  | None -> true
+  | Some b ->
+    let i1 = internal_nodes net sol.Types.primary in
+    let i2 = internal_nodes net b in
+    List.for_all (fun v -> not (List.mem v i2)) i1

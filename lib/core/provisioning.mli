@@ -1,0 +1,66 @@
+(** Static provisioning: robust routes for a demand set known in advance.
+
+    The paper distinguishes its *dynamic* setting from the *static*
+    fault-tolerant design problem of its references [17], [3], where all
+    demands are given up front and an offline algorithm "can afford to be
+    computationally expensive".  This module provides that companion:
+
+    - {!sequential}: route the demands one by one (any {!Router.policy}),
+      in a configurable order — the online algorithm replayed offline;
+    - {!local_search}: iterative improvement over a sequential start by
+      pairwise ruin-and-recreate — tear two demands down, re-insert them
+      in both orders, keep strict improvements of the chosen objective
+      (single-demand re-insertion provably cannot improve the cost
+      objective over the greedy start, so the moves are pairwise);
+    - {!ilp_joint}: the exact joint integer program for *two* demands on
+      tiny instances (the natural extension of the paper's Section 3.1 —
+      one [x]/[y] variable family per demand, shared link-capacity
+      constraints per wavelength), used to certify the heuristics.
+
+    All functions work on a private copy of the network. *)
+
+type objective = Min_total_cost | Min_load_then_cost
+
+type placement = {
+  request : Types.request;
+  solution : Types.solution option;  (** [None] = could not be served *)
+}
+
+type plan = {
+  placements : placement list;
+  served : int;
+  total_cost : float;
+  network_load : float;
+  iterations : int;  (** local-search improvement steps performed *)
+}
+
+val sequential :
+  ?order:Batch.order ->
+  ?policy:Router.policy ->
+  Rr_wdm.Network.t ->
+  Types.request list ->
+  plan
+(** One pass, no improvement ([iterations = 0]). *)
+
+val local_search :
+  ?order:Batch.order ->
+  ?policy:Router.policy ->
+  ?objective:objective ->
+  ?max_rounds:int ->
+  Rr_wdm.Network.t ->
+  Types.request list ->
+  plan
+(** Sequential start, then pairwise ruin-and-recreate while the objective
+    strictly improves (serving more demands always dominates).  Default
+    objective [Min_total_cost], [max_rounds] 20 sweeps. *)
+
+val ilp_joint :
+  ?node_limit:int ->
+  Rr_wdm.Network.t ->
+  Types.request ->
+  Types.request ->
+  ((Types.solution * Types.solution) * float) option
+(** Exact minimum total cost of serving both requests simultaneously
+    (each with primary + backup; all four paths pairwise limited by
+    per-link-per-wavelength capacity 1; the two paths of each request
+    edge-disjoint).  [None] if the pair cannot be served together. *)

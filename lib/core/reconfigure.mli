@@ -1,0 +1,38 @@
+(** Network reconfiguration: re-routing live connections to relieve the
+    maximum link load.
+
+    The paper's premise (Section 1) is that operators periodically freeze
+    the network and re-balance routes when congestion concentrates — an
+    expensive event whose *frequency* the Section 4 algorithms aim to
+    reduce.  This module implements the reconfiguration itself, so the
+    trade-off is measurable: admit with a cost-only policy and you need
+    more of these moves later; admit load-aware and you need fewer.
+
+    Greedy local search: repeatedly pick a connection crossing a
+    maximally-loaded link, release it, re-route it with the load-aware
+    policy, and keep the move iff the network load strictly drops (ties
+    broken by total wavelength pressure on bottleneck links).  Moves are
+    atomic — a failed re-route restores the original allocation. *)
+
+type move = {
+  conn : int;
+  before : Types.solution;
+  after : Types.solution;
+}
+
+type outcome = {
+  moves : move list;          (** applied, in order *)
+  initial_load : float;
+  final_load : float;
+  attempted : int;            (** re-route attempts, including rejected *)
+}
+
+val reduce_load :
+  ?max_moves:int ->
+  Rr_wdm.Network.t ->
+  (int * Types.solution) list ->
+  outcome
+(** [reduce_load net conns] — [conns] must be currently allocated in
+    [net]; the list and the network are updated consistently: after the
+    call the network reflects the returned moves (callers apply the same
+    moves to their own connection table).  Default [max_moves] 50. *)

@@ -1,0 +1,62 @@
+type policy =
+  | Cost_approx
+  | Load_aware
+  | Load_cost
+  | Two_step
+  | First_fit
+  | Most_used
+  | Least_used
+  | Unprotected
+  | Node_protect
+  | Exact
+
+let all_policies =
+  [
+    Cost_approx; Load_aware; Load_cost; Two_step; First_fit; Most_used;
+    Least_used; Unprotected; Node_protect; Exact;
+  ]
+
+let policy_name = function
+  | Cost_approx -> "cost-approx"
+  | Load_aware -> "load-aware"
+  | Load_cost -> "load-cost"
+  | Two_step -> "two-step"
+  | First_fit -> "first-fit"
+  | Most_used -> "most-used"
+  | Least_used -> "least-used"
+  | Unprotected -> "unprotected"
+  | Node_protect -> "node-protect"
+  | Exact -> "exact"
+
+let policy_of_string s =
+  List.find_opt (fun p -> policy_name p = s) all_policies
+
+let route net policy ~source ~target =
+  match policy with
+  | Cost_approx -> Approx_cost.route net ~source ~target
+  | Load_aware ->
+    Option.map (fun r -> r.Mincog.solution) (Mincog.route net ~source ~target)
+  | Load_cost ->
+    Option.map
+      (fun r -> r.Approx_load_cost.solution)
+      (Approx_load_cost.route net ~source ~target)
+  | Two_step -> Baselines.two_step net ~source ~target
+  | First_fit -> Baselines.first_fit net ~source ~target
+  | Most_used -> Baselines.most_used_fit net ~source ~target
+  | Least_used -> Baselines.least_used_fit net ~source ~target
+  | Unprotected -> Baselines.unprotected net ~source ~target
+  | Node_protect -> Node_protect.route net ~source ~target
+  | Exact -> Option.map fst (Exact.route net ~source ~target)
+
+let admit net policy ~source ~target =
+  match route net policy ~source ~target with
+  | None -> None
+  | Some sol -> (
+    match Types.validate net { Types.src = source; dst = target } sol with
+    | Error e ->
+      failwith
+        (Printf.sprintf "Router.admit: policy %s produced invalid solution: %s"
+           (policy_name policy) e)
+    | Ok () ->
+      Types.allocate net sol;
+      Some sol)

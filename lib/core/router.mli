@@ -1,0 +1,28 @@
+(** Unified routing facade: one entry point per policy, plus admission
+    (route + validate + allocate) for the simulator. *)
+
+type policy =
+  | Cost_approx      (** Section 3.3 auxiliary-graph approximation *)
+  | Load_aware       (** Section 4.1 MinCog (load only) *)
+  | Load_cost        (** Section 4.2 two-phase (load then cost) *)
+  | Two_step         (** remove-and-reroute baseline *)
+  | First_fit        (** hop-count + first-fit RWA baseline *)
+  | Most_used        (** hop-count + packing wavelength assignment *)
+  | Least_used       (** hop-count + spreading wavelength assignment *)
+  | Unprotected      (** single path, passive restoration *)
+  | Node_protect     (** internally node-disjoint pair (extension) *)
+  | Exact            (** combinatorial optimum (small instances only) *)
+
+val all_policies : policy list
+val policy_name : policy -> string
+val policy_of_string : string -> policy option
+
+val route :
+  Rr_wdm.Network.t -> policy -> source:int -> target:int -> Types.solution option
+(** Compute a robust route on the residual network; no allocation. *)
+
+val admit :
+  Rr_wdm.Network.t -> policy -> source:int -> target:int -> Types.solution option
+(** {!route}, then validate against the residual network and allocate all
+    wavelengths of both paths.  Raises [Failure] if a policy ever returns
+    an invalid solution (an algorithm bug, not an operational condition). *)

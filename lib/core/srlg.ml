@@ -1,0 +1,126 @@
+module Net = Rr_wdm.Network
+module Layered = Rr_wdm.Layered
+
+type groups = int list array
+
+let validate_groups net groups =
+  if Array.length groups <> Net.n_links net then
+    Error "Srlg: groups array length differs from link count"
+  else if Array.exists (List.exists (fun g -> g < 0)) groups then
+    Error "Srlg: negative group id"
+  else Ok ()
+
+let share_risk groups p1 p2 =
+  let links = Hashtbl.create 16 in
+  let risks = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      Hashtbl.replace links e ();
+      List.iter (fun g -> Hashtbl.replace risks g ()) groups.(e))
+    p1;
+  List.exists
+    (fun e ->
+      Hashtbl.mem links e || List.exists (Hashtbl.mem risks) groups.(e))
+    p2
+
+let conduits_of_topology ~rng net ~conduits =
+  if conduits <= 0 then invalid_arg "Srlg.conduits_of_topology: need conduits > 0";
+  let m = Net.n_links net in
+  let groups = Array.make m [] in
+  (* assign per unordered fibre so both directions share the trench *)
+  let fibre_group = Hashtbl.create m in
+  for e = 0 to m - 1 do
+    let u = Net.link_src net e and v = Net.link_dst net e in
+    let key = (min u v, max u v) in
+    let g =
+      match Hashtbl.find_opt fibre_group key with
+      | Some g -> g
+      | None ->
+        let g = Rr_util.Rng.int rng conduits in
+        Hashtbl.replace fibre_group key g;
+        g
+    in
+    groups.(e) <- [ g ]
+  done;
+  groups
+
+(* Candidate primaries in increasing assigned-cost order. *)
+let candidate_primaries ?(max_candidates = 64) net ~source ~target =
+  let paths =
+    try Exact.enumerate_simple_paths ~max_paths:20_000 net ~source ~target
+    with Exact.Budget_exceeded -> []
+  in
+  paths
+  |> List.filter_map (fun links ->
+         Option.map (fun (slp, c) -> (c, slp, links)) (Layered.assign_on_path net links))
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  |> List.filteri (fun i _ -> i < max_candidates)
+
+let backup_against net groups ~source ~target primary_links =
+  let banned_groups = Hashtbl.create 8 in
+  List.iter
+    (fun e -> List.iter (fun g -> Hashtbl.replace banned_groups g ()) groups.(e))
+    primary_links;
+  let banned_links = Hashtbl.create 8 in
+  List.iter (fun e -> Hashtbl.replace banned_links e ()) primary_links;
+  let link_enabled e =
+    (not (Hashtbl.mem banned_links e))
+    && not (List.exists (Hashtbl.mem banned_groups) groups.(e))
+  in
+  Layered.optimal net ~link_enabled ~source ~target
+
+let route ?max_candidates net groups ~source ~target =
+  (match validate_groups net groups with
+   | Ok () -> ()
+   | Error e -> invalid_arg e);
+  let rec try_candidates = function
+    | [] -> None
+    | (_, primary, links) :: rest -> (
+      match backup_against net groups ~source ~target links with
+      | Some (backup, _) -> Some { Types.primary; backup = Some backup }
+      | None -> try_candidates rest)
+  in
+  try_candidates (candidate_primaries ?max_candidates net ~source ~target)
+
+let route_exact ?max_paths net groups ~source ~target =
+  (match validate_groups net groups with
+   | Ok () -> ()
+   | Error e -> invalid_arg e);
+  let paths = Exact.enumerate_simple_paths ?max_paths net ~source ~target in
+  let assigned =
+    List.filter_map
+      (fun links ->
+        Option.map (fun (slp, c) -> (c, slp, links)) (Layered.assign_on_path net links))
+      paths
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  in
+  let arr = Array.of_list assigned in
+  let np = Array.length arr in
+  let best = ref infinity in
+  let best_pair = ref None in
+  let rec outer i =
+    if i < np then begin
+      let ci, _, li = arr.(i) in
+      if 2.0 *. ci < !best then begin
+        let rec inner j =
+          if j < np then begin
+            let cj, _, lj = arr.(j) in
+            if ci +. cj < !best then
+              if not (share_risk groups li lj) then begin
+                best := ci +. cj;
+                best_pair := Some (arr.(i), arr.(j))
+              end
+              else inner (j + 1)
+          end
+        in
+        inner (i + 1);
+        outer (i + 1)
+      end
+    end
+  in
+  outer 0;
+  match !best_pair with
+  | None -> None
+  | Some ((c1, s1, _), (c2, s2, _)) ->
+    let primary, backup = if c1 <= c2 then (s1, s2) else (s2, s1) in
+    Some ({ Types.primary; backup = Some backup }, !best)

@@ -1,0 +1,53 @@
+(** Shared-risk-link-group (SRLG) disjoint routing (extension).
+
+    Edge-disjointness protects against a single *link* failure, but real
+    fibres share conduits, ducts and bridges: one backhoe cuts every fibre
+    in the trench.  Links tagged with a common risk group fail together,
+    and a robust pair must be *SRLG-disjoint*: no group may appear on both
+    paths (plain edge-disjointness is the special case where every link is
+    its own group).
+
+    Finding SRLG-disjoint pairs is NP-hard in general (unlike Suurballe's
+    problem), so this module offers:
+
+    - {!route}: the standard active-path-first heuristic — enumerate
+      candidate primaries in increasing cost order, and for each, search a
+      backup in the network purged of every link sharing a risk group with
+      it; first hit wins.  Sound but incomplete.
+    - {!route_exact}: exhaustive pair search (the {!Exact} machinery with
+      the SRLG-disjointness predicate); exponential, for small instances
+      and for certifying the heuristic. *)
+
+type groups = int list array
+(** [groups.(link)] = risk-group ids of the link (possibly empty: the link
+    shares no fate with any other). *)
+
+val validate_groups : Rr_wdm.Network.t -> groups -> (unit, string) result
+(** Array length must equal the link count; group ids non-negative. *)
+
+val share_risk : groups -> int list -> int list -> bool
+(** Whether two (physical-link) paths share a link or a risk group. *)
+
+val conduits_of_topology :
+  rng:Rr_util.Rng.t -> Rr_wdm.Network.t -> conduits:int -> groups
+(** Synthetic risk structure: each *fibre* (a directed link and its
+    reverse) is assigned to one of [conduits] shared trenches; links of
+    the same trench share fate.  Used by tests and benches. *)
+
+val route :
+  ?max_candidates:int ->
+  Rr_wdm.Network.t ->
+  groups ->
+  source:int ->
+  target:int ->
+  Types.solution option
+(** Active-path-first heuristic over at most [max_candidates] (default
+    64) candidate primaries. *)
+
+val route_exact :
+  ?max_paths:int ->
+  Rr_wdm.Network.t ->
+  groups ->
+  source:int ->
+  target:int ->
+  (Types.solution * float) option

@@ -1,0 +1,33 @@
+(** Requests and robust-routing solutions. *)
+
+type request = { src : int; dst : int }
+
+type solution = {
+  primary : Rr_wdm.Semilightpath.t;
+  backup : Rr_wdm.Semilightpath.t option;
+      (** [None] only for deliberately unprotected baselines. *)
+}
+
+val total_cost : Rr_wdm.Network.t -> solution -> float
+(** Cost sum of both paths (Eq. 1 each) — the paper's objective. *)
+
+val primary_cost : Rr_wdm.Network.t -> solution -> float
+val backup_cost : Rr_wdm.Network.t -> solution -> float
+(** 0 when unprotected. *)
+
+val validate :
+  ?require_available:bool ->
+  Rr_wdm.Network.t ->
+  request ->
+  solution ->
+  (unit, string) result
+(** Both paths valid semilightpaths from [src] to [dst] and mutually
+    edge-disjoint (when a backup exists). *)
+
+val allocate : Rr_wdm.Network.t -> solution -> unit
+(** Reserve every wavelength of both paths (the paper's *activate*
+    protection: backup resources are held from admission time). *)
+
+val release : Rr_wdm.Network.t -> solution -> unit
+
+val pp : Rr_wdm.Network.t -> Format.formatter -> solution -> unit

@@ -1,0 +1,27 @@
+(** All-pairs shortest paths.
+
+    Johnson's algorithm (one Bellman–Ford for potentials, then [n]
+    Dijkstras on reduced costs) handles negative weights without negative
+    cycles in [O(nm log n)]; Floyd–Warshall is the [O(n³)] reference used
+    to cross-check it.  Weighted eccentricity/diameter helpers feed the
+    topology reports. *)
+
+val johnson :
+  ?enabled:(int -> bool) ->
+  Digraph.t ->
+  weight:(int -> float) ->
+  float array array option
+(** [dist.(u).(v)]; [infinity] when unreachable.  [None] on a reachable
+    negative cycle. *)
+
+val floyd_warshall :
+  ?enabled:(int -> bool) ->
+  Digraph.t ->
+  weight:(int -> float) ->
+  float array array option
+
+val diameter : float array array -> float
+(** Largest finite pairwise distance (0 for the empty/singleton graph). *)
+
+val mean_distance : float array array -> float
+(** Mean over ordered pairs with finite distance, excluding self-pairs. *)

@@ -1,0 +1,62 @@
+type result = {
+  dist : float array;
+  pred_edge : int array;
+  negative_cycle : bool;
+}
+
+let run ?enabled g ~weight ~source =
+  let n = Digraph.n_nodes g in
+  let m = Digraph.n_edges g in
+  let dist = Array.make n infinity in
+  let pred_edge = Array.make n (-1) in
+  let enabled = match enabled with None -> fun _ -> true | Some f -> f in
+  dist.(source) <- 0.0;
+  let changed = ref true in
+  let round = ref 0 in
+  while !changed && !round < n do
+    changed := false;
+    incr round;
+    for e = 0 to m - 1 do
+      if enabled e then begin
+        let u = Digraph.src g e and v = Digraph.dst g e in
+        if dist.(u) < infinity then begin
+          let dv = dist.(u) +. weight e in
+          if dv < dist.(v) -. 1e-12 then begin
+            dist.(v) <- dv;
+            pred_edge.(v) <- e;
+            changed := true
+          end
+        end
+      end
+    done
+  done;
+  (* One more relaxation detects a reachable negative cycle. *)
+  let negative_cycle =
+    !changed
+    &&
+    (let found = ref false in
+     for e = 0 to m - 1 do
+       if enabled e then begin
+         let u = Digraph.src g e and v = Digraph.dst g e in
+         if dist.(u) < infinity && dist.(u) +. weight e < dist.(v) -. 1e-12 then
+           found := true
+       end
+     done;
+     !found)
+  in
+  { dist; pred_edge; negative_cycle }
+
+let shortest_path ?enabled g ~weight ~source ~target =
+  let r = run ?enabled g ~weight ~source in
+  if r.negative_cycle then failwith "Bellman_ford: negative cycle";
+  if r.dist.(target) = infinity then None
+  else begin
+    let rec collect v acc =
+      if v = source then acc
+      else begin
+        let e = r.pred_edge.(v) in
+        collect (Digraph.src g e) (e :: acc)
+      end
+    in
+    Some (collect target [], r.dist.(target))
+  end

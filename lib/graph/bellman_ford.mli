@@ -1,0 +1,28 @@
+(** Bellman–Ford shortest paths (negative weights allowed).
+
+    Used to validate Dijkstra on random instances and to compute the initial
+    potentials of the min-cost-flow solver when reduced costs can start
+    negative. *)
+
+type result = {
+  dist : float array;
+  pred_edge : int array;
+  negative_cycle : bool;
+}
+
+val run :
+  ?enabled:(int -> bool) ->
+  Digraph.t ->
+  weight:(int -> float) ->
+  source:int ->
+  result
+
+val shortest_path :
+  ?enabled:(int -> bool) ->
+  Digraph.t ->
+  weight:(int -> float) ->
+  source:int ->
+  target:int ->
+  (int list * float) option
+(** [None] if unreachable; raises [Failure] if a negative cycle is
+    reachable from the source. *)

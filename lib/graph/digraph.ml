@@ -1,0 +1,90 @@
+type t = {
+  n : int;
+  src : int array;
+  dst : int array;
+  out : int array array;
+  in_ : int array array;
+}
+
+type builder = {
+  b_n : int;
+  mutable edges : (int * int) list; (* reversed *)
+  mutable count : int;
+}
+
+let builder n =
+  if n < 0 then invalid_arg "Digraph.builder";
+  { b_n = n; edges = []; count = 0 }
+
+let add_edge b u v =
+  if u < 0 || u >= b.b_n || v < 0 || v >= b.b_n then
+    invalid_arg "Digraph.add_edge: endpoint out of range";
+  let id = b.count in
+  b.edges <- (u, v) :: b.edges;
+  b.count <- b.count + 1;
+  id
+
+let freeze b =
+  let m = b.count in
+  let src = Array.make m 0 and dst = Array.make m 0 in
+  List.iteri
+    (fun i (u, v) ->
+      let id = m - 1 - i in
+      src.(id) <- u;
+      dst.(id) <- v)
+    b.edges;
+  let out_deg = Array.make b.b_n 0 and in_deg = Array.make b.b_n 0 in
+  for e = 0 to m - 1 do
+    out_deg.(src.(e)) <- out_deg.(src.(e)) + 1;
+    in_deg.(dst.(e)) <- in_deg.(dst.(e)) + 1
+  done;
+  let out = Array.init b.b_n (fun v -> Array.make out_deg.(v) 0) in
+  let in_ = Array.init b.b_n (fun v -> Array.make in_deg.(v) 0) in
+  let opos = Array.make b.b_n 0 and ipos = Array.make b.b_n 0 in
+  for e = 0 to m - 1 do
+    let u = src.(e) and v = dst.(e) in
+    out.(u).(opos.(u)) <- e;
+    opos.(u) <- opos.(u) + 1;
+    in_.(v).(ipos.(v)) <- e;
+    ipos.(v) <- ipos.(v) + 1
+  done;
+  { n = b.b_n; src; dst; out; in_ }
+
+let of_edges n pairs =
+  let b = builder n in
+  List.iter (fun (u, v) -> ignore (add_edge b u v)) pairs;
+  freeze b
+
+let n_nodes t = t.n
+let n_edges t = Array.length t.src
+let src t e = t.src.(e)
+let dst t e = t.dst.(e)
+let endpoints t e = (t.src.(e), t.dst.(e))
+let out_edges t v = t.out.(v)
+let in_edges t v = t.in_.(v)
+let out_degree t v = Array.length t.out.(v)
+let in_degree t v = Array.length t.in_.(v)
+
+let max_out_degree t =
+  let d = ref 0 in
+  for v = 0 to t.n - 1 do
+    d := max !d (out_degree t v)
+  done;
+  !d
+
+let fold_edges f t init =
+  let acc = ref init in
+  for e = 0 to n_edges t - 1 do
+    acc := f e t.src.(e) t.dst.(e) !acc
+  done;
+  !acc
+
+let reverse t =
+  { n = t.n; src = t.dst; dst = t.src; out = t.in_; in_ = t.out }
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>digraph n=%d m=%d" t.n (n_edges t);
+  for e = 0 to n_edges t - 1 do
+    Format.fprintf fmt "@,  e%d: %d -> %d" e t.src.(e) t.dst.(e)
+  done;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,52 @@
+(** Compact directed multigraphs.
+
+    Nodes are dense integers [0 .. n-1]; edges are dense integers
+    [0 .. m-1] carrying their endpoints.  Parallel edges and self-loops are
+    permitted (auxiliary graphs of WDM networks are multigraphs by
+    construction).  A graph is immutable once frozen from a {!builder};
+    algorithms address edges by id so that per-edge weights, capacities and
+    filters live in plain arrays owned by the caller. *)
+
+type t
+
+(** {1 Construction} *)
+
+type builder
+
+val builder : int -> builder
+(** [builder n] starts a graph with [n] nodes and no edges. *)
+
+val add_edge : builder -> int -> int -> int
+(** [add_edge b u v] appends edge [u -> v], returning its id.
+    Raises [Invalid_argument] on out-of-range endpoints. *)
+
+val freeze : builder -> t
+
+val of_edges : int -> (int * int) list -> t
+(** [of_edges n pairs] builds the graph whose edge ids follow list order. *)
+
+(** {1 Accessors} *)
+
+val n_nodes : t -> int
+val n_edges : t -> int
+
+val src : t -> int -> int
+val dst : t -> int -> int
+val endpoints : t -> int -> int * int
+
+val out_edges : t -> int -> int array
+(** Edge ids leaving a node.  The returned array must not be mutated. *)
+
+val in_edges : t -> int -> int array
+
+val out_degree : t -> int -> int
+val in_degree : t -> int -> int
+val max_out_degree : t -> int
+
+val fold_edges : (int -> int -> int -> 'a -> 'a) -> t -> 'a -> 'a
+(** [fold_edges f g init] folds [f edge_id src dst]. *)
+
+val reverse : t -> t
+(** Graph with every edge flipped; edge ids are preserved. *)
+
+val pp : Format.formatter -> t -> unit

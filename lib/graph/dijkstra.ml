@@ -1,0 +1,66 @@
+type tree = {
+  dist : float array;
+  pred_edge : int array;
+  source : int;
+}
+
+let run ?enabled g ~weight ~source ~target =
+  let n = Digraph.n_nodes g in
+  if source < 0 || source >= n then invalid_arg "Dijkstra: source out of range";
+  let dist = Array.make n infinity in
+  let pred_edge = Array.make n (-1) in
+  let heap = Rr_util.Indexed_heap.create n in
+  let enabled = match enabled with None -> fun _ -> true | Some f -> f in
+  dist.(source) <- 0.0;
+  Rr_util.Indexed_heap.insert heap source 0.0;
+  let exception Done in
+  (try
+     let rec loop () =
+       match Rr_util.Indexed_heap.pop_min heap with
+       | None -> ()
+       | Some (u, du) ->
+         if (match target with Some t -> u = t | None -> false) then raise Done;
+         let edges = Digraph.out_edges g u in
+         for i = 0 to Array.length edges - 1 do
+           let e = edges.(i) in
+           if enabled e then begin
+             let w = weight e in
+             if w < 0.0 then invalid_arg "Dijkstra: negative edge weight";
+             let v = Digraph.dst g e in
+             let dv = du +. w in
+             if dv < dist.(v) then begin
+               dist.(v) <- dv;
+               pred_edge.(v) <- e;
+               Rr_util.Indexed_heap.insert_or_decrease heap v dv
+             end
+           end
+         done;
+         loop ()
+     in
+     loop ()
+   with Done -> ());
+  { dist; pred_edge; source }
+
+let tree ?enabled g ~weight ~source = run ?enabled g ~weight ~source ~target:None
+
+let path_to g t node =
+  if t.dist.(node) = infinity then None
+  else begin
+    let rec collect v acc =
+      if v = t.source then acc
+      else begin
+        let e = t.pred_edge.(v) in
+        collect (Digraph.src g e) (e :: acc)
+      end
+    in
+    Some (collect node [])
+  end
+
+let path_cost ~weight path =
+  List.fold_left (fun acc e -> acc +. weight e) 0.0 path
+
+let shortest_path ?enabled g ~weight ~source ~target =
+  let t = run ?enabled g ~weight ~source ~target:(Some target) in
+  match path_to g t target with
+  | None -> None
+  | Some p -> Some (p, t.dist.(target))

@@ -1,0 +1,38 @@
+(** Single-source shortest paths with non-negative edge weights.
+
+    The workhorse of the whole repository: the auxiliary-graph routing of
+    Section 3.3, both Dijkstra passes of Suurballe's algorithm, and the
+    layered-wavelength-graph search all reduce to this routine.  Uses the
+    indexed binary heap from {!Rr_util.Indexed_heap}
+    ([O((n + m) log n)]). *)
+
+type tree = {
+  dist : float array;       (** [dist.(v)] = distance from source, or [infinity]. *)
+  pred_edge : int array;    (** incoming tree edge id, or [-1]. *)
+  source : int;
+}
+
+val tree :
+  ?enabled:(int -> bool) ->
+  Digraph.t ->
+  weight:(int -> float) ->
+  source:int ->
+  tree
+(** Full shortest-path tree.  [enabled] filters edges (default: all).
+    Raises [Invalid_argument] on a negative weight encountered during the
+    search. *)
+
+val shortest_path :
+  ?enabled:(int -> bool) ->
+  Digraph.t ->
+  weight:(int -> float) ->
+  source:int ->
+  target:int ->
+  (int list * float) option
+(** Edge-id path from source to target and its length, if reachable.
+    Early-exits once the target is settled. *)
+
+val path_to : Digraph.t -> tree -> int -> int list option
+(** Extract the edge-id path from the tree source to a node. *)
+
+val path_cost : weight:(int -> float) -> int list -> float

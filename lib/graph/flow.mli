@@ -1,0 +1,46 @@
+(** Maximum flow and minimum-cost flow on integer capacities.
+
+    Independent reference implementations used to cross-check
+    {!Suurballe}: a min-cost flow of two units with unit capacities is
+    exactly the minimum-weight edge-disjoint path pair, and the max-flow
+    value bounds how many disjoint paths exist at all. *)
+
+val max_flow :
+  ?enabled:(int -> bool) ->
+  Digraph.t ->
+  capacity:(int -> int) ->
+  source:int ->
+  target:int ->
+  int * int array
+(** Edmonds–Karp.  Returns the flow value and the per-edge flow. *)
+
+val min_cost_flow :
+  ?enabled:(int -> bool) ->
+  Digraph.t ->
+  weight:(int -> float) ->
+  capacity:(int -> int) ->
+  source:int ->
+  target:int ->
+  amount:int ->
+  (int array * float) option
+(** Successive shortest augmenting paths with Dijkstra + potentials
+    (weights must be non-negative).  [None] when [amount] units cannot be
+    shipped; otherwise the per-edge flow and its total cost. *)
+
+val disjoint_paths_count :
+  ?enabled:(int -> bool) ->
+  Digraph.t ->
+  source:int ->
+  target:int ->
+  int
+(** Maximum number of pairwise edge-disjoint s-t paths (unit capacities). *)
+
+val min_cost_disjoint_pair :
+  ?enabled:(int -> bool) ->
+  Digraph.t ->
+  weight:(int -> float) ->
+  source:int ->
+  target:int ->
+  float option
+(** Optimal total weight of two edge-disjoint paths, via min-cost flow;
+    the reference value Suurballe must match. *)

@@ -1,0 +1,66 @@
+let nodes g ~source path =
+  let rec go u acc = function
+    | [] -> List.rev acc
+    | e :: rest ->
+      if Digraph.src g e <> u then invalid_arg "Path.nodes: edges do not chain";
+      let v = Digraph.dst g e in
+      go v (v :: acc) rest
+  in
+  go source [ source ] path
+
+let is_valid g ~source ~target path =
+  match path with
+  | [] -> source = target
+  | _ -> (
+    try
+      let ns = nodes g ~source path in
+      List.nth ns (List.length ns - 1) = target
+    with Invalid_argument _ -> false)
+
+let is_simple g ~source path =
+  try
+    let ns = nodes g ~source path in
+    let tbl = Hashtbl.create 16 in
+    List.for_all
+      (fun v ->
+        if Hashtbl.mem tbl v then false
+        else begin
+          Hashtbl.add tbl v ();
+          true
+        end)
+      ns
+  with Invalid_argument _ -> false
+
+let edge_disjoint p1 p2 =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun e -> Hashtbl.replace tbl e ()) p1;
+  List.for_all (fun e -> not (Hashtbl.mem tbl e)) p2
+
+let cost ~weight path = List.fold_left (fun acc e -> acc +. weight e) 0.0 path
+
+let remove_loops g ~source path =
+  (* Walk the node sequence keeping a stack of (node, edge taken to reach
+     it); on revisiting a node, pop back to its first occurrence. *)
+  let rec go u stack = function
+    | [] -> List.rev_map snd stack
+    | e :: rest ->
+      if Digraph.src g e <> u then invalid_arg "Path.remove_loops: edges do not chain";
+      let v = Digraph.dst g e in
+      if v = source then go v [] rest
+      else begin
+        let rec cut = function
+          | ((w, _) :: _) as s when w = v -> Some s
+          | _ :: tail -> cut tail
+          | [] -> None
+        in
+        match cut stack with
+        | Some trimmed -> go v trimmed rest
+        | None -> go v ((v, e) :: stack) rest
+      end
+  in
+  go source [] path
+
+let pp g ~source fmt path =
+  let ns = nodes g ~source path in
+  Format.fprintf fmt "@[%s@]"
+    (String.concat " -> " (List.map string_of_int ns))

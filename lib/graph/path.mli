@@ -1,0 +1,23 @@
+(** Edge-id path utilities shared by the routing algorithms and the tests. *)
+
+val nodes : Digraph.t -> source:int -> int list -> int list
+(** Node sequence visited by a path starting at [source].
+    Raises [Invalid_argument] if consecutive edges do not chain. *)
+
+val is_valid : Digraph.t -> source:int -> target:int -> int list -> bool
+(** Chained, starts at [source], ends at [target]. The empty path is valid
+    only when [source = target]. *)
+
+val is_simple : Digraph.t -> source:int -> int list -> bool
+(** No repeated node. *)
+
+val edge_disjoint : int list -> int list -> bool
+(** No shared edge id. *)
+
+val cost : weight:(int -> float) -> int list -> float
+
+val remove_loops : Digraph.t -> source:int -> int list -> int list
+(** Cut out cycles from a walk, yielding a simple path with the same
+    endpoints whose edges are a subset of the walk's. *)
+
+val pp : Digraph.t -> source:int -> Format.formatter -> int list -> unit

@@ -1,0 +1,188 @@
+(* Tag for arcs of the transformed graph used in the second Dijkstra pass:
+   either an original (non-tree-path) edge under reduced cost, or the
+   zero-cost reversal of a first-path edge. *)
+type arc = Orig of int | Rev of int
+
+let edge_disjoint_pair ?enabled g ~weight ~source ~target =
+  if source = target then invalid_arg "Suurballe: source = target";
+  let n = Digraph.n_nodes g in
+  let enabled = match enabled with None -> fun _ -> true | Some f -> f in
+  let t1 = Dijkstra.tree ~enabled g ~weight ~source in
+  match Dijkstra.path_to g t1 target with
+  | None -> None
+  | Some p1 ->
+    let on_p1 = Hashtbl.create 16 in
+    List.iter (fun e -> Hashtbl.replace on_p1 e ()) p1;
+    (* Transformed graph: reduced costs, first path reversed. *)
+    let b = Digraph.builder n in
+    let arcs = ref [] in
+    let costs = ref [] in
+    let add u v tag c =
+      ignore (Digraph.add_edge b u v);
+      arcs := tag :: !arcs;
+      costs := c :: !costs
+    in
+    for e = 0 to Digraph.n_edges g - 1 do
+      if enabled e then begin
+        let u = Digraph.src g e and v = Digraph.dst g e in
+        if Hashtbl.mem on_p1 e then add v u (Rev e) 0.0
+        else if t1.dist.(u) < infinity && t1.dist.(v) < infinity then begin
+          let rc = weight e +. t1.dist.(u) -. t1.dist.(v) in
+          (* Clamp tiny negatives from float rounding. *)
+          add u v (Orig e) (Float.max rc 0.0)
+        end
+        (* Edges touching unreachable nodes cannot lie on any s-t path. *)
+      end
+    done;
+    let h = Digraph.freeze b in
+    let arc_tag = Array.of_list (List.rev !arcs) in
+    let arc_cost = Array.of_list (List.rev !costs) in
+    (match
+       Dijkstra.shortest_path h ~weight:(fun e -> arc_cost.(e)) ~source ~target
+     with
+     | None -> None
+     | Some (p2', _) ->
+       (* Cancel opposite pairs, keep the union as an arc multiset. *)
+       let kept = Hashtbl.copy on_p1 in
+       List.iter
+         (fun a ->
+           match arc_tag.(a) with
+           | Orig e -> Hashtbl.replace kept e ()
+           | Rev e -> Hashtbl.remove kept e)
+         p2';
+       (* Decompose the balanced arc set into two s-t walks, then simplify.
+          A greedy walk from s can only get stuck at t (every intermediate
+          node has equal remaining in/out degree). *)
+       let adj = Array.make n [] in
+       Hashtbl.iter (fun e () -> adj.(Digraph.src g e) <- e :: adj.(Digraph.src g e)) kept;
+       let extract () =
+         let rec walk u acc =
+           if u = target then List.rev acc
+           else
+             match adj.(u) with
+             | [] -> invalid_arg "Suurballe: internal decomposition stuck"
+             | e :: rest ->
+               adj.(u) <- rest;
+               walk (Digraph.dst g e) (e :: acc)
+         in
+         let raw = walk source [] in
+         let simple = Path.remove_loops g ~source raw in
+         (* Return unused loop arcs to the pool so balance is preserved. *)
+         let used = Hashtbl.create 16 in
+         List.iter (fun e -> Hashtbl.replace used e ()) simple;
+         List.iter
+           (fun e ->
+             if not (Hashtbl.mem used e) then
+               adj.(Digraph.src g e) <- e :: adj.(Digraph.src g e))
+           raw;
+         simple
+       in
+       let q1 = extract () in
+       let q2 = extract () in
+       let total = Path.cost ~weight q1 +. Path.cost ~weight q2 in
+       Some ((q1, q2), total))
+
+(* Shared with [edge_disjoint_pair]: decompose the cancelled union of two
+   paths into two simple s-t paths. *)
+let decompose g ~weight ~source ~target kept =
+  let n = Digraph.n_nodes g in
+  let adj = Array.make n [] in
+  Hashtbl.iter (fun e () -> adj.(Digraph.src g e) <- e :: adj.(Digraph.src g e)) kept;
+  let extract () =
+    let rec walk u acc =
+      if u = target then List.rev acc
+      else
+        match adj.(u) with
+        | [] -> invalid_arg "Suurballe: internal decomposition stuck"
+        | e :: rest ->
+          adj.(u) <- rest;
+          walk (Digraph.dst g e) (e :: acc)
+    in
+    let raw = walk source [] in
+    let simple = Path.remove_loops g ~source raw in
+    let used = Hashtbl.create 16 in
+    List.iter (fun e -> Hashtbl.replace used e ()) simple;
+    List.iter
+      (fun e ->
+        if not (Hashtbl.mem used e) then
+          adj.(Digraph.src g e) <- e :: adj.(Digraph.src g e))
+      raw;
+    simple
+  in
+  let q1 = extract () in
+  let q2 = extract () in
+  let total = Path.cost ~weight q1 +. Path.cost ~weight q2 in
+  ((q1, q2), total)
+
+let edge_disjoint_pair_paper ?enabled g ~weight ~source ~target =
+  if source = target then invalid_arg "Suurballe: source = target";
+  let n = Digraph.n_nodes g in
+  let enabled = match enabled with None -> fun _ -> true | Some f -> f in
+  match Dijkstra.shortest_path ~enabled g ~weight ~source ~target with
+  | None -> None
+  | Some (p1, _) ->
+    let on_p1 = Hashtbl.create 16 in
+    List.iter (fun e -> Hashtbl.replace on_p1 e ()) p1;
+    (* G'² of the pseudo-code: previous path edges reversed, weights
+       negated (the residual graph of a one-unit flow). *)
+    let b = Digraph.builder n in
+    let arcs = ref [] in
+    let costs = ref [] in
+    let add u v tag c =
+      ignore (Digraph.add_edge b u v);
+      arcs := tag :: !arcs;
+      costs := c :: !costs
+    in
+    for e = 0 to Digraph.n_edges g - 1 do
+      if enabled e then
+        if Hashtbl.mem on_p1 e then
+          add (Digraph.dst g e) (Digraph.src g e) (Rev e) (-.weight e)
+        else add (Digraph.src g e) (Digraph.dst g e) (Orig e) (weight e)
+    done;
+    let h = Digraph.freeze b in
+    let arc_tag = Array.of_list (List.rev !arcs) in
+    let arc_cost = Array.of_list (List.rev !costs) in
+    (match
+       Bellman_ford.shortest_path h ~weight:(fun a -> arc_cost.(a)) ~source ~target
+     with
+     | None -> None
+     | Some (p2', _) ->
+       let kept = Hashtbl.copy on_p1 in
+       List.iter
+         (fun a ->
+           match arc_tag.(a) with
+           | Orig e -> Hashtbl.replace kept e ()
+           | Rev e -> Hashtbl.remove kept e)
+         p2';
+       Some (decompose g ~weight ~source ~target kept))
+
+let node_disjoint_pair ?enabled g ~weight ~source ~target =
+  if source = target then invalid_arg "Suurballe: source = target";
+  let enabled = match enabled with None -> fun _ -> true | Some f -> f in
+  let n = Digraph.n_nodes g in
+  (* Split each node v into v_in = v and v_out = v + n, with a zero-cost
+     internal arc; original edge (u,v) becomes (u_out, v_in). *)
+  let b = Digraph.builder (2 * n) in
+  (* Internal arcs first: node v's internal arc has id v. *)
+  for v = 0 to n - 1 do
+    ignore (Digraph.add_edge b v (v + n))
+  done;
+  let orig_of = Array.make (n + Digraph.n_edges g) (-1) in
+  for e = 0 to Digraph.n_edges g - 1 do
+    if enabled e then begin
+      let u = Digraph.src g e and v = Digraph.dst g e in
+      let id = Digraph.add_edge b (u + n) v in
+      orig_of.(id) <- e
+    end
+  done;
+  let h = Digraph.freeze b in
+  let w e = if e < n then 0.0 else weight orig_of.(e) in
+  (* Route from s_out to t_in so the endpoints' internal arcs are not
+     (incorrectly) required to be disjoint. *)
+  match edge_disjoint_pair h ~weight:w ~source:(source + n) ~target with
+  | None -> None
+  | Some ((p1, p2), _) ->
+    let strip p = List.filter_map (fun e -> if e < n then None else Some orig_of.(e)) p in
+    let q1 = strip p1 and q2 = strip p2 in
+    let total = Path.cost ~weight q1 +. Path.cost ~weight q2 in
+    Some ((q1, q2), total)

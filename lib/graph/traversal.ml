@@ -1,0 +1,128 @@
+let bfs_dist ?enabled g ~source =
+  let n = Digraph.n_nodes g in
+  let enabled = match enabled with None -> fun _ -> true | Some f -> f in
+  let dist = Array.make n (-1) in
+  let q = Queue.create () in
+  dist.(source) <- 0;
+  Queue.push source q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    Array.iter
+      (fun e ->
+        if enabled e then begin
+          let v = Digraph.dst g e in
+          if dist.(v) < 0 then begin
+            dist.(v) <- dist.(u) + 1;
+            Queue.push v q
+          end
+        end)
+      (Digraph.out_edges g u)
+  done;
+  dist
+
+let reachable ?enabled g ~source =
+  let d = bfs_dist ?enabled g ~source in
+  Array.map (fun x -> x >= 0) d
+
+let is_strongly_connected g =
+  let n = Digraph.n_nodes g in
+  if n = 0 then true
+  else begin
+    let fwd = reachable g ~source:0 in
+    let bwd = reachable (Digraph.reverse g) ~source:0 in
+    let ok = ref true in
+    for v = 0 to n - 1 do
+      if not (fwd.(v) && bwd.(v)) then ok := false
+    done;
+    !ok
+  end
+
+let weakly_connected g =
+  let n = Digraph.n_nodes g in
+  if n = 0 then true
+  else begin
+    let uf = Rr_util.Union_find.create n in
+    ignore (Digraph.fold_edges (fun _ u v () -> ignore (Rr_util.Union_find.union uf u v)) g ());
+    Rr_util.Union_find.count uf = 1
+  end
+
+let topological_order g =
+  let n = Digraph.n_nodes g in
+  let indeg = Array.init n (fun v -> Digraph.in_degree g v) in
+  let q = Queue.create () in
+  for v = 0 to n - 1 do
+    if indeg.(v) = 0 then Queue.push v q
+  done;
+  let order = ref [] in
+  let seen = ref 0 in
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    incr seen;
+    order := u :: !order;
+    Array.iter
+      (fun e ->
+        let v = Digraph.dst g e in
+        indeg.(v) <- indeg.(v) - 1;
+        if indeg.(v) = 0 then Queue.push v q)
+      (Digraph.out_edges g u)
+  done;
+  if !seen = n then Some (List.rev !order) else None
+
+let scc g =
+  (* Iterative Tarjan. *)
+  let n = Digraph.n_nodes g in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let comp = Array.make n (-1) in
+  let stack = Stack.create () in
+  let next_index = ref 0 in
+  let next_comp = ref 0 in
+  for root = 0 to n - 1 do
+    if index.(root) < 0 then begin
+      (* call stack of (node, next edge position) *)
+      let call = Stack.create () in
+      Stack.push (root, ref 0) call;
+      index.(root) <- !next_index;
+      lowlink.(root) <- !next_index;
+      incr next_index;
+      Stack.push root stack;
+      on_stack.(root) <- true;
+      while not (Stack.is_empty call) do
+        let u, pos = Stack.top call in
+        let edges = Digraph.out_edges g u in
+        if !pos < Array.length edges then begin
+          let e = edges.(!pos) in
+          incr pos;
+          let v = Digraph.dst g e in
+          if index.(v) < 0 then begin
+            index.(v) <- !next_index;
+            lowlink.(v) <- !next_index;
+            incr next_index;
+            Stack.push v stack;
+            on_stack.(v) <- true;
+            Stack.push (v, ref 0) call
+          end
+          else if on_stack.(v) then lowlink.(u) <- min lowlink.(u) index.(v)
+        end
+        else begin
+          ignore (Stack.pop call);
+          if not (Stack.is_empty call) then begin
+            let parent, _ = Stack.top call in
+            lowlink.(parent) <- min lowlink.(parent) lowlink.(u)
+          end;
+          if lowlink.(u) = index.(u) then begin
+            let continue = ref true in
+            while !continue do
+              let w = Stack.pop stack in
+              on_stack.(w) <- false;
+              comp.(w) <- !next_comp;
+              if w = u then continue := false
+            done;
+            incr next_comp
+          end
+        end
+      done
+    end
+  done;
+  (comp, !next_comp)

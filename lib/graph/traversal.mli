@@ -1,0 +1,21 @@
+(** Unweighted traversals and connectivity.
+
+    Topology generators use [is_strongly_connected] / [weakly_connected] as
+    acceptance checks; the simulator uses [reachable] to decide whether a
+    failed network still admits any route. *)
+
+val bfs_dist : ?enabled:(int -> bool) -> Digraph.t -> source:int -> int array
+(** Hop distances; [-1] when unreachable. *)
+
+val reachable : ?enabled:(int -> bool) -> Digraph.t -> source:int -> bool array
+
+val is_strongly_connected : Digraph.t -> bool
+
+val weakly_connected : Digraph.t -> bool
+
+val topological_order : Digraph.t -> int list option
+(** [None] if the graph has a cycle. *)
+
+val scc : Digraph.t -> int array * int
+(** Tarjan strongly-connected components: component id per node and the
+    number of components. *)

@@ -1,0 +1,16 @@
+(** Yen's algorithm: k shortest loopless (node-simple) paths.
+
+    Substrate for the exact robust-routing solver's candidate enumeration
+    and for tests that need "all cheap paths" ground truth.  Non-negative
+    weights. *)
+
+val k_shortest :
+  ?enabled:(int -> bool) ->
+  Digraph.t ->
+  weight:(int -> float) ->
+  source:int ->
+  target:int ->
+  k:int ->
+  (int list * float) list
+(** At most [k] simple paths in non-decreasing cost order.  Returns fewer
+    when the graph has fewer simple paths. *)

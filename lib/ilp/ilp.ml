@@ -1,0 +1,126 @@
+type var = int
+
+type vkind = Binary | Continuous of float * float
+
+type t = {
+  mutable vars : (string * vkind * float) list; (* reversed: name, kind, obj *)
+  mutable nv : int;
+  mutable rows : ((var * float) list * Lp.relation * float) list; (* reversed *)
+  mutable nc : int;
+}
+
+let create () = { vars = []; nv = 0; rows = []; nc = 0 }
+
+let add_var t name kind obj =
+  let id = t.nv in
+  t.vars <- (name, kind, obj) :: t.vars;
+  t.nv <- t.nv + 1;
+  id
+
+let add_binary t ?(obj = 0.0) name = add_var t name Binary obj
+
+let add_continuous t ?(obj = 0.0) ?(lb = 0.0) ?(ub = infinity) name =
+  if lb <> 0.0 then invalid_arg "Ilp.add_continuous: only lb = 0 supported";
+  add_var t name (Continuous (lb, ub)) obj
+
+let add_row t terms rel rhs =
+  List.iter
+    (fun (v, _) ->
+      if v < 0 || v >= t.nv then invalid_arg "Ilp: variable out of range")
+    terms;
+  t.rows <- (terms, rel, rhs) :: t.rows;
+  t.nc <- t.nc + 1
+
+let add_le t terms rhs = add_row t terms Lp.Le rhs
+let add_ge t terms rhs = add_row t terms Lp.Ge rhs
+let add_eq t terms rhs = add_row t terms Lp.Eq rhs
+
+let n_vars t = t.nv
+let n_constraints t = t.nc
+
+let var_name t v =
+  let arr = Array.of_list (List.rev t.vars) in
+  let name, _, _ = arr.(v) in
+  name
+
+type solution = { objective : float; values : float array; nodes_explored : int }
+
+let int_eps = 1e-6
+
+let solve ?(node_limit = 200_000) t =
+  let vars = Array.of_list (List.rev t.vars) in
+  let nv = t.nv in
+  let objective = Array.map (fun (_, _, o) -> o) vars in
+  let base_rows = List.rev t.rows in
+  (* Static upper-bound rows: binaries <= 1, bounded continuous <= ub. *)
+  let bound_rows =
+    Array.to_list vars
+    |> List.mapi (fun i (_, kind, _) ->
+           match kind with
+           | Binary -> Some ([ (i, 1.0) ], Lp.Le, 1.0)
+           | Continuous (_, ub) when ub < infinity -> Some ([ (i, 1.0) ], Lp.Le, ub)
+           | Continuous _ -> None)
+    |> List.filter_map Fun.id
+  in
+  let binaries =
+    Array.to_list vars
+    |> List.mapi (fun i (_, kind, _) -> match kind with Binary -> Some i | _ -> None)
+    |> List.filter_map Fun.id
+  in
+  let incumbent = ref None in
+  let incumbent_obj = ref infinity in
+  let nodes = ref 0 in
+  (* fixings: var -> 0.0 or 1.0 *)
+  let rec branch fixings =
+    incr nodes;
+    if !nodes > node_limit then failwith "Ilp.solve: node limit exceeded";
+    let fix_rows =
+      List.map (fun (v, value) -> ([ (v, 1.0) ], Lp.Eq, value)) fixings
+    in
+    let problem =
+      { Lp.n_vars = nv; objective; rows = base_rows @ bound_rows @ fix_rows }
+    in
+    match Lp.solve problem with
+    | Lp.Infeasible -> ()
+    | Lp.Unbounded -> failwith "Ilp.solve: LP relaxation unbounded"
+    | Lp.Optimal { objective = lb; values } ->
+      if lb < !incumbent_obj -. 1e-9 then begin
+        (* Most fractional binary. *)
+        let best_v = ref (-1) in
+        let best_frac = ref 0.0 in
+        List.iter
+          (fun v ->
+            let x = values.(v) in
+            let frac = Float.abs (x -. Float.round x) in
+            if frac > !best_frac +. int_eps then begin
+              best_frac := frac;
+              best_v := v
+            end)
+          binaries;
+        if !best_v < 0 then begin
+          (* Integral: new incumbent. *)
+          incumbent := Some (Array.map (fun x -> x) values);
+          incumbent_obj := lb
+        end
+        else begin
+          let v = !best_v in
+          let x = values.(v) in
+          (* Explore the rounding-first branch to find incumbents early. *)
+          if x >= 0.5 then begin
+            branch ((v, 1.0) :: fixings);
+            branch ((v, 0.0) :: fixings)
+          end
+          else begin
+            branch ((v, 0.0) :: fixings);
+            branch ((v, 1.0) :: fixings)
+          end
+        end
+      end
+  in
+  branch [];
+  match !incumbent with
+  | None -> None
+  | Some values ->
+    (* Snap binaries to exact integers. *)
+    List.iter (fun v -> values.(v) <- Float.round values.(v)) binaries;
+    Some { objective = !incumbent_obj; values; nodes_explored = !nodes }

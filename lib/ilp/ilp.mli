@@ -1,0 +1,34 @@
+(** Mixed 0/1 integer programming by branch-and-bound over LP relaxations.
+
+    Exactly what the paper's Section 3.1 asks of its "integer programming
+    solution": binary routing variables [x], [y], continuous linearised
+    conversion costs [z], [t].  Minimisation only.
+
+    The solver is meant for small instances (tens of binaries): LP-bounding,
+    most-fractional branching, depth-first with incumbent pruning. *)
+
+type var = int
+
+type t
+
+val create : unit -> t
+
+val add_binary : t -> ?obj:float -> string -> var
+(** A 0/1 variable with the given objective coefficient. *)
+
+val add_continuous : t -> ?obj:float -> ?lb:float -> ?ub:float -> string -> var
+(** A continuous variable, default bounds [0, +inf). *)
+
+val add_le : t -> (var * float) list -> float -> unit
+val add_ge : t -> (var * float) list -> float -> unit
+val add_eq : t -> (var * float) list -> float -> unit
+
+val n_vars : t -> int
+val n_constraints : t -> int
+val var_name : t -> var -> string
+
+type solution = { objective : float; values : float array; nodes_explored : int }
+
+val solve : ?node_limit:int -> t -> solution option
+(** [None] = infeasible.  Raises [Failure] if the relaxation is unbounded
+    or [node_limit] (default 200_000) is exceeded. *)

@@ -1,0 +1,221 @@
+type relation = Le | Ge | Eq
+
+type problem = {
+  n_vars : int;
+  objective : float array;
+  rows : ((int * float) list * relation * float) list;
+}
+
+type outcome =
+  | Optimal of { objective : float; values : float array }
+  | Infeasible
+  | Unbounded
+
+let eps = 1e-9
+
+(* Tableau: [m] constraint rows over columns
+   [0 .. n_struct + n_slack + n_art - 1] plus an rhs column, and one
+   objective row maintained in reduced-cost form.  [basis.(r)] is the column
+   basic in row [r]. *)
+type tableau = {
+  m : int;
+  n : int; (* total columns excluding rhs *)
+  a : float array array; (* m rows, n+1 cols *)
+  obj : float array;     (* n+1: reduced costs and (negated) objective value *)
+  basis : int array;
+}
+
+let pivot t ~row ~col =
+  let arow = t.a.(row) in
+  let p = arow.(col) in
+  for j = 0 to t.n do
+    arow.(j) <- arow.(j) /. p
+  done;
+  for r = 0 to t.m - 1 do
+    if r <> row then begin
+      let f = t.a.(r).(col) in
+      if Float.abs f > 0.0 then begin
+        let tr = t.a.(r) in
+        for j = 0 to t.n do
+          tr.(j) <- tr.(j) -. (f *. arow.(j))
+        done;
+        tr.(col) <- 0.0
+      end
+    end
+  done;
+  let f = t.obj.(col) in
+  if Float.abs f > 0.0 then begin
+    for j = 0 to t.n do
+      t.obj.(j) <- t.obj.(j) -. (f *. arow.(j))
+    done;
+    t.obj.(col) <- 0.0
+  end;
+  t.basis.(row) <- col
+
+(* Bland's rule primal simplex on the current objective row.
+   Returns [`Optimal] or [`Unbounded]. *)
+let run_simplex ?(allowed = fun _ -> true) t =
+  let rec loop iter =
+    if iter > 20000 then failwith "Lp: iteration limit (numerical trouble?)";
+    (* entering: smallest-index column with negative reduced cost *)
+    let entering = ref (-1) in
+    (try
+       for j = 0 to t.n - 1 do
+         if allowed j && t.obj.(j) < -.eps then begin
+           entering := j;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    if !entering < 0 then `Optimal
+    else begin
+      let col = !entering in
+      (* ratio test, Bland tie-break on basis variable index *)
+      let best_row = ref (-1) in
+      let best_ratio = ref infinity in
+      for r = 0 to t.m - 1 do
+        let arc = t.a.(r).(col) in
+        if arc > eps then begin
+          let ratio = t.a.(r).(t.n) /. arc in
+          if
+            ratio < !best_ratio -. eps
+            || (Float.abs (ratio -. !best_ratio) <= eps
+               && (!best_row < 0 || t.basis.(r) < t.basis.(!best_row)))
+          then begin
+            best_ratio := ratio;
+            best_row := r
+          end
+        end
+      done;
+      if !best_row < 0 then `Unbounded
+      else begin
+        pivot t ~row:!best_row ~col;
+        loop (iter + 1)
+      end
+    end
+  in
+  loop 0
+
+let solve (p : problem) : outcome =
+  let m = List.length p.rows in
+  (* Normalise rows to b >= 0. *)
+  let rows =
+    List.map
+      (fun (terms, rel, b) ->
+        if b < 0.0 then
+          ( List.map (fun (i, c) -> (i, -.c)) terms,
+            (match rel with Le -> Ge | Ge -> Le | Eq -> Eq),
+            -.b )
+        else (terms, rel, b))
+      p.rows
+  in
+  let n_slack =
+    List.fold_left
+      (fun acc (_, rel, _) -> match rel with Le | Ge -> acc + 1 | Eq -> acc)
+      0 rows
+  in
+  (* Le rows get a slack that can serve as the initial basis; Ge and Eq rows
+     need an artificial. *)
+  let n_art =
+    List.fold_left
+      (fun acc (_, rel, _) -> match rel with Le -> acc | Ge | Eq -> acc + 1)
+      0 rows
+  in
+  let n_struct = p.n_vars in
+  let n = n_struct + n_slack + n_art in
+  let a = Array.init m (fun _ -> Array.make (n + 1) 0.0) in
+  let basis = Array.make m (-1) in
+  let slack_pos = ref n_struct in
+  let art_pos = ref (n_struct + n_slack) in
+  List.iteri
+    (fun r (terms, rel, b) ->
+      List.iter
+        (fun (i, c) ->
+          if i < 0 || i >= n_struct then invalid_arg "Lp.solve: variable index out of range";
+          a.(r).(i) <- a.(r).(i) +. c)
+        terms;
+      a.(r).(n) <- b;
+      (match rel with
+       | Le ->
+         a.(r).(!slack_pos) <- 1.0;
+         basis.(r) <- !slack_pos;
+         incr slack_pos
+       | Ge ->
+         a.(r).(!slack_pos) <- -1.0;
+         incr slack_pos;
+         a.(r).(!art_pos) <- 1.0;
+         basis.(r) <- !art_pos;
+         incr art_pos
+       | Eq ->
+         a.(r).(!art_pos) <- 1.0;
+         basis.(r) <- !art_pos;
+         incr art_pos))
+    rows;
+  let t = { m; n; a; obj = Array.make (n + 1) 0.0; basis } in
+  (* Phase 1: minimise the sum of artificials. Objective row = sum of the
+     rows where an artificial is basic, negated into reduced-cost form. *)
+  let art_start = n_struct + n_slack in
+  if n_art > 0 then begin
+    for j = art_start to n - 1 do
+      t.obj.(j) <- 1.0
+    done;
+    for r = 0 to m - 1 do
+      if t.basis.(r) >= art_start then
+        for j = 0 to n do
+          t.obj.(j) <- t.obj.(j) -. t.a.(r).(j)
+        done
+    done;
+    match run_simplex t with
+    | `Unbounded -> failwith "Lp: phase-1 unbounded (impossible)"
+    | `Optimal ->
+      if -.t.obj.(n) > 1e-6 then raise Exit (* caught below: infeasible *)
+  end;
+  (* Drive any remaining basic artificials out (degenerate rows). *)
+  for r = 0 to m - 1 do
+    if t.basis.(r) >= art_start then begin
+      let found = ref false in
+      for j = 0 to art_start - 1 do
+        if (not !found) && Float.abs t.a.(r).(j) > eps then begin
+          pivot t ~row:r ~col:j;
+          found := true
+        end
+      done
+      (* If no pivot exists the row is all-zero: redundant, harmless. *)
+    end
+  done;
+  (* Phase 2: original objective, artificial columns frozen. *)
+  Array.fill t.obj 0 (n + 1) 0.0;
+  for j = 0 to n_struct - 1 do
+    t.obj.(j) <- p.objective.(j)
+  done;
+  for r = 0 to m - 1 do
+    let bv = t.basis.(r) in
+    let c = t.obj.(bv) in
+    if Float.abs c > 0.0 then
+      for j = 0 to n do
+        t.obj.(j) <- t.obj.(j) -. (c *. t.a.(r).(j))
+      done
+  done;
+  let allowed j = j < art_start in
+  match run_simplex ~allowed t with
+  | `Unbounded -> Unbounded
+  | `Optimal ->
+    let values = Array.make n_struct 0.0 in
+    for r = 0 to m - 1 do
+      if t.basis.(r) < n_struct then values.(t.basis.(r)) <- t.a.(r).(n)
+    done;
+    let objective =
+      Array.to_list values
+      |> List.mapi (fun i v -> p.objective.(i) *. v)
+      |> List.fold_left ( +. ) 0.0
+    in
+    Optimal { objective; values }
+
+let solve p = try solve p with Exit -> Infeasible
+
+let pp_outcome fmt = function
+  | Infeasible -> Format.fprintf fmt "infeasible"
+  | Unbounded -> Format.fprintf fmt "unbounded"
+  | Optimal { objective; values } ->
+    Format.fprintf fmt "optimal obj=%.6f x=[%s]" objective
+      (String.concat "; " (Array.to_list (Array.map (Printf.sprintf "%.4f") values)))

@@ -1,0 +1,25 @@
+(** Linear programming: dense two-phase primal simplex.
+
+    Solves [minimise c·x  s.t.  A x {<=,=,>=} b,  x >= 0] with Bland's rule
+    for anti-cycling.  Dimensions here are small (the paper's integer
+    program on toy instances), so a dense tableau is the simplest correct
+    choice; no effort is spent on sparsity or numerical scaling beyond a
+    pivot tolerance. *)
+
+type relation = Le | Ge | Eq
+
+type problem = {
+  n_vars : int;
+  objective : float array;                       (** length [n_vars] *)
+  rows : ((int * float) list * relation * float) list;
+      (** sparse row, relation, rhs *)
+}
+
+type outcome =
+  | Optimal of { objective : float; values : float array }
+  | Infeasible
+  | Unbounded
+
+val solve : problem -> outcome
+
+val pp_outcome : Format.formatter -> outcome -> unit

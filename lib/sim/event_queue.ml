@@ -1,0 +1,43 @@
+module H = Rr_util.Pairing_heap
+
+type 'a t = { heap : (int * 'a) H.t; mutable seq : int }
+
+let create () = { heap = H.create (); seq = 0 }
+let is_empty t = H.is_empty t.heap
+let cardinal t = H.cardinal t.heap
+
+let schedule t time ev =
+  if not (Float.is_finite time) || time < 0.0 then
+    invalid_arg "Event_queue.schedule: bad time";
+  ignore (H.insert t.heap time (t.seq, ev));
+  t.seq <- t.seq + 1
+
+(* The pairing heap orders by priority only; to get FIFO among equal times
+   we pop all minimum-time events and take the smallest sequence number.
+   Equal-time bursts are rare (continuous distributions), so the simple
+   approach below — pop one, peek for ties, re-insert — is fine. *)
+let next t =
+  match H.pop_min t.heap with
+  | None -> None
+  | Some (time, (seq, ev)) ->
+    let rec collect acc =
+      match H.find_min t.heap with
+      | Some (time', _) when time' = time ->
+        (match H.pop_min t.heap with
+         | Some (_, entry) -> collect (entry :: acc)
+         | None -> acc)
+      | _ -> acc
+    in
+    let ties = collect [] in
+    if ties = [] then Some (time, ev)
+    else begin
+      let all = (seq, ev) :: ties in
+      let sorted = List.sort (fun (a, _) (b, _) -> compare a b) all in
+      match sorted with
+      | first :: rest ->
+        List.iter (fun entry -> ignore (H.insert t.heap time entry)) rest;
+        Some (time, snd first)
+      | [] -> assert false
+    end
+
+let peek_time t = Option.map fst (H.find_min t.heap)

@@ -1,0 +1,18 @@
+(** Time-ordered event queue for the discrete-event simulator.
+
+    FIFO among simultaneous events (insertion order breaks ties), which
+    keeps runs reproducible across OCaml versions. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val cardinal : 'a t -> int
+
+val schedule : 'a t -> float -> 'a -> unit
+(** [schedule q time ev] — [time] must be non-negative and finite. *)
+
+val next : 'a t -> (float * 'a) option
+(** Pop the earliest event. *)
+
+val peek_time : 'a t -> float option

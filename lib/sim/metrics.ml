@@ -1,0 +1,87 @@
+type trace = {
+  mutable points : (float * float) list; (* reversed change points *)
+  mutable last_time : float;
+  mutable last_value : float;
+  mutable weighted_sum : float;
+  mutable total_time : float;
+  mutable peak : float;
+  mutable started : bool;
+}
+
+let trace () =
+  {
+    points = [];
+    last_time = 0.0;
+    last_value = 0.0;
+    weighted_sum = 0.0;
+    total_time = 0.0;
+    peak = 0.0;
+    started = false;
+  }
+
+let observe tr ~time v =
+  if time < tr.last_time then invalid_arg "Metrics.observe: time went backwards";
+  if tr.started then begin
+    let dt = time -. tr.last_time in
+    tr.weighted_sum <- tr.weighted_sum +. (dt *. tr.last_value);
+    tr.total_time <- tr.total_time +. dt
+  end;
+  tr.points <- (time, v) :: tr.points;
+  tr.last_time <- time;
+  tr.last_value <- v;
+  tr.peak <- Float.max tr.peak v;
+  tr.started <- true
+
+let finish tr ~time =
+  if tr.started && time > tr.last_time then begin
+    let dt = time -. tr.last_time in
+    tr.weighted_sum <- tr.weighted_sum +. (dt *. tr.last_value);
+    tr.total_time <- tr.total_time +. dt;
+    tr.last_time <- time
+  end
+
+let time_average tr =
+  if tr.total_time <= 0.0 then tr.last_value
+  else tr.weighted_sum /. tr.total_time
+
+let peak tr = tr.peak
+let samples tr = List.rev tr.points
+
+type counters = {
+  mutable offered : int;
+  mutable admitted : int;
+  mutable blocked : int;
+  mutable reconfigurations : int;
+  mutable failures_injected : int;
+  mutable restorations_ok : int;
+  mutable restorations_failed : int;
+  mutable passive_reroutes_ok : int;
+  mutable endpoint_losses : int;
+  mutable total_admitted_cost : float;
+}
+
+let counters () =
+  {
+    offered = 0;
+    admitted = 0;
+    blocked = 0;
+    reconfigurations = 0;
+    failures_injected = 0;
+    restorations_ok = 0;
+    restorations_failed = 0;
+    passive_reroutes_ok = 0;
+    endpoint_losses = 0;
+    total_admitted_cost = 0.0;
+  }
+
+let blocking_probability c =
+  if c.offered = 0 then 0.0 else float_of_int c.blocked /. float_of_int c.offered
+
+let mean_admitted_cost c =
+  if c.admitted = 0 then 0.0 else c.total_admitted_cost /. float_of_int c.admitted
+
+let restoration_success c =
+  let affected = c.restorations_ok + c.restorations_failed + c.passive_reroutes_ok in
+  if affected = 0 then 1.0
+  else
+    float_of_int (c.restorations_ok + c.passive_reroutes_ok) /. float_of_int affected

@@ -1,0 +1,42 @@
+(** Time-weighted measurement of the network-load trace and counters for
+    the synthetic evaluation tables (SYN-BLK / SYN-LOAD / SYN-RST). *)
+
+type trace
+
+val trace : unit -> trace
+
+val observe : trace -> time:float -> float -> unit
+(** [observe tr ~time v] — record that the signal holds value [v] from
+    [time] onwards.  Times must be non-decreasing. *)
+
+val finish : trace -> time:float -> unit
+(** Close the trace at the end of the run. *)
+
+val time_average : trace -> float
+val peak : trace -> float
+val samples : trace -> (float * float) list
+(** (time, value) change points, oldest first. *)
+
+type counters = {
+  mutable offered : int;
+  mutable admitted : int;
+  mutable blocked : int;
+  mutable reconfigurations : int;
+  mutable failures_injected : int;
+  mutable restorations_ok : int;      (** active switch-over to backup *)
+  mutable restorations_failed : int;  (** connection dropped on failure *)
+  mutable passive_reroutes_ok : int;  (** recomputed route succeeded *)
+  mutable endpoint_losses : int;
+      (** connections dropped because a failed node was their source or
+          destination — unsurvivable by any protection scheme, so excluded
+          from {!restoration_success} *)
+  mutable total_admitted_cost : float;
+}
+
+val counters : unit -> counters
+
+val blocking_probability : counters -> float
+val mean_admitted_cost : counters -> float
+val restoration_success : counters -> float
+(** Fraction of failure-affected primaries that survived (switch-over or
+    successful passive re-route). *)

@@ -1,0 +1,239 @@
+module Net = Rr_wdm.Network
+module Slp = Rr_wdm.Semilightpath
+module Bitset = Rr_util.Bitset
+
+type slot = {
+  s_link : int;
+  s_lambda : int;
+  mutable users : int list;              (* connection ids *)
+  mutable union_primaries : int list;    (* links covered by users' primaries *)
+}
+
+type conn = {
+  c_id : int;
+  mutable c_primary : Slp.t;
+  mutable c_primary_links : int list;
+  mutable c_backup : Slp.t option;       (* None once activated *)
+  mutable c_slots : slot list;
+}
+
+type t = {
+  net : Net.t;
+  slots : (int * int, slot) Hashtbl.t;   (* (link, λ) -> slot *)
+  conns : (int, conn) Hashtbl.t;
+}
+
+let create net = { net; slots = Hashtbl.create 64; conns = Hashtbl.create 64 }
+let network t = t.net
+
+let disjoint_from_primary slot primary_links =
+  List.for_all (fun e -> not (List.mem e slot.union_primaries)) primary_links
+
+(* Choose wavelengths along [links] minimising fresh-capacity use: joining
+   a compatible shared slot costs 0, claiming a free wavelength costs 1.
+   Standard per-hop DP over wavelengths with conversion feasibility. *)
+let plan_backup t ~links ~primary_links =
+  let w = Net.n_wavelengths t.net in
+  let links_a = Array.of_list links in
+  let k = Array.length links_a in
+  if k = 0 then None
+  else begin
+    (* candidate cost for (link, λ): Some 0 = joinable slot, Some 1 =
+       free wavelength, None = unusable *)
+    let hop_cost e l =
+      match Hashtbl.find_opt t.slots (e, l) with
+      | Some slot ->
+        if disjoint_from_primary slot primary_links then Some 0 else None
+      | None -> if Net.is_available t.net e l then Some 1 else None
+    in
+    let dp = Array.make_matrix k w max_int in
+    let choice = Array.make_matrix k w (-1) in
+    for l = 0 to w - 1 do
+      if Bitset.mem (Net.lambdas t.net links_a.(0)) l then
+        match hop_cost links_a.(0) l with
+        | Some c -> dp.(0).(l) <- c
+        | None -> ()
+    done;
+    for i = 1 to k - 1 do
+      let e = links_a.(i) in
+      let v = Net.link_src t.net e in
+      for l = 0 to w - 1 do
+        if Bitset.mem (Net.lambdas t.net e) l then
+          match hop_cost e l with
+          | None -> ()
+          | Some c ->
+            for lp = 0 to w - 1 do
+              if dp.(i - 1).(lp) < max_int && Net.conv_allowed t.net v lp l then begin
+                let cand = dp.(i - 1).(lp) + c in
+                if cand < dp.(i).(l) then begin
+                  dp.(i).(l) <- cand;
+                  choice.(i).(l) <- lp
+                end
+              end
+            done
+      done
+    done;
+    let best_l = ref (-1) and best = ref max_int in
+    for l = 0 to w - 1 do
+      if dp.(k - 1).(l) < !best then begin
+        best := dp.(k - 1).(l);
+        best_l := l
+      end
+    done;
+    if !best_l < 0 then None
+    else begin
+      let lambdas = Array.make k 0 in
+      let rec back i l =
+        lambdas.(i) <- l;
+        if i > 0 then back (i - 1) choice.(i).(l)
+      in
+      back (k - 1) !best_l;
+      Some
+        (Array.to_list
+           (Array.mapi
+              (fun i e -> { Slp.edge = e; lambda = lambdas.(i) })
+              links_a))
+    end
+  end
+
+let admit t ~conn ~primary ~backup_links =
+  if Hashtbl.mem t.conns conn then
+    invalid_arg "Shared_protection.admit: duplicate connection id";
+  let primary_links = Slp.links primary in
+  if List.exists (fun e -> List.mem e primary_links) backup_links then
+    invalid_arg "Shared_protection.admit: backup shares a link with the primary";
+  (* Plan first; only mutate once everything is known feasible. *)
+  let primary_ok =
+    List.for_all
+      (fun h -> Net.is_available t.net h.Slp.edge h.Slp.lambda)
+      primary.Slp.hops
+  in
+  if not primary_ok then None
+  else
+    match plan_backup t ~links:backup_links ~primary_links with
+    | None -> None
+    | Some hops ->
+      Slp.allocate t.net primary;
+      let c =
+        {
+          c_id = conn;
+          c_primary = primary;
+          c_primary_links = primary_links;
+          c_backup = Some { Slp.hops };
+          c_slots = [];
+        }
+      in
+      List.iter
+        (fun h ->
+          let key = (h.Slp.edge, h.Slp.lambda) in
+          let slot =
+            match Hashtbl.find_opt t.slots key with
+            | Some s -> s
+            | None ->
+              Net.allocate t.net h.Slp.edge h.Slp.lambda;
+              let s =
+                { s_link = h.Slp.edge; s_lambda = h.Slp.lambda; users = []; union_primaries = [] }
+              in
+              Hashtbl.replace t.slots key s;
+              s
+          in
+          slot.users <- conn :: slot.users;
+          slot.union_primaries <- primary_links @ slot.union_primaries;
+          c.c_slots <- slot :: c.c_slots)
+        hops;
+      Hashtbl.replace t.conns conn c;
+      Some { Slp.hops }
+
+(* Remove [conn_id] from a live slot, recomputing the sharers' primary
+   union and freeing the wavelength when the slot empties. *)
+let remove_user_from_slot t conn_id slot =
+  slot.users <- List.filter (fun id -> id <> conn_id) slot.users;
+  slot.union_primaries <-
+    List.concat_map
+      (fun id ->
+        match Hashtbl.find_opt t.conns id with
+        | Some other -> other.c_primary_links
+        | None -> [])
+      slot.users;
+  if slot.users = [] then begin
+    Hashtbl.remove t.slots (slot.s_link, slot.s_lambda);
+    Net.release t.net slot.s_link slot.s_lambda
+  end
+
+let release t ~conn =
+  match Hashtbl.find_opt t.conns conn with
+  | None -> invalid_arg "Shared_protection.release: unknown connection"
+  | Some c ->
+    Slp.release t.net c.c_primary;
+    let slots = c.c_slots in
+    Hashtbl.remove t.conns conn;
+    List.iter
+      (fun slot ->
+        if Hashtbl.mem t.slots (slot.s_link, slot.s_lambda) then
+          remove_user_from_slot t conn slot)
+      slots
+
+let activate_backup t ~conn =
+  match Hashtbl.find_opt t.conns conn with
+  | None -> invalid_arg "Shared_protection.activate_backup: unknown connection"
+  | Some c -> (
+    match c.c_backup with
+    | None -> None
+    | Some backup ->
+      (* Seize the backup's slots: they leave the sharing table but their
+         wavelengths stay allocated, now exclusive to the promoted path. *)
+      let seized = c.c_slots in
+      List.iter
+        (fun slot -> Hashtbl.remove t.slots (slot.s_link, slot.s_lambda))
+        seized;
+      let victims = ref [] in
+      List.iter
+        (fun slot ->
+          List.iter
+            (fun id ->
+              if id <> conn && not (List.mem id !victims) then
+                victims := id :: !victims)
+            slot.users)
+        seized;
+      (* Victims lose their whole backup: detach them from any slots that
+         were NOT seized (those wavelengths may be freed), and forget the
+         seized ones (now owned by [conn]). *)
+      List.iter
+        (fun id ->
+          match Hashtbl.find_opt t.conns id with
+          | None -> ()
+          | Some v ->
+            List.iter
+              (fun slot ->
+                if Hashtbl.mem t.slots (slot.s_link, slot.s_lambda) then
+                  remove_user_from_slot t id slot)
+              v.c_slots;
+            v.c_slots <- [];
+            v.c_backup <- None)
+        !victims;
+      (* Free the failed primary and promote the backup to working path. *)
+      Slp.release t.net c.c_primary;
+      c.c_primary <- backup;
+      c.c_primary_links <- Slp.links backup;
+      c.c_backup <- None;
+      c.c_slots <- [];
+      Some (backup, !victims))
+
+let backup_capacity t = Hashtbl.length t.slots
+
+let sharing_ratio t =
+  let slots = Hashtbl.length t.slots in
+  if slots = 0 then 1.0
+  else begin
+    let users =
+      Hashtbl.fold (fun _ s acc -> acc + List.length s.users) t.slots 0
+    in
+    float_of_int users /. float_of_int slots
+  end
+
+let protected_count t =
+  Hashtbl.fold
+    (fun _ c acc -> if c.c_backup <> None then acc + 1 else acc)
+    t.conns 0
+
+let active_connections t = Hashtbl.length t.conns

@@ -1,0 +1,69 @@
+(** Backup multiplexing — shared protection (extension; cf. Mohan &
+    Somani, the paper's reference [15]).
+
+    Under dedicated ("1+1"-style) protection, every connection reserves
+    full wavelengths on its backup path, doubling capacity consumption.
+    Because the network guarantees only *single*-link-failure restoration,
+    two connections whose primaries share no link can never need their
+    backups simultaneously — so their backups may share a wavelength on
+    common links.  This module layers that sharing discipline on top of
+    {!Rr_wdm.Network}:
+
+    - primaries are always allocated exclusively;
+    - each backup hop either joins a compatible *shared slot* (a wavelength
+      already reserved for backups whose primaries are all link-disjoint
+      from the new primary) or claims a fresh wavelength;
+    - the wavelength assignment along the backup path is chosen by dynamic
+      programming to maximise sharing, subject to the node conversion
+      capabilities;
+    - when a primary fails and its backup is activated, the backup's slots
+      become exclusive: remaining sharers lose protection (reported, so
+      callers can re-provision).
+
+    The underlying {!Rr_wdm.Network} usage reflects *capacity*: a shared
+    slot occupies one wavelength regardless of how many backups share
+    it. *)
+
+type t
+
+val create : Rr_wdm.Network.t -> t
+(** The manager takes ownership of backup bookkeeping on this network;
+    callers must not release shared wavelengths behind its back. *)
+
+val network : t -> Rr_wdm.Network.t
+
+val admit :
+  t ->
+  conn:int ->
+  primary:Rr_wdm.Semilightpath.t ->
+  backup_links:int list ->
+  Rr_wdm.Semilightpath.t option
+(** [admit t ~conn ~primary ~backup_links] allocates the primary
+    exclusively and reserves a maximally-shared backup along
+    [backup_links] (which must chain from the primary's source to its
+    target and be link-disjoint from the primary).  Returns the backup
+    semilightpath actually reserved, or [None] — with no side effects —
+    when the primary or a backup hop cannot be accommodated.
+    Raises [Invalid_argument] on a duplicate [conn] id. *)
+
+val release : t -> conn:int -> unit
+(** Departure: frees the primary and this connection's share of each
+    backup slot (the wavelength itself is freed when the last sharer
+    leaves).  Unknown ids raise [Invalid_argument]. *)
+
+val activate_backup : t -> conn:int -> (Rr_wdm.Semilightpath.t * int list) option
+(** Primary failure: switch [conn] onto its backup.  The backup's slots
+    become exclusive to [conn] (its primary's wavelengths are freed) and
+    the ids of other connections that thereby lost their backup are
+    returned alongside the now-active path.  [None] if [conn] has no
+    backup (already activated). *)
+
+val backup_capacity : t -> int
+(** Total wavelengths currently reserved for backups (shared slots count
+    once — the quantity dedicated protection doubles). *)
+
+val sharing_ratio : t -> float
+(** Mean number of connections per backup slot (1.0 = no sharing). *)
+
+val protected_count : t -> int
+val active_connections : t -> int

@@ -1,0 +1,439 @@
+module Net = Rr_wdm.Network
+module Slp = Rr_wdm.Semilightpath
+module Router = Robust_routing.Router
+module Types = Robust_routing.Types
+module Rng = Rr_util.Rng
+
+let log_src = Logs.Src.create "rr.sim" ~doc:"robust-routing simulator"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type config = {
+  policy : Router.policy;
+  workload : Workload.model;
+  duration : float;
+  seed : int;
+  failure_rate : float;
+  node_failure_rate : float;
+  repair_time : float;
+  reconfig_threshold : float;
+  reprovision_backup : bool;
+  hotspots : (int list * float) option;
+  batching : (float * Robust_routing.Batch.order) option;
+  warmup : float;
+  class_mix : (float * float) option;
+}
+
+type service_class = Premium | Standard | Best_effort
+
+let class_name = function
+  | Premium -> "premium"
+  | Standard -> "standard"
+  | Best_effort -> "best-effort"
+
+let default_config policy workload =
+  {
+    policy;
+    workload;
+    duration = 1000.0;
+    seed = 42;
+    failure_rate = 0.0;
+    node_failure_rate = 0.0;
+    repair_time = 50.0;
+    reconfig_threshold = 0.9;
+    reprovision_backup = false;
+    hotspots = None;
+    batching = None;
+    warmup = 0.0;
+    class_mix = None;
+  }
+
+type class_stats = {
+  cls : service_class;
+  cls_offered : int;
+  cls_blocked : int;
+}
+
+type report = {
+  counters : Metrics.counters;
+  mean_load : float;
+  peak_load : float;
+  load_trace : (float * float) list;
+  dropped : int;
+  completed : int;
+  node_failures : int;
+  backups_reprovisioned : int;
+  class_stats : class_stats list;
+  preemptions : int;
+  preempted_lost : int;
+}
+
+type connection = {
+  id : int;
+  src : int;
+  dst : int;
+  klass : service_class;
+  mutable active : Slp.t;
+  mutable backup : Slp.t option; (* reserved, still allocated *)
+}
+
+type event =
+  | Arrival
+  | Epoch
+  | Departure of int
+  | Fail_link
+  | Fail_node
+  | Repair_links of int list
+
+let path_intact net p =
+  List.for_all (fun e -> not (Net.is_failed net e)) (Slp.links p)
+
+let run net0 config =
+  if config.duration <= 0.0 then invalid_arg "Simulator.run: duration must be positive";
+  let net = Net.copy net0 in
+  let rng = Rng.create config.seed in
+  let q = Event_queue.create () in
+  let counters = Metrics.counters () in
+  let load_trace = Metrics.trace () in
+  let connections : (int, connection) Hashtbl.t = Hashtbl.create 256 in
+  let next_id = ref 0 in
+  let dropped = ref 0 in
+  let completed = ref 0 in
+  let node_failures = ref 0 in
+  let backups_reprovisioned = ref 0 in
+  let preemptions = ref 0 in
+  let preempted_lost = ref 0 in
+  let cls_offered = Hashtbl.create 4 and cls_blocked = Hashtbl.create 4 in
+  let bump tbl k =
+    Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+  in
+  let draw_class () =
+    match config.class_mix with
+    | None -> Standard
+    | Some (premium, best_effort) ->
+      if premium < 0.0 || best_effort < 0.0 || premium +. best_effort > 1.0 then
+        invalid_arg "Simulator.run: class_mix fractions must be a sub-distribution";
+      let u = Rng.uniform rng in
+      if u < premium then Premium
+      else if u < premium +. best_effort then Best_effort
+      else Standard
+  in
+  let prev_load = ref 0.0 in
+  let observe_load time =
+    let rho = Net.network_load net in
+    Metrics.observe load_trace ~time rho;
+    rho
+  in
+  let note_admission_load time =
+    let rho = observe_load time in
+    if !prev_load < config.reconfig_threshold && rho >= config.reconfig_threshold
+    then counters.reconfigurations <- counters.reconfigurations + 1;
+    prev_load := rho
+  in
+  let pick_pair () =
+    match config.hotspots with
+    | None -> Workload.random_pair rng ~n_nodes:(Net.n_nodes net)
+    | Some (hotspots, bias) ->
+      Workload.hotspot_pair rng ~n_nodes:(Net.n_nodes net) ~hotspots ~bias
+  in
+  (* After a switchover the connection runs unprotected; optionally try to
+     reserve a fresh backup disjoint from the new working path. *)
+  let try_reprovision conn =
+    if config.reprovision_backup then begin
+      let active_links = Hashtbl.create 8 in
+      List.iter (fun e -> Hashtbl.replace active_links e ()) (Slp.links conn.active);
+      let link_enabled e = not (Hashtbl.mem active_links e) in
+      match
+        Rr_wdm.Layered.optimal net ~link_enabled ~source:conn.src ~target:conn.dst
+      with
+      | Some (b, _) ->
+        Slp.allocate net b;
+        conn.backup <- Some b;
+        incr backups_reprovisioned
+      | None -> ()
+    end
+  in
+  (* Re-route a failure-affected connection from scratch (passive
+     restoration).  Its resources must already be released. *)
+  let passive_reroute time conn =
+    match Router.admit net config.policy ~source:conn.src ~target:conn.dst with
+    | Some sol ->
+      conn.active <- sol.Types.primary;
+      conn.backup <- sol.Types.backup;
+      counters.passive_reroutes_ok <- counters.passive_reroutes_ok + 1;
+      ignore (observe_load time)
+    | None ->
+      Hashtbl.remove connections conn.id;
+      incr dropped;
+      counters.restorations_failed <- counters.restorations_failed + 1;
+      ignore (observe_load time)
+  in
+  (* Fail a set of links simultaneously (one fibre cut, or every fibre of
+     a failed node), then restore affected connections. *)
+  let handle_failure time ?failed_node links =
+    Log.info (fun m ->
+        m "t=%.2f failure of %d link(s)%s" time (List.length links)
+          (match failed_node with
+           | Some v -> Printf.sprintf " (node %d)" v
+           | None -> ""));
+    List.iter (fun link -> Net.fail_link net link) links;
+    Event_queue.schedule q (time +. config.repair_time) (Repair_links links);
+    let affected = Hashtbl.fold (fun _ c acc -> c :: acc) connections [] in
+    List.iter
+      (fun conn ->
+        if Hashtbl.mem connections conn.id then begin
+          let hit p = List.exists (fun e -> List.mem e links) (Slp.links p) in
+          if failed_node = Some conn.src || failed_node = Some conn.dst then begin
+            (* the endpoint itself is down: no protection scheme can help *)
+            Slp.release net conn.active;
+            (match conn.backup with Some b -> Slp.release net b | None -> ());
+            Hashtbl.remove connections conn.id;
+            incr dropped;
+            counters.endpoint_losses <- counters.endpoint_losses + 1
+          end
+          else if hit conn.active then begin
+            match conn.backup with
+            | Some b when path_intact net b ->
+              (* Active restoration: instant switch to the reserved backup;
+                 the dead primary's resources are returned. *)
+              Slp.release net conn.active;
+              conn.active <- b;
+              conn.backup <- None;
+              counters.restorations_ok <- counters.restorations_ok + 1;
+              try_reprovision conn
+            | Some b ->
+              (* Backup also broken: give everything back and re-route. *)
+              Slp.release net conn.active;
+              Slp.release net b;
+              conn.backup <- None;
+              passive_reroute time conn
+            | None ->
+              Slp.release net conn.active;
+              passive_reroute time conn
+          end
+          (* A hit on the reserved (inactive) backup needs no action: the
+             wavelengths stay reserved and the path becomes usable again
+             after repair; intactness is re-checked at switch time. *)
+        end)
+      affected;
+    ignore (observe_load time)
+  in
+  let live_links () =
+    List.filter (fun e -> not (Net.is_failed net e)) (List.init (Net.n_links net) Fun.id)
+  in
+  let schedule_next rate ev =
+    if rate > 0.0 then Event_queue.schedule q (Rng.exponential rng rate) ev
+  in
+  let reschedule time rate ev =
+    if rate > 0.0 then
+      Event_queue.schedule q (time +. Rng.exponential rng rate) ev
+  in
+  let pending_batch : (int * int) list ref = ref [] in
+  let policy_for = function
+    | Premium | Standard -> config.policy
+    | Best_effort -> Router.Unprotected
+  in
+  let register ?(counted = true) time klass src dst sol =
+    if counted then begin
+      counters.admitted <- counters.admitted + 1;
+      counters.total_admitted_cost <-
+        counters.total_admitted_cost +. Types.total_cost net sol
+    end;
+    let id = !next_id in
+    incr next_id;
+    Hashtbl.replace connections id
+      { id; src; dst; klass; active = sol.Types.primary; backup = sol.Types.backup };
+    let hold = Workload.holding rng config.workload in
+    Event_queue.schedule q (time +. hold) (Departure id);
+    note_admission_load time
+  in
+  (* A blocked premium request may evict best-effort connections: release
+     them one at a time (oldest first) and retry; evicted connections try
+     an immediate re-route and are otherwise lost. *)
+  let try_preempt src dst =
+    let best_effort =
+      Hashtbl.fold
+        (fun _ c acc -> if c.klass = Best_effort then c :: acc else acc)
+        connections []
+      |> List.sort (fun a b -> compare a.id b.id)
+    in
+    let rec evict evicted = function
+      | [] ->
+        (* no luck: give evicted connections their resources back *)
+        List.iter (fun c -> Slp.allocate net c.active) evicted;
+        None
+      | victim :: rest -> (
+        Slp.release net victim.active;
+        match Router.route net (policy_for Premium) ~source:src ~target:dst with
+        | Some sol -> Some (sol, victim :: evicted)
+        | None -> evict (victim :: evicted) rest)
+    in
+    evict [] best_effort
+  in
+  (* Give each evicted connection a chance to re-route; must run after the
+     preempting premium solution has been allocated, so the victims cannot
+     steal its wavelengths back. *)
+  let settle_evicted evicted =
+    List.iter
+      (fun victim ->
+        incr preemptions;
+        match
+          Router.route net Router.Unprotected ~source:victim.src ~target:victim.dst
+        with
+        | Some s
+          when Types.validate net { Types.src = victim.src; dst = victim.dst } s = Ok () ->
+          Types.allocate net s;
+          victim.active <- s.Types.primary;
+          victim.backup <- s.Types.backup
+        | _ ->
+          Hashtbl.remove connections victim.id;
+          incr preempted_lost;
+          incr dropped)
+      evicted
+  in
+  (* Admission shared between immediate arrivals and epoch batches. *)
+  let admit_request time src dst =
+    let klass = draw_class () in
+    (* Transient removal: requests processed before warmup load the
+       network but are excluded from the statistics.  All three counters
+       (offered / admitted / blocked) are gated at *processing* time so
+       the books balance under batched admission, where a request can
+       arrive before warmup yet be processed after it. *)
+    let counted = time >= config.warmup in
+    if counted then begin
+      counters.offered <- counters.offered + 1;
+      bump cls_offered klass
+    end;
+    match Router.admit net (policy_for klass) ~source:src ~target:dst with
+    | Some sol ->
+      Log.debug (fun m ->
+          m "t=%.2f admit %s %d->%d cost %.1f" time (class_name klass) src dst
+            (Types.total_cost net sol));
+      register ~counted time klass src dst sol
+    | None -> (
+      match klass with
+      | Premium -> (
+        match try_preempt src dst with
+        | Some (sol, evicted) ->
+          Types.allocate net sol;
+          settle_evicted evicted;
+          register ~counted time klass src dst sol
+        | None ->
+          if counted then begin
+            counters.blocked <- counters.blocked + 1;
+            bump cls_blocked klass
+          end)
+      | Standard | Best_effort ->
+        if counted then begin
+          counters.blocked <- counters.blocked + 1;
+          bump cls_blocked klass
+        end)
+  in
+  (* Prime the event stream. *)
+  Event_queue.schedule q (Workload.interarrival rng config.workload) Arrival;
+  (match config.batching with
+   | Some (interval, _) when interval > 0.0 -> Event_queue.schedule q interval Epoch
+   | Some _ -> invalid_arg "Simulator.run: batching interval must be positive"
+   | None -> ());
+  schedule_next config.failure_rate Fail_link;
+  schedule_next config.node_failure_rate Fail_node;
+  Metrics.observe load_trace ~time:0.0 (Net.network_load net);
+  let finished = ref false in
+  while not !finished do
+    match Event_queue.next q with
+    | None -> finished := true
+    | Some (time, _) when time > config.duration -> finished := true
+    | Some (time, ev) -> (
+      match ev with
+      | Arrival ->
+        let src, dst = pick_pair () in
+        (match config.batching with
+         | Some _ -> pending_batch := (src, dst) :: !pending_batch
+         | None -> admit_request time src dst);
+        Event_queue.schedule q
+          (time +. Workload.interarrival rng config.workload)
+          Arrival
+      | Epoch ->
+        (match config.batching with
+         | None -> ()
+         | Some (interval, order) ->
+           (* Section 2: requests accumulated over the period are
+              processed one by one, in the configured order. *)
+           let requests =
+             List.rev_map
+               (fun (s, d) -> { Robust_routing.Types.src = s; dst = d })
+               !pending_batch
+           in
+           pending_batch := [];
+           let ordered = Robust_routing.Batch.arrange net order requests in
+           List.iter
+             (fun r ->
+               admit_request time r.Robust_routing.Types.src
+                 r.Robust_routing.Types.dst)
+             ordered;
+           Event_queue.schedule q (time +. interval) Epoch)
+      | Departure id -> (
+        match Hashtbl.find_opt connections id with
+        | None -> () (* dropped earlier by a failure *)
+        | Some conn ->
+          Slp.release net conn.active;
+          (match conn.backup with Some b -> Slp.release net b | None -> ());
+          Hashtbl.remove connections id;
+          incr completed;
+          prev_load := Net.network_load net;
+          ignore (observe_load time))
+      | Fail_link ->
+        (match live_links () with
+         | [] -> ()
+         | live ->
+           counters.failures_injected <- counters.failures_injected + 1;
+           handle_failure time [ Rng.pick rng (Array.of_list live) ]);
+        reschedule time config.failure_rate Fail_link
+      | Fail_node ->
+        (* A node outage takes down every incident fibre at once; only a
+           node-disjoint backup survives it. *)
+        let v = Rng.int rng (Net.n_nodes net) in
+        let incident =
+          List.filter
+            (fun e ->
+              (not (Net.is_failed net e))
+              && (Net.link_src net e = v || Net.link_dst net e = v))
+            (List.init (Net.n_links net) Fun.id)
+        in
+        (match incident with
+         | [] -> ()
+         | _ ->
+           incr node_failures;
+           counters.failures_injected <- counters.failures_injected + 1;
+           handle_failure time ~failed_node:v incident);
+        reschedule time config.node_failure_rate Fail_node
+      | Repair_links links ->
+        List.iter (fun link -> Net.repair_link net link) links;
+        ignore (observe_load time))
+  done;
+  Metrics.finish load_trace ~time:config.duration;
+  {
+    counters;
+    mean_load = Metrics.time_average load_trace;
+    peak_load = Metrics.peak load_trace;
+    load_trace = Metrics.samples load_trace;
+    dropped = !dropped;
+    completed = !completed;
+    node_failures = !node_failures;
+    backups_reprovisioned = !backups_reprovisioned;
+    class_stats =
+      List.filter_map
+        (fun k ->
+          match Hashtbl.find_opt cls_offered k with
+          | None -> None
+          | Some offered ->
+            Some
+              {
+                cls = k;
+                cls_offered = offered;
+                cls_blocked = Option.value ~default:0 (Hashtbl.find_opt cls_blocked k);
+              })
+        [ Premium; Standard; Best_effort ];
+    preemptions = !preemptions;
+    preempted_lost = !preempted_lost;
+  }

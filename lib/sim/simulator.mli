@@ -1,0 +1,84 @@
+(** Discrete-event simulation of dynamic robust routing (the synthetic
+    evaluation substrate — see DESIGN.md §2).
+
+    Requests arrive by a Poisson process, hold exponentially, and are
+    routed by the configured policy on the live residual network; admitted
+    connections reserve the wavelengths of both their primary and backup
+    paths ("activate" protection).  Optional failure injection exercises
+    restoration — single fibre cuts ([failure_rate]) and whole-node
+    outages that take down every incident fibre at once
+    ([node_failure_rate], which only node-disjoint backups survive):
+
+    - a connection whose *active* path is hit switches to its reserved
+      backup when that backup is still intact (active restoration), else
+      it releases everything and attempts a fresh route (passive
+      restoration); if that also fails the connection drops;
+    - a connection whose *backup* is hit keeps running unprotected; the
+      reserved backup becomes usable again after repair;
+    - with [reprovision_backup], a connection that consumed its backup
+      immediately tries to reserve a fresh one disjoint from its new
+      working path.
+
+    A *reconfiguration* is counted whenever an admission pushes the network
+    load past [reconfig_threshold] from below (the trigger the paper argues
+    load-aware routing avoids; see DESIGN.md §4). *)
+
+type config = {
+  policy : Robust_routing.Router.policy;
+  workload : Workload.model;
+  duration : float;
+  seed : int;
+  failure_rate : float;       (** link failures per unit time; 0 disables *)
+  node_failure_rate : float;  (** node outages per unit time; 0 disables *)
+  repair_time : float;        (** constant repair delay *)
+  reconfig_threshold : float;
+  reprovision_backup : bool;
+  hotspots : (int list * float) option;
+      (** optional non-uniform traffic: (hotspot nodes, bias) *)
+  batching : (float * Robust_routing.Batch.order) option;
+      (** Section 2's periodic discipline: accumulate arrivals and admit
+          them in batches every [interval] time units, in the given order.
+          [None] (default) admits immediately on arrival. *)
+  warmup : float;
+      (** arrivals before this time still load the network but are not
+          counted in the blocking statistics (transient removal; default
+          0). *)
+  class_mix : (float * float) option;
+      (** Service classes: [(premium, best_effort)] arrival fractions
+          (remainder is standard).  Premium and standard requests are
+          protected; best-effort requests route unprotected and may be
+          *preempted* by blocked premium arrivals (they then try an
+          immediate re-route, else they are lost).  [None] (default) makes
+          every request standard. *)
+}
+
+type service_class = Premium | Standard | Best_effort
+
+val class_name : service_class -> string
+
+val default_config : Robust_routing.Router.policy -> Workload.model -> config
+(** duration 1000, seed 42, no failures, threshold 0.9, no
+    re-provisioning. *)
+
+type class_stats = {
+  cls : service_class;
+  cls_offered : int;
+  cls_blocked : int;
+}
+
+type report = {
+  counters : Metrics.counters;
+  mean_load : float;        (** time-averaged network load ρ *)
+  peak_load : float;
+  load_trace : (float * float) list;
+  dropped : int;            (** connections lost to failures or preemption *)
+  completed : int;          (** connections that departed normally *)
+  node_failures : int;
+  backups_reprovisioned : int;
+  class_stats : class_stats list;  (** classes that saw traffic *)
+  preemptions : int;        (** best-effort evictions by premium traffic *)
+  preempted_lost : int;     (** evictions that could not re-route *)
+}
+
+val run : Rr_wdm.Network.t -> config -> report
+(** Runs on a private copy of the network (the argument is not mutated). *)

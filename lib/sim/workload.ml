@@ -1,0 +1,37 @@
+module Rng = Rr_util.Rng
+
+type model = {
+  arrival_rate : float;
+  mean_holding : float;
+}
+
+let make ~arrival_rate ~mean_holding =
+  if arrival_rate <= 0.0 then invalid_arg "Workload.make: arrival_rate must be positive";
+  if mean_holding <= 0.0 then invalid_arg "Workload.make: mean_holding must be positive";
+  { arrival_rate; mean_holding }
+
+let erlang m = m.arrival_rate *. m.mean_holding
+
+let interarrival rng m = Rng.exponential rng m.arrival_rate
+let holding rng m = Rng.exponential rng (1.0 /. m.mean_holding)
+
+let random_pair rng ~n_nodes =
+  if n_nodes < 2 then invalid_arg "Workload.random_pair: need two nodes";
+  let s = Rng.int rng n_nodes in
+  let d = Rng.int rng (n_nodes - 1) in
+  (s, if d >= s then d + 1 else d)
+
+let hotspot_pair rng ~n_nodes ~hotspots ~bias =
+  if hotspots = [] then invalid_arg "Workload.hotspot_pair: no hotspots";
+  if bias < 0.0 || bias > 1.0 then invalid_arg "Workload.hotspot_pair: bias out of range";
+  let s = Rng.int rng n_nodes in
+  if Rng.uniform rng < bias then begin
+    let candidates = List.filter (fun h -> h <> s) hotspots in
+    match candidates with
+    | [] -> random_pair rng ~n_nodes
+    | _ -> (s, Rng.pick rng (Array.of_list candidates))
+  end
+  else begin
+    let d = Rng.int rng (n_nodes - 1) in
+    (s, if d >= s then d + 1 else d)
+  end

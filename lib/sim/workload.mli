@@ -1,0 +1,25 @@
+(** Synthetic dynamic traffic: the paper's "user connection requests arrive
+    to and depart from the network in a random manner".
+
+    Standard WDM-blocking model: Poisson request arrivals at rate [λ],
+    exponential holding times with mean [1/μ], uniformly random distinct
+    (source, destination) pairs.  Offered load in Erlang is [λ/μ]. *)
+
+type model = {
+  arrival_rate : float;  (** requests per unit time; > 0 *)
+  mean_holding : float;  (** mean connection lifetime; > 0 *)
+}
+
+val make : arrival_rate:float -> mean_holding:float -> model
+val erlang : model -> float
+
+val interarrival : Rr_util.Rng.t -> model -> float
+val holding : Rr_util.Rng.t -> model -> float
+
+val random_pair : Rr_util.Rng.t -> n_nodes:int -> int * int
+(** Uniform over ordered pairs of distinct nodes. *)
+
+val hotspot_pair :
+  Rr_util.Rng.t -> n_nodes:int -> hotspots:int list -> bias:float -> int * int
+(** With probability [bias] the destination is drawn from [hotspots]
+    (non-uniform traffic matrices for the load-balancing experiments). *)

@@ -1,0 +1,168 @@
+type report = {
+  nodes : int;
+  fibres : int;
+  min_degree : int;
+  max_degree : int;
+  mean_degree : float;
+  diameter : int;
+  mean_distance : float;
+  bridges : (int * int) list;
+  articulation_points : int list;
+  two_edge_connected : bool;
+  biconnected : bool;
+}
+
+(* Undirected adjacency with fibre ids.  A fibre normally appears as the
+   directed pair (u,v) + (v,u), so the fibre multiplicity for an unordered
+   pair is max(#u->v, #v->u) — this keeps genuinely parallel fibres
+   distinct (they are not bridges) without double-counting the two
+   directions of a single fibre. *)
+let undirected_adjacency topo =
+  let n = topo.Fitout.t_nodes in
+  let counts = Hashtbl.create 64 in
+  List.iter
+    (fun (u, v, _) ->
+      if u <> v then begin
+        let dir = (u, v) in
+        Hashtbl.replace counts dir (1 + Option.value ~default:0 (Hashtbl.find_opt counts dir))
+      end)
+    topo.Fitout.t_links;
+  let fibres = ref [] in
+  Hashtbl.iter
+    (fun (u, v) c ->
+      if u < v then begin
+        let c' = Option.value ~default:0 (Hashtbl.find_opt counts (v, u)) in
+        for _ = 1 to max c c' do
+          fibres := (u, v) :: !fibres
+        done
+      end
+      else if u > v && not (Hashtbl.mem counts (v, u)) then
+        (* one-way pair listed only in descending order *)
+        for _ = 1 to c do
+          fibres := (v, u) :: !fibres
+        done)
+    counts;
+  let fibres = Array.of_list (List.sort compare !fibres) in
+  let adj = Array.make n [] in
+  Array.iteri
+    (fun id (u, v) ->
+      adj.(u) <- (v, id) :: adj.(u);
+      adj.(v) <- (u, id) :: adj.(v))
+    fibres;
+  (fibres, adj)
+
+(* Iterative DFS computing lowlinks; yields bridges and articulation
+   points in one pass (Tarjan / Hopcroft). *)
+let bridges_and_articulation n adj =
+  let disc = Array.make n (-1) in
+  let low = Array.make n 0 in
+  let parent_edge = Array.make n (-1) in
+  let timer = ref 0 in
+  let bridges = ref [] in
+  let artic = Array.make n false in
+  for root = 0 to n - 1 do
+    if disc.(root) < 0 then begin
+      let root_children = ref 0 in
+      let stack = Stack.create () in
+      disc.(root) <- !timer;
+      low.(root) <- !timer;
+      incr timer;
+      Stack.push (root, ref adj.(root)) stack;
+      while not (Stack.is_empty stack) do
+        let u, rest = Stack.top stack in
+        match !rest with
+        | [] ->
+          ignore (Stack.pop stack);
+          if not (Stack.is_empty stack) then begin
+            let p, _ = Stack.top stack in
+            low.(p) <- min low.(p) low.(u);
+            if low.(u) >= disc.(p) && p <> root then artic.(p) <- true;
+            if low.(u) > disc.(p) then begin
+              (* the tree edge p-u is a bridge *)
+              bridges := (min p u, max p u) :: !bridges
+            end;
+            if p = root then incr root_children
+          end
+        | (v, id) :: tail ->
+          rest := tail;
+          if disc.(v) < 0 then begin
+            parent_edge.(v) <- id;
+            disc.(v) <- !timer;
+            low.(v) <- !timer;
+            incr timer;
+            Stack.push (v, ref adj.(v)) stack
+          end
+          else if id <> parent_edge.(u) then low.(u) <- min low.(u) disc.(v)
+      done;
+      if !root_children > 1 then artic.(root) <- true
+    end
+  done;
+  let artic_list =
+    List.filter (fun v -> artic.(v)) (List.init n Fun.id)
+  in
+  (List.sort_uniq compare !bridges, artic_list)
+
+let analyse topo =
+  let n = topo.Fitout.t_nodes in
+  let fibres, adj = undirected_adjacency topo in
+  (* connectivity + distances by BFS from every node *)
+  let inf = max_int / 2 in
+  let diameter = ref 0 in
+  let dist_sum = ref 0 and dist_count = ref 0 in
+  for s = 0 to n - 1 do
+    let d = Array.make n inf in
+    let q = Queue.create () in
+    d.(s) <- 0;
+    Queue.push s q;
+    while not (Queue.is_empty q) do
+      let u = Queue.pop q in
+      List.iter
+        (fun (v, _) ->
+          if d.(v) = inf then begin
+            d.(v) <- d.(u) + 1;
+            Queue.push v q
+          end)
+        adj.(u)
+    done;
+    for v = 0 to n - 1 do
+      if v <> s then begin
+        if d.(v) = inf then invalid_arg "Analysis.analyse: disconnected topology";
+        diameter := max !diameter d.(v);
+        dist_sum := !dist_sum + d.(v);
+        incr dist_count
+      end
+    done
+  done;
+  let degrees = Array.map List.length adj in
+  let bridges, articulation_points = bridges_and_articulation n adj in
+  {
+    nodes = n;
+    fibres = Array.length fibres;
+    min_degree = Array.fold_left min max_int degrees;
+    max_degree = Array.fold_left max 0 degrees;
+    mean_degree =
+      float_of_int (Array.fold_left ( + ) 0 degrees) /. float_of_int n;
+    diameter = !diameter;
+    mean_distance =
+      (if !dist_count = 0 then 0.0
+       else float_of_int !dist_sum /. float_of_int !dist_count);
+    bridges;
+    articulation_points;
+    two_edge_connected = bridges = [];
+    biconnected = articulation_points = [];
+  }
+
+let pp fmt r =
+  Format.fprintf fmt
+    "@[<v>nodes %d, fibres %d@,degree min/mean/max = %d / %.2f / %d@,\
+     hop diameter %d, mean distance %.2f@,bridges: %s@,articulation points: %s@,\
+     2-edge-connected: %b, biconnected: %b@]"
+    r.nodes r.fibres r.min_degree r.mean_degree r.max_degree r.diameter
+    r.mean_distance
+    (if r.bridges = [] then "none"
+     else
+       String.concat ", "
+         (List.map (fun (u, v) -> Printf.sprintf "%d-%d" u v) r.bridges))
+    (if r.articulation_points = [] then "none"
+     else String.concat ", " (List.map string_of_int r.articulation_points))
+    r.two_edge_connected r.biconnected

@@ -1,0 +1,28 @@
+(** Structural analysis of topologies.
+
+    Robust routing is only possible between pairs the physical plant
+    actually protects: a *bridge* fibre strands every pair it separates
+    (no two edge-disjoint paths), and an *articulation node* defeats
+    node-disjoint protection.  These are the quantities a survivability
+    audit reports before any RWA question arises. *)
+
+type report = {
+  nodes : int;
+  fibres : int;                (** undirected fibre count *)
+  min_degree : int;
+  max_degree : int;
+  mean_degree : float;
+  diameter : int;              (** hop diameter of the undirected graph *)
+  mean_distance : float;       (** mean pairwise hop distance *)
+  bridges : (int * int) list;  (** fibres whose cut disconnects the graph *)
+  articulation_points : int list;
+  two_edge_connected : bool;   (** no bridges — every pair edge-protectable *)
+  biconnected : bool;          (** no articulation points — node-protectable *)
+}
+
+val analyse : Fitout.topology -> report
+(** Treats the directed link list as undirected fibres (parallel directed
+    links between the same endpoints collapse to one fibre).
+    Raises [Invalid_argument] if the topology is disconnected. *)
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,62 @@
+module Rng = Rr_util.Rng
+
+type topology = {
+  t_name : string;
+  t_nodes : int;
+  t_links : (int * int * float) list;
+}
+
+let undirected links =
+  List.concat_map (fun (u, v, w) -> [ (u, v, w); (v, u, w) ]) links
+
+let fit_out ~rng ~n_wavelengths ?(lambda_density = 1.0) ?(weight_jitter = 0.0)
+    ?converter ?(conversion_fraction = 0.5) topo =
+  if lambda_density <= 0.0 || lambda_density > 1.0 then
+    invalid_arg "Fitout.fit_out: lambda_density must be in (0,1]";
+  if weight_jitter < 0.0 || weight_jitter >= 1.0 then
+    invalid_arg "Fitout.fit_out: weight_jitter must be in [0,1)";
+  (* Cheapest incident base weight per node, for the default converter. *)
+  let min_incident = Array.make topo.t_nodes infinity in
+  List.iter
+    (fun (u, v, w) ->
+      min_incident.(u) <- Float.min min_incident.(u) w;
+      min_incident.(v) <- Float.min min_incident.(v) w)
+    topo.t_links;
+  let converter =
+    match converter with
+    | Some f -> f
+    | None ->
+      fun v ->
+        let base = if min_incident.(v) = infinity then 1.0 else min_incident.(v) in
+        Rr_wdm.Conversion.Full (conversion_fraction *. base)
+  in
+  let links =
+    List.map
+      (fun (u, v, base) ->
+        let lambdas =
+          if lambda_density >= 1.0 then List.init n_wavelengths Fun.id
+          else begin
+            let chosen =
+              List.filter
+                (fun _ -> Rng.uniform rng < lambda_density)
+                (List.init n_wavelengths Fun.id)
+            in
+            match chosen with
+            | [] -> [ Rng.int rng n_wavelengths ]
+            | l -> l
+          end
+        in
+        let weights =
+          Array.init n_wavelengths (fun _ ->
+              if weight_jitter = 0.0 then base
+              else base *. (1.0 +. (weight_jitter *. ((2.0 *. Rng.uniform rng) -. 1.0))))
+        in
+        {
+          Rr_wdm.Network.ls_src = u;
+          ls_dst = v;
+          ls_lambdas = lambdas;
+          ls_weight = (fun l -> weights.(l));
+        })
+      topo.t_links
+  in
+  Rr_wdm.Network.create ~n_nodes:topo.t_nodes ~n_wavelengths ~links ~converters:converter

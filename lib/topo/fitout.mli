@@ -1,0 +1,40 @@
+(** Turning a bare weighted topology into a WDM network.
+
+    A topology is a node count plus a list of directed links with a base
+    traversal weight (think kilometres of fibre).  [fit_out] decorates it
+    with the WDM attributes the paper's model needs: a wavelength set per
+    link (possibly sparse), per-wavelength traversal weights (base weight
+    with optional jitter), and a converter per node.
+
+    Defaults satisfy the premise of Theorem 2 — the conversion cost at a
+    node never exceeds the cost of traversing any incident link — so that
+    the measured approximation ratio is comparable against the proved bound
+    of 2. *)
+
+type topology = {
+  t_name : string;
+  t_nodes : int;
+  t_links : (int * int * float) list; (** (src, dst, base weight) *)
+}
+
+val undirected : (int * int * float) list -> (int * int * float) list
+(** Expand each undirected edge into both directed links. *)
+
+val fit_out :
+  rng:Rr_util.Rng.t ->
+  n_wavelengths:int ->
+  ?lambda_density:float ->
+  ?weight_jitter:float ->
+  ?converter:(int -> Rr_wdm.Conversion.spec) ->
+  ?conversion_fraction:float ->
+  topology ->
+  Rr_wdm.Network.t
+(** [fit_out ~rng ~n_wavelengths topo] decorates [topo].
+    - [lambda_density]: probability that each wavelength is present on a
+      link; at least one is always kept.  Default [1.0] (full complement).
+    - [weight_jitter]: per-(link, λ) multiplicative jitter amplitude;
+      weights are drawn in [base·(1 ± jitter)].  Default [0.] —
+      assumption (ii) of Section 3.3 (wavelength-independent cost).
+    - [converter]: default [Full c] at every node with [c] =
+      [conversion_fraction] (default 0.5) of the cheapest incident-link
+      base weight, which satisfies Theorem 2's premise. *)

@@ -1,0 +1,106 @@
+module Rng = Rr_util.Rng
+module Uf = Rr_util.Union_find
+
+let connected n fibres =
+  let uf = Uf.create n in
+  List.iter (fun (u, v, _) -> ignore (Uf.union uf u v)) fibres;
+  Uf.count uf = 1
+
+let erdos_renyi ~rng ~n ~p =
+  if n < 2 then invalid_arg "Random_topo.erdos_renyi: need at least 2 nodes";
+  if p <= 0.0 || p > 1.0 then invalid_arg "Random_topo.erdos_renyi: p out of range";
+  let rec attempt tries =
+    if tries > 1000 then
+      invalid_arg "Random_topo.erdos_renyi: could not draw a connected graph";
+    let fibres = ref [] in
+    for u = 0 to n - 1 do
+      for v = u + 1 to n - 1 do
+        if Rng.uniform rng < p then
+          fibres := (u, v, 1.0 +. Rng.uniform rng) :: !fibres
+      done
+    done;
+    if connected n !fibres then !fibres else attempt (tries + 1)
+  in
+  let fibres = attempt 0 in
+  {
+    Fitout.t_name = Printf.sprintf "er%d" n;
+    t_nodes = n;
+    t_links = Fitout.undirected fibres;
+  }
+
+let waxman ~rng ~n ?(alpha = 0.7) ?(beta = 0.35) () =
+  if n < 2 then invalid_arg "Random_topo.waxman: need at least 2 nodes";
+  let xs = Array.init n (fun _ -> Rng.uniform rng) in
+  let ys = Array.init n (fun _ -> Rng.uniform rng) in
+  let dist u v = Float.hypot (xs.(u) -. xs.(v)) (ys.(u) -. ys.(v)) in
+  let l = sqrt 2.0 in
+  let fibres = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      let d = dist u v in
+      if Rng.uniform rng < alpha *. exp (-.d /. (beta *. l)) then
+        fibres := (u, v, Float.max 1.0 (1000.0 *. d)) :: !fibres
+    done
+  done;
+  (* Patch to connectivity: greedily join components by their closest
+     node pair. *)
+  let uf = Uf.create n in
+  List.iter (fun (u, v, _) -> ignore (Uf.union uf u v)) !fibres;
+  while Uf.count uf > 1 do
+    let best = ref None in
+    for u = 0 to n - 1 do
+      for v = u + 1 to n - 1 do
+        if not (Uf.same uf u v) then begin
+          let d = dist u v in
+          match !best with
+          | Some (_, _, bd) when bd <= d -> ()
+          | _ -> best := Some (u, v, d)
+        end
+      done
+    done;
+    match !best with
+    | None -> assert false
+    | Some (u, v, d) ->
+      fibres := (u, v, Float.max 1.0 (1000.0 *. d)) :: !fibres;
+      ignore (Uf.union uf u v)
+  done;
+  {
+    Fitout.t_name = Printf.sprintf "waxman%d" n;
+    t_nodes = n;
+    t_links = Fitout.undirected !fibres;
+  }
+
+let degree_bounded ~rng ~n ~degree =
+  if n < 3 then invalid_arg "Random_topo.degree_bounded: need at least 3 nodes";
+  if degree < 2 then invalid_arg "Random_topo.degree_bounded: degree must be >= 2";
+  (* Random Hamiltonian cycle guarantees 2-edge-connectivity, so every node
+     pair admits two edge-disjoint paths. *)
+  let perm = Array.init n Fun.id in
+  Rng.shuffle rng perm;
+  let have = Hashtbl.create (n * degree) in
+  let fibres = ref [] in
+  let add u v =
+    let key = (min u v, max u v) in
+    if u <> v && not (Hashtbl.mem have key) then begin
+      Hashtbl.replace have key ();
+      fibres := (u, v, 1.0 +. Rng.uniform rng) :: !fibres
+    end
+  in
+  for i = 0 to n - 1 do
+    add perm.(i) perm.((i + 1) mod n)
+  done;
+  let extra = max 0 ((n * degree / 2) - n) in
+  let attempts = ref 0 in
+  let added = ref 0 in
+  while !added < extra && !attempts < 50 * extra do
+    incr attempts;
+    let u = Rng.int rng n and v = Rng.int rng n in
+    let before = List.length !fibres in
+    add u v;
+    if List.length !fibres > before then incr added
+  done;
+  {
+    Fitout.t_name = Printf.sprintf "deg%d-%d" degree n;
+    t_nodes = n;
+    t_links = Fitout.undirected !fibres;
+  }

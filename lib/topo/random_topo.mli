@@ -1,0 +1,22 @@
+(** Random wide-area topologies for scaling and ratio experiments.
+
+    Both generators return *connected* topologies (regenerated / patched
+    until the underlying undirected graph is connected), with every fibre
+    expanded into two directed links. *)
+
+val erdos_renyi :
+  rng:Rr_util.Rng.t -> n:int -> p:float -> Fitout.topology
+(** G(n, p) on undirected fibres with unit-ish random weights in [1, 2). *)
+
+val waxman :
+  rng:Rr_util.Rng.t -> n:int -> ?alpha:float -> ?beta:float -> unit -> Fitout.topology
+(** Waxman (1988) graph: nodes uniform in the unit square, fibre
+    probability [alpha · exp (−d / (beta · L))]; weights are Euclidean
+    distances scaled by 1000.  Defaults [alpha = 0.7], [beta = 0.35];
+    patched to connectivity with shortest missing fibres. *)
+
+val degree_bounded :
+  rng:Rr_util.Rng.t -> n:int -> degree:int -> Fitout.topology
+(** Random connected multigraph-free topology where each node gets
+    [degree] fibres in expectation: a random Hamiltonian cycle (for
+    2-edge-connectivity, so disjoint path pairs exist) plus random chords. *)

@@ -1,0 +1,104 @@
+(* NSFNET T1 node key:
+   0 WA  1 CA1  2 CA2  3 UT  4 CO  5 TX  6 NE  7 IL  8 PA  9 GA
+   10 MI 11 NY  12 NJ  13 DC *)
+let nsfnet_fibres =
+  [
+    (0, 1, 1100.0); (0, 2, 1600.0); (0, 7, 2800.0);
+    (1, 2, 600.0); (1, 3, 1000.0);
+    (2, 5, 2000.0);
+    (3, 4, 600.0); (3, 10, 2400.0);
+    (4, 5, 1100.0); (4, 6, 800.0);
+    (5, 9, 1200.0); (5, 12, 2000.0);
+    (6, 7, 700.0);
+    (7, 8, 700.0); (7, 10, 900.0);
+    (8, 9, 900.0); (8, 11, 500.0);
+    (9, 13, 500.0);
+    (10, 11, 800.0); (10, 12, 1000.0);
+    (11, 13, 300.0);
+  ]
+
+let nsfnet =
+  {
+    Fitout.t_name = "nsfnet";
+    t_nodes = 14;
+    t_links = Fitout.undirected nsfnet_fibres;
+  }
+
+(* EON (pan-European Optical Network) node key:
+   0 London 1 Amsterdam 2 Brussels 3 Paris 4 Luxembourg 5 Zurich
+   6 Milan 7 Prague 8 Vienna 9 Berlin 10 Copenhagen 11 Oslo
+   12 Stockholm 13 Moscow 14 Rome 15 Zagreb 16 Madrid 17 Lisbon 18 Dublin *)
+let eon_fibres =
+  [
+    (0, 1, 360.0); (0, 2, 320.0); (0, 3, 340.0); (0, 18, 460.0);
+    (1, 2, 170.0); (1, 9, 580.0); (1, 10, 620.0);
+    (2, 3, 260.0); (2, 4, 190.0);
+    (3, 4, 290.0); (3, 5, 490.0); (3, 16, 1050.0);
+    (4, 5, 340.0); (4, 9, 600.0);
+    (5, 6, 220.0); (5, 7, 530.0);
+    (6, 14, 480.0); (6, 15, 560.0);
+    (7, 8, 250.0); (7, 9, 280.0);
+    (8, 9, 520.0); (8, 15, 270.0); (8, 13, 1670.0);
+    (9, 10, 360.0);
+    (10, 11, 480.0); (10, 12, 520.0);
+    (11, 12, 420.0);
+    (12, 13, 1230.0);
+    (13, 15, 1700.0);
+    (14, 15, 520.0); (14, 16, 1360.0);
+    (16, 17, 500.0);
+    (17, 18, 1450.0);
+    (0, 16, 1260.0); (1, 3, 430.0); (9, 12, 810.0); (3, 6, 640.0);
+  ]
+
+let eon =
+  { Fitout.t_name = "eon"; t_nodes = 19; t_links = Fitout.undirected eon_fibres }
+
+let ring n =
+  if n < 3 then invalid_arg "Reference.ring: need at least 3 nodes";
+  let fibres = List.init n (fun i -> (i, (i + 1) mod n, 1.0)) in
+  {
+    Fitout.t_name = Printf.sprintf "ring%d" n;
+    t_nodes = n;
+    t_links = Fitout.undirected fibres;
+  }
+
+let grid rows cols =
+  if rows < 1 || cols < 1 then invalid_arg "Reference.grid: empty grid";
+  let id r c = (r * cols) + c in
+  let fibres = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then fibres := (id r c, id r (c + 1), 1.0) :: !fibres;
+      if r + 1 < rows then fibres := (id r c, id (r + 1) c, 1.0) :: !fibres
+    done
+  done;
+  {
+    Fitout.t_name = Printf.sprintf "grid%dx%d" rows cols;
+    t_nodes = rows * cols;
+    t_links = Fitout.undirected !fibres;
+  }
+
+let torus rows cols =
+  if rows < 3 || cols < 3 then invalid_arg "Reference.torus: need at least 3x3";
+  let id r c = (r * cols) + c in
+  let fibres = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      fibres := (id r c, id r ((c + 1) mod cols), 1.0) :: !fibres;
+      fibres := (id r c, id ((r + 1) mod rows) c, 1.0) :: !fibres
+    done
+  done;
+  {
+    Fitout.t_name = Printf.sprintf "torus%dx%d" rows cols;
+    t_nodes = rows * cols;
+    t_links = Fitout.undirected !fibres;
+  }
+
+let star n =
+  if n < 2 then invalid_arg "Reference.star: need at least 2 nodes";
+  let fibres = List.init (n - 1) (fun i -> (0, i + 1, 1.0)) in
+  {
+    Fitout.t_name = Printf.sprintf "star%d" n;
+    t_nodes = n;
+    t_links = Fitout.undirected fibres;
+  }

@@ -1,0 +1,26 @@
+(** Reference wide-area topologies.
+
+    NSFNET and EON are the stock test networks of the 1990s RWA literature
+    the paper sits in.  Link lengths are approximate great-circle
+    kilometres; they act as base traversal weights.  Every physical fibre
+    is modelled as two directed links (the paper's graph is directed). *)
+
+val nsfnet : Fitout.topology
+(** The 14-node, 21-fibre NSFNET T1 backbone (42 directed links). *)
+
+val eon : Fitout.topology
+(** The 19-node, 37-fibre pan-European EON network (74 directed links). *)
+
+val ring : int -> Fitout.topology
+(** [ring n]: bidirectional cycle on [n >= 3] nodes, unit weights. *)
+
+val grid : int -> int -> Fitout.topology
+(** [grid rows cols]: bidirectional mesh, unit weights. *)
+
+val torus : int -> int -> Fitout.topology
+(** [torus rows cols]: grid with wraparound fibres — 4-regular, so every
+    pair admits many disjoint paths.  Requires [rows, cols >= 3]. *)
+
+val star : int -> Fitout.topology
+(** [star n]: hub 0 with [n-1] spokes — no two edge-disjoint paths between
+    distinct leaves; the canonical infeasible instance for tests. *)

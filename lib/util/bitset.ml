@@ -1,0 +1,97 @@
+let bits_per_word = 62
+
+type t = { width : int; words : int array }
+
+let nwords width = (width + bits_per_word - 1) / bits_per_word
+
+let create width =
+  if width < 0 then invalid_arg "Bitset.create";
+  { width; words = Array.make (max 1 (nwords width)) 0 }
+
+let width t = t.width
+
+let check t i =
+  if i < 0 || i >= t.width then invalid_arg "Bitset: element out of range"
+
+let mem t i =
+  check t i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  t.words.(w) land (1 lsl b) <> 0
+
+let add t i =
+  check t i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  let words = Array.copy t.words in
+  words.(w) <- words.(w) lor (1 lsl b);
+  { t with words }
+
+let remove t i =
+  check t i;
+  let w = i / bits_per_word and b = i mod bits_per_word in
+  let words = Array.copy t.words in
+  words.(w) <- words.(w) land lnot (1 lsl b);
+  { t with words }
+
+let full w =
+  let t = create w in
+  let words = Array.copy t.words in
+  let full_word = (1 lsl bits_per_word) - 1 in
+  for i = 0 to Array.length words - 1 do
+    words.(i) <- full_word
+  done;
+  (* Mask off unused high bits of the last word. *)
+  let rem = w mod bits_per_word in
+  if rem > 0 && w > 0 then
+    words.(Array.length words - 1) <- (1 lsl rem) - 1;
+  if w = 0 then words.(0) <- 0;
+  { width = w; words }
+
+let is_empty t = Array.for_all (fun w -> w = 0) t.words
+
+let popcount x =
+  let rec go x acc = if x = 0 then acc else go (x lsr 1) (acc + (x land 1)) in
+  go x 0
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let of_list w l = List.fold_left add (create w) l
+
+let fold f t init =
+  let acc = ref init in
+  for i = 0 to t.width - 1 do
+    if mem t i then acc := f i !acc
+  done;
+  !acc
+
+let to_list t = List.rev (fold (fun i acc -> i :: acc) t [])
+let elements = to_list
+
+let iter f t =
+  for i = 0 to t.width - 1 do
+    if mem t i then f i
+  done
+
+let binop name op a b =
+  if a.width <> b.width then invalid_arg ("Bitset." ^ name ^ ": width mismatch");
+  { width = a.width; words = Array.init (Array.length a.words) (fun i -> op a.words.(i) b.words.(i)) }
+
+let union a b = binop "union" ( lor ) a b
+let inter a b = binop "inter" ( land ) a b
+let diff a b = binop "diff" (fun x y -> x land lnot y) a b
+
+let subset a b =
+  if a.width <> b.width then invalid_arg "Bitset.subset: width mismatch";
+  let ok = ref true in
+  for i = 0 to Array.length a.words - 1 do
+    if a.words.(i) land lnot b.words.(i) <> 0 then ok := false
+  done;
+  !ok
+
+let equal a b = a.width = b.width && a.words = b.words
+
+let choose t =
+  let rec go i = if i >= t.width then None else if mem t i then Some i else go (i + 1) in
+  go 0
+
+let pp fmt t =
+  Format.fprintf fmt "{%s}" (String.concat "," (List.map string_of_int (to_list t)))

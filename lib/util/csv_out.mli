@@ -1,0 +1,13 @@
+(** Minimal CSV writing (RFC-4180 quoting) for exporting experiment data
+    to external plotting tools. *)
+
+val escape : string -> string
+(** Quote a field iff it contains a comma, quote, or newline. *)
+
+val to_string : header:string list -> string list list -> string
+
+val save : string -> header:string list -> string list list -> unit
+(** [save path ~header rows] writes the file, creating or truncating it. *)
+
+val of_float : float -> string
+(** Full-precision float cell ([%.17g]-style round-trippable). *)

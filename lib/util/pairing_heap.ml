@@ -1,0 +1,105 @@
+type 'a node = {
+  mutable prio : float;
+  value : 'a;
+  mutable child : 'a node option;   (* leftmost child *)
+  mutable sibling : 'a node option; (* next sibling to the right *)
+  mutable parent : 'a node option;  (* parent or left sibling: we track parent only *)
+  mutable in_heap : bool;
+}
+
+type 'a handle = 'a node
+
+type 'a t = { mutable root : 'a node option; mutable size : int }
+
+let create () = { root = None; size = 0 }
+let is_empty t = t.root = None
+let cardinal t = t.size
+
+let meld a b =
+  (* Both roots, returns the new root. *)
+  if a.prio <= b.prio then begin
+    b.sibling <- a.child;
+    b.parent <- Some a;
+    a.child <- Some b;
+    a
+  end else begin
+    a.sibling <- b.child;
+    a.parent <- Some b;
+    b.child <- Some a;
+    b
+  end
+
+let insert t prio value =
+  let n = { prio; value; child = None; sibling = None; parent = None; in_heap = true } in
+  (match t.root with
+   | None -> t.root <- Some n
+   | Some r -> t.root <- Some (meld r n));
+  t.size <- t.size + 1;
+  n
+
+let find_min t =
+  match t.root with
+  | None -> None
+  | Some r -> Some (r.prio, r.value)
+
+(* Two-pass pairing of a sibling list. *)
+let rec merge_pairs = function
+  | None -> None
+  | Some n ->
+    (match n.sibling with
+     | None ->
+       n.sibling <- None; n.parent <- None;
+       Some n
+     | Some m ->
+       let rest = m.sibling in
+       n.sibling <- None; n.parent <- None;
+       m.sibling <- None; m.parent <- None;
+       let merged = meld n m in
+       (match merge_pairs rest with
+        | None -> Some merged
+        | Some r -> Some (meld merged r)))
+
+let pop_min t =
+  match t.root with
+  | None -> None
+  | Some r ->
+    r.in_heap <- false;
+    t.root <- merge_pairs r.child;
+    r.child <- None;
+    t.size <- t.size - 1;
+    Some (r.prio, r.value)
+
+(* Remove a non-root node from its parent's child list; sibling parent
+   pointers already reference the true parent and stay valid. *)
+let detach n =
+  match n.parent with
+  | None -> ()
+  | Some p ->
+    (match p.child with
+     | Some c when c == n -> p.child <- n.sibling
+     | _ ->
+       let rec find = function
+         | None -> ()
+         | Some c ->
+           (match c.sibling with
+            | Some s when s == n -> c.sibling <- n.sibling
+            | _ -> find c.sibling)
+       in
+       find p.child);
+    n.sibling <- None;
+    n.parent <- None
+
+let decrease t n prio =
+  if not n.in_heap then invalid_arg "Pairing_heap.decrease: handle no longer queued";
+  if prio > n.prio then invalid_arg "Pairing_heap.decrease: priority increase";
+  n.prio <- prio;
+  match t.root with
+  | Some r when r == n -> ()
+  | _ ->
+    detach n;
+    (match t.root with
+     | None -> t.root <- Some n
+     | Some r -> t.root <- Some (meld r n))
+
+let value n = n.value
+let priority n = n.prio

@@ -1,0 +1,26 @@
+(** Pairing heap with handle-based decrease-key.
+
+    A functional-interface-over-mutable-nodes min-heap.  Used where keys are
+    not dense integers (e.g. layered-graph states addressed by tuples) and by
+    the Yen k-shortest-path candidate pool.  Amortised O(1) insert/meld and
+    O(log n) pop; decrease-key is o(log n) amortised. *)
+
+type 'a t
+type 'a handle
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val cardinal : 'a t -> int
+
+val insert : 'a t -> float -> 'a -> 'a handle
+(** [insert h prio v] queues [v]; the handle supports later [decrease]. *)
+
+val find_min : 'a t -> (float * 'a) option
+val pop_min : 'a t -> (float * 'a) option
+
+val decrease : 'a t -> 'a handle -> float -> unit
+(** Lower the handle's priority.  Raises [Invalid_argument] on an increase
+    or on a handle already removed from the heap. *)
+
+val value : 'a handle -> 'a
+val priority : 'a handle -> float

@@ -1,0 +1,82 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+(* splitmix64 finaliser: Steele, Lea & Flood (OOPSLA'14). *)
+let mix z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let bits64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let split t =
+  let s = bits64 t in
+  { state = s }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Keep 62 bits so the value fits OCaml's 63-bit native int. *)
+  let r = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+  r mod bound
+
+let uniform t =
+  (* 53 random bits into [0,1). *)
+  let r = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  r /. 9007199254740992.0
+
+let float t bound = uniform t *. bound
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let exponential t rate =
+  if rate <= 0.0 then invalid_arg "Rng.exponential: rate must be positive";
+  let u = 1.0 -. uniform t in
+  -. log u /. rate
+
+let poisson t mean =
+  if mean < 0.0 then invalid_arg "Rng.poisson: mean must be non-negative";
+  if mean < 30.0 then begin
+    let l = exp (-.mean) in
+    let rec loop k p =
+      let p = p *. uniform t in
+      if p <= l then k else loop (k + 1) p
+    in
+    loop 0 1.0
+  end else begin
+    (* Normal approximation with continuity correction, adequate for the
+       workloads here (mean arrival counts per epoch). *)
+    let u1 = uniform t and u2 = uniform t in
+    let z = sqrt (-2.0 *. log (1.0 -. u1)) *. cos (2.0 *. Float.pi *. u2) in
+    let x = mean +. (sqrt mean *. z) +. 0.5 in
+    if x < 0.0 then 0 else int_of_float x
+  end
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int t (Array.length a))
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let sample_without_replacement t k n =
+  if k > n then invalid_arg "Rng.sample_without_replacement: k > n";
+  (* Floyd's algorithm. *)
+  let chosen = Hashtbl.create (2 * k) in
+  for j = n - k to n - 1 do
+    let r = int t (j + 1) in
+    if Hashtbl.mem chosen r then Hashtbl.replace chosen j ()
+    else Hashtbl.replace chosen r ()
+  done;
+  Hashtbl.fold (fun x () acc -> x :: acc) chosen [] |> List.sort compare

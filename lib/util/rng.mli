@@ -1,0 +1,50 @@
+(** Deterministic pseudo-random number generation.
+
+    A small, seedable, splittable PRNG (splitmix64) so that every experiment
+    in the repository is reproducible from a single integer seed.  All
+    stochastic substrates (topology generation, traffic, failure injection)
+    take an explicit [Rng.t] rather than using global state. *)
+
+type t
+
+val create : int -> t
+(** [create seed] returns a fresh generator.  Equal seeds give equal
+    streams. *)
+
+val copy : t -> t
+(** Independent copy continuing from the current state. *)
+
+val split : t -> t
+(** [split t] advances [t] and returns a new generator whose stream is
+    statistically independent of the remainder of [t]'s stream. *)
+
+val bits64 : t -> int64
+(** Next raw 64 bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val uniform : t -> float
+(** Uniform in [\[0,1)]. *)
+
+val exponential : t -> float -> float
+(** [exponential t rate] samples Exp(rate); mean [1/rate]. *)
+
+val poisson : t -> float -> int
+(** [poisson t mean] samples a Poisson variate (Knuth for small means,
+    normal approximation for large). *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val sample_without_replacement : t -> int -> int -> int list
+(** [sample_without_replacement t k n] draws [k] distinct ints from
+    [\[0,n)]. Requires [k <= n]. *)

@@ -1,0 +1,33 @@
+(** Descriptive statistics over float samples.
+
+    Every experiment table reports mean / max / percentiles of measured
+    ratios or loads; this module centralises those reductions. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+val summarize : float list -> summary
+(** Raises [Invalid_argument] on the empty list. *)
+
+val mean : float list -> float
+val stddev : float list -> float
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [\[0,1\]], linear interpolation. *)
+
+val ci95 : float list -> float * float
+(** Normal-approximation 95% confidence interval of the mean:
+    [mean ± 1.96·sd/√n].  Degenerates to [(x, x)] for a singleton. *)
+
+val histogram : bins:int -> float list -> (float * float * int) array
+(** [histogram ~bins xs] returns [(lo, hi, count)] per bin over
+    [\[min xs, max xs\]]. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,17 @@
+(** Plain-text table rendering for experiment output.
+
+    The bench harness prints every reproduced table/figure as an aligned
+    ASCII table so the output diffs cleanly against EXPERIMENTS.md. *)
+
+type t
+
+val create : title:string -> header:string list -> t
+val add_row : t -> string list -> unit
+val render : t -> string
+val print : t -> unit
+
+val cell_f : float -> string
+(** Format a float cell with 4 significant decimals. *)
+
+val cell_pct : float -> string
+(** Format a fraction as a percentage cell. *)

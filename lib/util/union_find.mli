@@ -1,0 +1,15 @@
+(** Disjoint-set forest with union by rank and path compression.
+
+    Used for connectivity checks in topology generators (a random graph is
+    regenerated or patched until connected). *)
+
+type t
+
+val create : int -> t
+val find : t -> int -> int
+val union : t -> int -> int -> bool
+(** [union t a b] merges the classes; returns [false] if already joined. *)
+
+val same : t -> int -> int -> bool
+val count : t -> int
+(** Number of disjoint classes. *)

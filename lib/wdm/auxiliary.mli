@@ -1,0 +1,70 @@
+(** The paper's auxiliary graphs: [G'] (Section 3.3.1), [G_c] (Section 4.1)
+    and [G_rc] (Section 4.2).
+
+    All three share one shape.  Every residual physical link [e = u -> v]
+    contributes two *edge-nodes* — [u_out^e] and [v_in^e] — joined by a
+    single *traversal arc* [u_out^e -> v_in^e]; each feasible conversion
+    opportunity at a node [v] contributes a *conversion arc*
+    [v_in^e -> v_out^{e'}] between an incoming and an outgoing link of [v];
+    two special nodes [s'] and [t''] tap every outgoing link of the source
+    and every incoming link of the target with zero-weight arcs.  They
+    differ only in (a) which links are admitted (load threshold for
+    [G_c]/[G_rc]) and (b) the arc weights:
+
+    - [G']: traversal = mean of [w(e,λ)] over [Λ_avail(e)]; conversion =
+      mean conversion cost over allowed wavelength pairs.
+    - [G_c]: traversal = [a^((U+1)/N) − a^(U/N)] (exponential congestion
+      penalty); conversion = 0; links with [U(e)/N(e) >= ϑ] excluded.
+    - [G_rc]: same link filter as [G_c]; weights as in [G'] except the paper
+      divides the traversal sum by [N(e)] rather than [|Λ_avail(e)|].
+
+    Because each physical link appears as exactly one traversal arc,
+    edge-disjoint paths in an auxiliary graph induce link-disjoint
+    subgraphs of [G] (Lemma 2). *)
+
+type arc_kind =
+  | Traverse of int   (** carries the physical link id *)
+  | Convert of int    (** conversion at the given node *)
+  | Source_tap of int (** [s' -> s_out^e]; carries the link id *)
+  | Sink_tap of int   (** [t_in^e -> t'']; carries the link id *)
+  | Gate of int       (** single-transit gate of a node ({!gprime_gated}) *)
+  | Connect of int    (** zero-weight connector into/out of a gate *)
+
+type t = {
+  graph : Rr_graph.Digraph.t;
+  weight : float array;
+  kind : arc_kind array;
+  source : int;         (** node id of [s'] *)
+  sink : int;           (** node id of [t''] *)
+  out_node : int -> int; (** physical link [e] -> aux node [u_out^e] *)
+  in_node : int -> int;  (** physical link [e] -> aux node [v_in^e] *)
+}
+
+val gprime : Network.t -> source:int -> target:int -> t
+
+val gc : Network.t -> theta:float -> ?base:float -> source:int -> target:int -> unit -> t
+(** [base] is the exponent base [a > 1] (default 16). *)
+
+val grc : Network.t -> theta:float -> source:int -> target:int -> t
+
+val gprime_gated : Network.t -> source:int -> target:int -> t
+(** Extension beyond the paper: like {!gprime}, but every transit of an
+    intermediate physical node [v] is funnelled through a single *gate* arc
+    carrying [v]'s mean conversion cost.  Since any transit of [v] in an
+    auxiliary graph is a conversion arc, edge-disjoint paths in the gated
+    graph are internally *node*-disjoint in [G] — the reduction behind
+    node-failure-tolerant routing.  The per-(in-link, out-link) conversion
+    weights of [G'] collapse to a per-node mean here; this only affects
+    tie-breaking among candidate pairs, not feasibility. *)
+
+val links_of_path : t -> int list -> int list
+(** Physical links of the traversal arcs along an auxiliary-graph path, in
+    path order. *)
+
+val disjoint_pair : t -> ((int list * int list) * float) option
+(** Suurballe on the auxiliary graph from [s'] to [t'']
+    ([Find_Two_Paths], Section 3.3.2). *)
+
+val stats : t -> int * int * int
+(** (edge-nodes incl. s'/t'', traversal arcs, conversion arcs) — used by the
+    Figure 1 reproduction. *)

@@ -1,0 +1,62 @@
+type spec =
+  | No_conversion
+  | Full of float
+  | Range of int * float
+  | Table of float option array array
+
+let allowed spec p q =
+  p = q
+  ||
+  match spec with
+  | No_conversion -> false
+  | Full _ -> true
+  | Range (r, _) -> abs (p - q) <= r
+  | Table m -> p < Array.length m && q < Array.length m.(p) && m.(p).(q) <> None
+
+let cost spec p q =
+  if p = q then Some 0.0
+  else
+    match spec with
+    | No_conversion -> None
+    | Full c -> Some c
+    | Range (r, c) -> if abs (p - q) <= r then Some c else None
+    | Table m ->
+      if p < Array.length m && q < Array.length m.(p) then m.(p).(q) else None
+
+let max_cost spec ~n_wavelengths =
+  let best = ref 0.0 in
+  for p = 0 to n_wavelengths - 1 do
+    for q = 0 to n_wavelengths - 1 do
+      match cost spec p q with
+      | Some c -> best := Float.max !best c
+      | None -> ()
+    done
+  done;
+  !best
+
+let validate spec ~n_wavelengths =
+  match spec with
+  | No_conversion -> Ok ()
+  | Full c -> if c < 0.0 then Error "Full: negative cost" else Ok ()
+  | Range (r, c) ->
+    if r < 0 then Error "Range: negative radius"
+    else if c < 0.0 then Error "Range: negative cost"
+    else Ok ()
+  | Table m ->
+    if Array.length m <> n_wavelengths then Error "Table: wrong row count"
+    else begin
+      let err = ref None in
+      Array.iteri
+        (fun p row ->
+          if Array.length row <> n_wavelengths then err := Some "Table: ragged row";
+          Array.iteri
+            (fun q c ->
+              match c with
+              | Some c when c < 0.0 -> err := Some "Table: negative cost"
+              | None when p = q -> err := Some "Table: diagonal must be allowed"
+              | Some c when p = q && c <> 0.0 -> err := Some "Table: diagonal must cost 0"
+              | _ -> ())
+            row)
+        m;
+      match !err with None -> Ok () | Some e -> Error e
+    end

@@ -1,0 +1,35 @@
+(** Wavelength-conversion capability of a network node.
+
+    The paper models conversion by cost factors [c_v(λp, λq)] — the cost of
+    converting an incoming wavelength [λp] to an outgoing [λq] at node [v] —
+    with [c_v(λ, λ) = 0] always (no conversion, no cost).  A conversion pair
+    may also simply be disallowed (no converter, or a limited-range
+    converter). *)
+
+type spec =
+  | No_conversion
+      (** Wavelength continuity enforced: only [λ -> λ] is possible. *)
+  | Full of float
+      (** Any pair allowed; every real conversion costs the given constant.
+          This is assumption (i) of Section 3.3. *)
+  | Range of int * float
+      (** [Range (r, c)]: conversion allowed when [|λp - λq| <= r], at cost
+          [c] per real conversion (limited-range converters). *)
+  | Table of float option array array
+      (** [Table m]: [m.(p).(q)] is the cost of converting [λp -> λq], or
+          [None] when disallowed.  The diagonal is forced to [Some 0.]. *)
+
+val allowed : spec -> int -> int -> bool
+(** [allowed spec p q] — whether [λp -> λq] is possible (always true when
+    [p = q]). *)
+
+val cost : spec -> int -> int -> float option
+(** [cost spec p q] = [Some 0.] when [p = q], the conversion cost when
+    allowed, [None] otherwise. *)
+
+val max_cost : spec -> n_wavelengths:int -> float
+(** Largest finite conversion cost over the [n_wavelengths²] pairs (0 for
+    [No_conversion]).  Used by Theorem 2's premise check. *)
+
+val validate : spec -> n_wavelengths:int -> (unit, string) result
+(** Table shape / negative-cost checks. *)

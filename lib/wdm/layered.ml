@@ -1,0 +1,256 @@
+module Bitset = Rr_util.Bitset
+module Heap = Rr_util.Indexed_heap
+
+(* States are packed as v*W + λ; super source = n*W, super sink = n*W + 1.
+   Rather than materialising the layered digraph we run Dijkstra directly
+   over implicit adjacency, which saves the O(nW²) construction on every
+   request. *)
+
+type pred =
+  | P_none
+  | P_start                      (* from super source *)
+  | P_traverse of int            (* arrived via link e, same λ *)
+  | P_convert of int             (* converted from λp at the same node *)
+
+let optimal ?(link_enabled = fun _ -> true) net ~source ~target =
+  let n = Network.n_nodes net in
+  let w = Network.n_wavelengths net in
+  if source < 0 || source >= n || target < 0 || target >= n then
+    invalid_arg "Layered.optimal: node out of range";
+  if source = target then invalid_arg "Layered.optimal: source = target";
+  let n_states = (n * w) + 2 in
+  let super_source = n * w in
+  let super_sink = (n * w) + 1 in
+  let dist = Array.make n_states infinity in
+  let pred = Array.make n_states P_none in
+  let heap = Heap.create n_states in
+  let relax state d p =
+    if d < dist.(state) then begin
+      dist.(state) <- d;
+      pred.(state) <- p;
+      Heap.insert_or_decrease heap state d
+    end
+  in
+  relax super_source 0.0 P_start;
+  let graph = Network.graph net in
+  let settled_sink = ref false in
+  while (not !settled_sink) && not (Heap.is_empty heap) do
+    match Heap.pop_min heap with
+    | None -> ()
+    | Some (state, d) ->
+      if state = super_sink then settled_sink := true
+      else if state = super_source then
+        (* Leave the source on any available wavelength of any outgoing
+           link; the traversal arc itself is taken below from (s, λ). *)
+        Array.iter
+          (fun e ->
+            if link_enabled e then
+              Bitset.iter
+                (fun l -> relax ((source * w) + l) d P_start)
+                (Network.available net e))
+          (Rr_graph.Digraph.out_edges graph source)
+      else begin
+        let v = state / w and l = state mod w in
+        if v = target then relax super_sink d (P_convert l)
+        else begin
+          (* Traversal arcs. *)
+          Array.iter
+            (fun e ->
+              if link_enabled e && Network.is_available net e l then
+                relax
+                  ((Network.link_dst net e * w) + l)
+                  (d +. Network.weight net e l)
+                  (P_traverse e))
+            (Rr_graph.Digraph.out_edges graph v);
+          (* Conversion arcs at v (not at the source: a fresh transmitter
+             can start on any wavelength directly). *)
+          if v <> source then
+            for l' = 0 to w - 1 do
+              if l' <> l then
+                match Network.conv_cost net v l l' with
+                | Some c -> relax ((v * w) + l') (d +. c) (P_convert l)
+                | None -> ()
+            done
+        end
+      end
+  done;
+  if dist.(super_sink) = infinity then None
+  else begin
+    (* Reconstruct hops by walking predecessors back from the sink. *)
+    let rec back state acc =
+      match pred.(state) with
+      | P_none -> invalid_arg "Layered.optimal: broken predecessor chain"
+      | P_start -> acc
+      | P_traverse e ->
+        let l = state mod w in
+        let u = Network.link_src net e in
+        back ((u * w) + l) ({ Semilightpath.edge = e; lambda = l } :: acc)
+      | P_convert l_prev ->
+        let v = if state = super_sink then target else state / w in
+        back ((v * w) + l_prev) acc
+    in
+    let hops =
+      match pred.(super_sink) with
+      | P_convert l_last -> back ((target * w) + l_last) []
+      | _ -> invalid_arg "Layered.optimal: sink without wavelength"
+    in
+    Some ({ Semilightpath.hops }, dist.(super_sink))
+  end
+
+let optimal_cost ?link_enabled net ~source ~target =
+  Option.map snd (optimal ?link_enabled net ~source ~target)
+
+(* Budget-extended layered search: states are (v, λ, conversions used),
+   packed as ((v*W)+λ)*(K+1) + k, with the same super source/sink trick as
+   [optimal].  Conversion arcs consume one unit of budget. *)
+let optimal_bounded ?(link_enabled = fun _ -> true) net ~max_conversions ~source
+    ~target =
+  if max_conversions < 0 then invalid_arg "Layered.optimal_bounded: negative budget";
+  let n = Network.n_nodes net in
+  let w = Network.n_wavelengths net in
+  if source < 0 || source >= n || target < 0 || target >= n then
+    invalid_arg "Layered.optimal_bounded: node out of range";
+  if source = target then invalid_arg "Layered.optimal_bounded: source = target";
+  let kk = max_conversions + 1 in
+  let n_states = (n * w * kk) + 2 in
+  let super_source = n * w * kk in
+  let super_sink = (n * w * kk) + 1 in
+  let pack v l k = (((v * w) + l) * kk) + k in
+  let dist = Array.make n_states infinity in
+  let pred = Array.make n_states P_none in
+  let heap = Heap.create n_states in
+  let relax state d p =
+    if d < dist.(state) then begin
+      dist.(state) <- d;
+      pred.(state) <- p;
+      Heap.insert_or_decrease heap state d
+    end
+  in
+  relax super_source 0.0 P_start;
+  let graph = Network.graph net in
+  let settled_sink = ref false in
+  while (not !settled_sink) && not (Heap.is_empty heap) do
+    match Heap.pop_min heap with
+    | None -> ()
+    | Some (state, d) ->
+      if state = super_sink then settled_sink := true
+      else if state = super_source then
+        Array.iter
+          (fun e ->
+            if link_enabled e then
+              Bitset.iter
+                (fun l -> relax (pack source l 0) d P_start)
+                (Network.available net e))
+          (Rr_graph.Digraph.out_edges graph source)
+      else begin
+        let vk = state / kk and k = state mod kk in
+        let v = vk / w and l = vk mod w in
+        if v = target then relax super_sink d (P_convert ((l * kk) + k))
+        else begin
+          Array.iter
+            (fun e ->
+              if link_enabled e && Network.is_available net e l then
+                relax
+                  (pack (Network.link_dst net e) l k)
+                  (d +. Network.weight net e l)
+                  (P_traverse e))
+            (Rr_graph.Digraph.out_edges graph v);
+          if v <> source && k < max_conversions then
+            for l' = 0 to w - 1 do
+              if l' <> l then
+                match Network.conv_cost net v l l' with
+                | Some c ->
+                  relax (pack v l' (k + 1)) (d +. c) (P_convert ((l * kk) + k))
+                | None -> ()
+            done
+        end
+      end
+  done;
+  if dist.(super_sink) = infinity then None
+  else begin
+    (* P_convert carries the packed (λ, k) of the predecessor state. *)
+    let rec back state acc =
+      match pred.(state) with
+      | P_none -> invalid_arg "Layered.optimal_bounded: broken predecessor chain"
+      | P_start -> acc
+      | P_traverse e ->
+        let vk = state / kk and k = state mod kk in
+        let l = vk mod w in
+        let u = Network.link_src net e in
+        back (pack u l k) ({ Semilightpath.edge = e; lambda = l } :: acc)
+      | P_convert lk ->
+        let l_prev = lk / kk and k_prev = lk mod kk in
+        let v = if state = super_sink then target else state / kk / w in
+        back (pack v l_prev k_prev) acc
+    in
+    let hops =
+      match pred.(super_sink) with
+      | P_convert lk ->
+        let l_last = lk / kk and k_last = lk mod kk in
+        back (pack target l_last k_last) []
+      | _ -> invalid_arg "Layered.optimal_bounded: sink without wavelength"
+    in
+    Some ({ Semilightpath.hops }, dist.(super_sink))
+  end
+
+let assign_on_path net links =
+  match links with
+  | [] -> invalid_arg "Layered.assign_on_path: empty path"
+  | first :: _ ->
+    (* Chain check. *)
+    ignore
+      (List.fold_left
+         (fun u e ->
+           if Network.link_src net e <> u then
+             invalid_arg "Layered.assign_on_path: links do not chain";
+           Network.link_dst net e)
+         (Network.link_src net first) links);
+    let w = Network.n_wavelengths net in
+    let links_a = Array.of_list links in
+    let k = Array.length links_a in
+    (* dp.(i).(λ) = best cost of the prefix ending with link i on λ. *)
+    let dp = Array.make_matrix k w infinity in
+    let choice = Array.make_matrix k w (-1) in
+    Bitset.iter
+      (fun l -> dp.(0).(l) <- Network.weight net links_a.(0) l)
+      (Network.available net links_a.(0));
+    for i = 1 to k - 1 do
+      let e = links_a.(i) in
+      let v = Network.link_src net e in
+      Bitset.iter
+        (fun l ->
+          let we = Network.weight net e l in
+          for lp = 0 to w - 1 do
+            if dp.(i - 1).(lp) < infinity then
+              match Network.conv_cost net v lp l with
+              | Some c ->
+                let cand = dp.(i - 1).(lp) +. c +. we in
+                if cand < dp.(i).(l) then begin
+                  dp.(i).(l) <- cand;
+                  choice.(i).(l) <- lp
+                end
+              | None -> ()
+          done)
+        (Network.available net e)
+    done;
+    let best_l = ref (-1) and best = ref infinity in
+    for l = 0 to w - 1 do
+      if dp.(k - 1).(l) < !best then begin
+        best := dp.(k - 1).(l);
+        best_l := l
+      end
+    done;
+    if !best_l < 0 then None
+    else begin
+      let lambdas = Array.make k 0 in
+      let rec back i l =
+        lambdas.(i) <- l;
+        if i > 0 then back (i - 1) choice.(i).(l)
+      in
+      back (k - 1) !best_l;
+      let hops =
+        Array.to_list
+          (Array.mapi (fun i e -> { Semilightpath.edge = e; lambda = lambdas.(i) }) links_a)
+      in
+      Some ({ Semilightpath.hops }, !best)
+    end

@@ -1,0 +1,55 @@
+(** Optimal semilightpaths via the layered wavelength graph
+    (Chlamtac et al. [5]; Liang–Shen [13]).
+
+    The wavelength graph has a state [(v, λ)] per node and wavelength,
+    traversal arcs [(u,λ) -> (v,λ)] of weight [w(e,λ)] for each residual
+    link [e = u->v] with [λ ∈ Λ_avail(e)], and conversion arcs
+    [(v,λp) -> (v,λq)] of weight [c_v(λp,λq)].  A Dijkstra run from a super
+    source gives the minimum-cost semilightpath — this is the
+    [O(nW² + nW log (nW))] subroutine of Theorems 1 and 3.
+
+    Note: chained conversions at one node are possible in this graph; with
+    metric conversion-cost tables (all generators in {!Rr_topo} produce
+    metric tables) they never beat a direct conversion, matching the
+    paper's model.  {!assign_on_path} is the direct-conversion-only DP used
+    to cross-check. *)
+
+val optimal :
+  ?link_enabled:(int -> bool) ->
+  Network.t ->
+  source:int ->
+  target:int ->
+  (Semilightpath.t * float) option
+(** Minimum-cost semilightpath in the residual network (links filtered
+    further by [link_enabled], e.g. restricted to an induced subgraph
+    [Gᵢ]).  [None] when the target is unreachable. *)
+
+val optimal_cost :
+  ?link_enabled:(int -> bool) ->
+  Network.t ->
+  source:int ->
+  target:int ->
+  float option
+
+val optimal_bounded :
+  ?link_enabled:(int -> bool) ->
+  Network.t ->
+  max_conversions:int ->
+  source:int ->
+  target:int ->
+  (Semilightpath.t * float) option
+(** Extension: minimum-cost semilightpath using at most [max_conversions]
+    wavelength conversions (each conversion is an O-E-O regeneration stage
+    in practice, so operators cap them).  [max_conversions = 0] forces
+    wavelength continuity; large budgets coincide with {!optimal}.  The
+    search runs over the layered graph extended with a remaining-budget
+    coordinate — [O(nWK)] states. *)
+
+val assign_on_path :
+  Network.t ->
+  int list ->
+  (Semilightpath.t * float) option
+(** [assign_on_path net links] — optimal wavelength assignment for a fixed
+    chained physical path, by dynamic programming over wavelengths with
+    direct conversions only.  [None] when some link has no available
+    wavelength or no allowed conversion chain exists. *)

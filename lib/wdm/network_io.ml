@@ -1,0 +1,165 @@
+module Bitset = Rr_util.Bitset
+
+type pre_link = {
+  p_src : int;
+  p_dst : int;
+  p_weight : float;
+  p_lambdas : int list option;
+}
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let header = ref None in
+  let converters : (int, Conversion.spec) Hashtbl.t = Hashtbl.create 16 in
+  let links = ref [] in
+  let exception Fail of string in
+  try
+    List.iteri
+      (fun i raw ->
+        let lineno = i + 1 in
+        let line =
+          match String.index_opt raw '#' with
+          | Some j -> String.sub raw 0 j
+          | None -> raw
+        in
+        let tokens =
+          String.split_on_char ' ' (String.trim line)
+          |> List.filter (fun s -> s <> "")
+        in
+        let fail msg = raise (Fail (Printf.sprintf "line %d: %s" lineno msg)) in
+        let int_of s =
+          match int_of_string_opt s with
+          | Some v -> v
+          | None -> fail (Printf.sprintf "expected integer, got %S" s)
+        in
+        let float_of s =
+          match float_of_string_opt s with
+          | Some v -> v
+          | None -> fail (Printf.sprintf "expected number, got %S" s)
+        in
+        match tokens with
+        | [] -> ()
+        | "wdm" :: rest -> (
+          if !header <> None then fail "duplicate wdm header";
+          match rest with
+          | [ n; w ] -> header := Some (int_of n, int_of w)
+          | _ -> fail "usage: wdm <nodes> <wavelengths>")
+        | "converter" :: rest -> (
+          if !header = None then fail "converter before wdm header";
+          match rest with
+          | [ v; "none" ] -> Hashtbl.replace converters (int_of v) Conversion.No_conversion
+          | [ v; "full"; c ] ->
+            Hashtbl.replace converters (int_of v) (Conversion.Full (float_of c))
+          | [ v; "range"; r; c ] ->
+            Hashtbl.replace converters (int_of v)
+              (Conversion.Range (int_of r, float_of c))
+          | _ -> fail "usage: converter <node> none|full <c>|range <r> <c>")
+        | "link" :: rest -> (
+          if !header = None then fail "link before wdm header";
+          match rest with
+          | [ s; d; w ] ->
+            links :=
+              { p_src = int_of s; p_dst = int_of d; p_weight = float_of w; p_lambdas = None }
+              :: !links
+          | [ s; d; w; "lambdas"; ls ] ->
+            let lambdas =
+              String.split_on_char ',' ls
+              |> List.filter (fun s -> s <> "")
+              |> List.map int_of
+            in
+            links :=
+              {
+                p_src = int_of s;
+                p_dst = int_of d;
+                p_weight = float_of w;
+                p_lambdas = Some lambdas;
+              }
+              :: !links
+          | _ -> fail "usage: link <src> <dst> <weight> [lambdas <i,j,...>]")
+        | tok :: _ -> fail (Printf.sprintf "unknown directive %S" tok))
+      lines;
+    match !header with
+    | None -> Error "missing wdm header"
+    | Some (n, w) ->
+      if n <= 0 || w <= 0 then Error "wdm header needs positive nodes and wavelengths"
+      else begin
+        let full = List.init w Fun.id in
+        let specs =
+          List.rev_map
+            (fun p ->
+              {
+                Network.ls_src = p.p_src;
+                ls_dst = p.p_dst;
+                ls_lambdas = Option.value ~default:full p.p_lambdas;
+                ls_weight = (fun _ -> p.p_weight);
+              })
+            !links
+        in
+        let converter v =
+          Option.value ~default:(Conversion.Full 0.0) (Hashtbl.find_opt converters v)
+        in
+        try Ok (Network.create ~n_nodes:n ~n_wavelengths:w ~links:specs ~converters:converter)
+        with Invalid_argument msg -> Error msg
+      end
+  with Fail msg -> Error msg
+
+let parse_file path =
+  match
+    In_channel.with_open_text path (fun ic -> In_channel.input_all ic)
+  with
+  | text -> parse text
+  | exception Sys_error msg -> Error msg
+
+let print net =
+  let buf = Buffer.create 512 in
+  let w = Network.n_wavelengths net in
+  Buffer.add_string buf (Printf.sprintf "wdm %d %d\n" (Network.n_nodes net) w);
+  for v = 0 to Network.n_nodes net - 1 do
+    match Network.converter net v with
+    | Conversion.No_conversion -> Buffer.add_string buf (Printf.sprintf "converter %d none\n" v)
+    | Conversion.Full c -> Buffer.add_string buf (Printf.sprintf "converter %d full %.17g\n" v c)
+    | Conversion.Range (r, c) ->
+      Buffer.add_string buf (Printf.sprintf "converter %d range %d %.17g\n" v r c)
+    | Conversion.Table _ ->
+      invalid_arg "Network_io.print: Table converters are not serialisable"
+  done;
+  for e = 0 to Network.n_links net - 1 do
+    let lambdas = Bitset.to_list (Network.lambdas net e) in
+    let weight = Network.weight net e (List.hd lambdas) in
+    (* The format carries one weight per link (assumption (ii)); refuse to
+       silently drop per-wavelength structure. *)
+    List.iter
+      (fun l ->
+        if Network.weight net e l <> weight then
+          invalid_arg "Network_io.print: per-wavelength weights are not serialisable")
+      lambdas;
+    let all = List.init (Network.n_wavelengths net) Fun.id in
+    if lambdas = all then
+      Buffer.add_string buf
+        (Printf.sprintf "link %d %d %.17g\n" (Network.link_src net e)
+           (Network.link_dst net e) weight)
+    else
+      Buffer.add_string buf
+        (Printf.sprintf "link %d %d %.17g lambdas %s\n" (Network.link_src net e)
+           (Network.link_dst net e) weight
+           (String.concat "," (List.map string_of_int lambdas)))
+  done;
+  Buffer.contents buf
+
+let to_dot ?(highlight = []) net =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "digraph wdm {\n  rankdir=LR;\n  node [shape=circle];\n";
+  for e = 0 to Network.n_links net - 1 do
+    let used = Bitset.cardinal (Network.used net e) in
+    let total = Bitset.cardinal (Network.lambdas net e) in
+    let colour = List.assoc_opt e highlight in
+    Buffer.add_string buf
+      (Printf.sprintf "  %d -> %d [label=\"e%d %d/%d\"%s%s];\n"
+         (Network.link_src net e) (Network.link_dst net e) e used total
+         (match colour with
+          | Some c -> Printf.sprintf ", color=\"%s\", penwidth=2" c
+          | None -> "")
+         (if Network.is_failed net e then ", style=dashed" else ""))
+  done;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

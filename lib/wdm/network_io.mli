@@ -1,0 +1,39 @@
+(** Textual network descriptions and DOT export.
+
+    A small line-oriented format so operators can describe their own plant
+    and feed it to the CLI (and so experiments can be archived as plain
+    files):
+
+    {v
+    # comment
+    wdm <nodes> <wavelengths>
+    converter <node> none
+    converter <node> full <cost>
+    converter <node> range <radius> <cost>
+    link <src> <dst> <weight> [lambdas <i,j,k>]
+    v}
+
+    - The [wdm] header must come first.
+    - Unlisted nodes default to [full 0] converters.
+    - [lambdas] defaults to the full complement; [weight] applies to every
+      wavelength of the link (assumption (ii)).
+    - Links are directed; write both directions for a fibre. *)
+
+val parse : string -> (Network.t, string) result
+(** Parse a description; the error mentions the offending line number. *)
+
+val parse_file : string -> (Network.t, string) result
+
+val print : Network.t -> string
+(** Canonical description round-tripping through {!parse} (converters are
+    emitted as [none]/[full]/[range]; [Table] converters are not
+    serialisable and raise [Invalid_argument]). *)
+
+val to_dot :
+  ?highlight:(int * string) list ->
+  Network.t ->
+  string
+(** GraphViz digraph of the physical plant; [highlight] paints the given
+    links ([link id, colour]) — used to visualise a routed solution, e.g.
+    primary in one colour, backup in another.  Link labels show
+    [used/total] wavelengths. *)

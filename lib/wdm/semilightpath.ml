@@ -1,0 +1,121 @@
+type hop = { edge : int; lambda : int }
+
+type t = { hops : hop list }
+
+let length p = List.length p.hops
+let links p = List.map (fun h -> h.edge) p.hops
+
+let source net p =
+  match p.hops with
+  | [] -> invalid_arg "Semilightpath.source: empty path"
+  | h :: _ -> Network.link_src net h.edge
+
+let target net p =
+  match List.rev p.hops with
+  | [] -> invalid_arg "Semilightpath.target: empty path"
+  | h :: _ -> Network.link_dst net h.edge
+
+let fold_pairs f init p =
+  (* Fold over consecutive hop pairs. *)
+  let rec go acc = function
+    | a :: (b :: _ as rest) -> go (f acc a b) rest
+    | [ _ ] | [] -> acc
+  in
+  go init p.hops
+
+let traversal_cost net p =
+  List.fold_left (fun acc h -> acc +. Network.weight net h.edge h.lambda) 0.0 p.hops
+
+let conversion_cost net p =
+  fold_pairs
+    (fun acc a b ->
+      let v = Network.link_dst net a.edge in
+      match Network.conv_cost net v a.lambda b.lambda with
+      | Some c -> acc +. c
+      | None ->
+        invalid_arg
+          (Printf.sprintf
+             "Semilightpath.conversion_cost: conversion %d->%d not allowed at node %d"
+             a.lambda b.lambda v))
+    0.0 p
+
+let cost net p = traversal_cost net p +. conversion_cost net p
+
+let conversions net p =
+  List.rev
+    (fold_pairs
+       (fun acc a b ->
+         if a.lambda = b.lambda then acc
+         else (Network.link_dst net a.edge, a.lambda, b.lambda) :: acc)
+       [] p)
+
+let validate ?(require_available = true) net ~source:s ~target:t p =
+  let ( let* ) r f = Result.bind r f in
+  let* () = if p.hops = [] then Error "empty path" else Ok () in
+  let* () =
+    if Network.link_src net (List.hd p.hops).edge = s then Ok ()
+    else Error "path does not start at source"
+  in
+  (* chaining + wavelength validity + link simplicity *)
+  let seen = Hashtbl.create 16 in
+  let rec walk = function
+    | [] -> Ok ()
+    | h :: rest ->
+      if Hashtbl.mem seen h.edge then Error "link repeated"
+      else begin
+        Hashtbl.replace seen h.edge ();
+        if not (Rr_util.Bitset.mem (Network.lambdas net h.edge) h.lambda) then
+          Error
+            (Printf.sprintf "wavelength %d not on link %d" h.lambda h.edge)
+        else if require_available && not (Network.is_available net h.edge h.lambda)
+        then
+          Error
+            (Printf.sprintf "wavelength %d not available on link %d" h.lambda
+               h.edge)
+        else
+          match rest with
+          | [] -> Ok ()
+          | next :: _ ->
+            let v = Network.link_dst net h.edge in
+            if Network.link_src net next.edge <> v then Error "links do not chain"
+            else if not (Network.conv_allowed net v h.lambda next.lambda) then
+              Error
+                (Printf.sprintf "conversion %d->%d not allowed at node %d"
+                   h.lambda next.lambda v)
+            else walk rest
+      end
+  in
+  let* () = walk p.hops in
+  let last = List.nth p.hops (List.length p.hops - 1) in
+  if Network.link_dst net last.edge = t then Ok ()
+  else Error "path does not end at target"
+
+let edge_disjoint p1 p2 =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun h -> Hashtbl.replace tbl h.edge ()) p1.hops;
+  List.for_all (fun h -> not (Hashtbl.mem tbl h.edge)) p2.hops
+
+let allocate net p =
+  (* Pre-check so failure leaves no partial allocation. *)
+  List.iter
+    (fun h ->
+      if not (Network.is_available net h.edge h.lambda) then
+        invalid_arg "Semilightpath.allocate: hop not available")
+    p.hops;
+  List.iter (fun h -> Network.allocate net h.edge h.lambda) p.hops
+
+let release net p = List.iter (fun h -> Network.release net h.edge h.lambda) p.hops
+
+let uses_link p e = List.exists (fun h -> h.edge = e) p.hops
+
+let pp net fmt p =
+  match p.hops with
+  | [] -> Format.fprintf fmt "<empty>"
+  | first :: _ ->
+    Format.fprintf fmt "@[%d" (Network.link_src net first.edge);
+    List.iter
+      (fun h ->
+        Format.fprintf fmt " -(e%d,λ%d)-> %d" h.edge h.lambda
+          (Network.link_dst net h.edge))
+      p.hops;
+    Format.fprintf fmt "@]"

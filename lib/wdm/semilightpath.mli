@@ -1,0 +1,56 @@
+(** Semilightpaths (Section 2).
+
+    A semilightpath is a chained sequence of links, each with an assigned
+    wavelength; wavelength changes between consecutive hops are wavelength
+    conversions performed at the shared intermediate node.  Its cost is
+    Eq. (1):
+
+    [C(P) = Σ w(eᵢ, λᵢ)  +  Σ c_{head(eᵢ)}(λᵢ, λᵢ₊₁)]. *)
+
+type hop = { edge : int; lambda : int }
+
+type t = { hops : hop list }
+
+val source : Network.t -> t -> int
+val target : Network.t -> t -> int
+val length : t -> int
+val links : t -> int list
+
+val cost : Network.t -> t -> float
+(** Eq. (1).  Raises [Invalid_argument] if a hop's wavelength is not in
+    [Λ(e)] or a required conversion is disallowed. *)
+
+val traversal_cost : Network.t -> t -> float
+(** The [Σ w(eᵢ, λᵢ)] part ([C_w] in the Theorem 2 proof). *)
+
+val conversion_cost : Network.t -> t -> float
+(** The [Σ c(λᵢ, λᵢ₊₁)] part ([C_c]). *)
+
+val conversions : Network.t -> t -> (int * int * int) list
+(** Switch settings: [(node, λ_in, λ_out)] for every hop pair that actually
+    converts ([λ_in <> λ_out]). *)
+
+val validate :
+  ?require_available:bool ->
+  Network.t ->
+  source:int ->
+  target:int ->
+  t ->
+  (unit, string) result
+(** Full check: non-empty, chained from [source] to [target], wavelengths in
+    [Λ(e)] (and in [Λ_avail(e)] when [require_available], the default),
+    conversions allowed.  Simplicity in physical links is also enforced
+    (each link at most once). *)
+
+val edge_disjoint : t -> t -> bool
+(** No shared physical link — the robustness criterion. *)
+
+val allocate : Network.t -> t -> unit
+(** Mark every hop's wavelength in use.  All-or-nothing: raises without
+    partial allocation if any hop is unavailable. *)
+
+val release : Network.t -> t -> unit
+
+val uses_link : t -> int -> bool
+
+val pp : Network.t -> Format.formatter -> t -> unit

@@ -1,0 +1,74 @@
+module Bitset = Rr_util.Bitset
+module Digraph = Rr_graph.Digraph
+
+let per_wavelength_use net =
+  let w = Network.n_wavelengths net in
+  let counts = Array.make w 0 in
+  for e = 0 to Network.n_links net - 1 do
+    Bitset.iter (fun l -> counts.(l) <- counts.(l) + 1) (Network.used net e)
+  done;
+  counts
+
+let order_by net cmp =
+  let counts = per_wavelength_use net in
+  List.init (Network.n_wavelengths net) Fun.id
+  |> List.stable_sort (fun a b -> cmp counts.(a) counts.(b))
+
+let most_used_order net = order_by net (fun a b -> compare b a)
+let least_used_order net = order_by net compare
+
+let mean_link_load net =
+  let m = Network.n_links net in
+  if m = 0 then 0.0
+  else begin
+    let s = ref 0.0 in
+    for e = 0 to m - 1 do
+      s := !s +. Network.link_load net e
+    done;
+    !s /. float_of_int m
+  end
+
+let load_variance net =
+  let m = Network.n_links net in
+  if m = 0 then 0.0
+  else begin
+    let mean = mean_link_load net in
+    let s = ref 0.0 in
+    for e = 0 to m - 1 do
+      s := !s +. ((Network.link_load net e -. mean) ** 2.0)
+    done;
+    !s /. float_of_int m
+  end
+
+let continuity_index net =
+  let g = Network.graph net in
+  let w = float_of_int (Network.n_wavelengths net) in
+  let total = ref 0.0 and pairs = ref 0 in
+  for v = 0 to Network.n_nodes net - 1 do
+    Array.iter
+      (fun e ->
+        Array.iter
+          (fun e' ->
+            if e <> e' then begin
+              incr pairs;
+              let common =
+                Bitset.cardinal
+                  (Bitset.inter (Network.available net e) (Network.available net e'))
+              in
+              total := !total +. (float_of_int common /. w)
+            end)
+          (Digraph.out_edges g v))
+      (Digraph.in_edges g v)
+  done;
+  if !pairs = 0 then 1.0 else !total /. float_of_int !pairs
+
+let pp_histogram fmt net =
+  let counts = per_wavelength_use net in
+  let m = max 1 (Network.n_links net) in
+  Format.fprintf fmt "@[<v>";
+  Array.iteri
+    (fun l c ->
+      let bar = String.make (40 * c / m) '#' in
+      Format.fprintf fmt "λ%-3d %4d %s@," l c bar)
+    counts;
+  Format.fprintf fmt "@]"

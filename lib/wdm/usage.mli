@@ -1,0 +1,31 @@
+(** Wavelength-usage statistics over a network.
+
+    RWA heuristics and capacity studies need aggregate views of how the
+    wavelength pool is being consumed: which wavelengths are popular
+    (packing heuristics deliberately reuse them), how evenly links are
+    loaded, and how much wavelength-continuity structure remains for
+    converter-free nodes. *)
+
+val per_wavelength_use : Network.t -> int array
+(** [per_wavelength_use net].(λ) = number of links on which λ is in use. *)
+
+val most_used_order : Network.t -> int list
+(** Wavelength ids sorted by decreasing use (ties by id) — the preference
+    order of the most-used ("packing") assignment heuristic. *)
+
+val least_used_order : Network.t -> int list
+
+val mean_link_load : Network.t -> float
+(** Mean of ρ(e) over links (the network load of Eq. 2 is the max). *)
+
+val load_variance : Network.t -> float
+
+val continuity_index : Network.t -> float
+(** Mean over adjacent link pairs (e into v, e' out of v) of
+    [|Λ_avail(e) ∩ Λ_avail(e')| / W] — how much same-wavelength
+    continuation capacity survives.  1 on an idle full-complement network;
+    decays toward 0 as usage fragments the pool.  Pairs where either link
+    is saturated count as 0. *)
+
+val pp_histogram : Format.formatter -> Network.t -> unit
+(** One line per wavelength: id, links using it, a bar. *)

@@ -1,0 +1,167 @@
+(* Tests for topology analysis (bridges, articulation points, distances)
+   and CSV export. *)
+
+module Analysis = Rr_topo.Analysis
+module Fitout = Rr_topo.Fitout
+module Reference = Rr_topo.Reference
+module Csv = Rr_util.Csv_out
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+let qtest = QCheck_alcotest.to_alcotest
+
+let topo_of_fibres n fibres =
+  {
+    Fitout.t_name = "test";
+    t_nodes = n;
+    t_links = Fitout.undirected (List.map (fun (u, v) -> (u, v, 1.0)) fibres);
+  }
+
+let test_ring_analysis () =
+  let r = Analysis.analyse (Reference.ring 6) in
+  check Alcotest.int "nodes" 6 r.nodes;
+  check Alcotest.int "fibres" 6 r.fibres;
+  check Alcotest.int "degree" 2 r.min_degree;
+  check Alcotest.int "diameter" 3 r.diameter;
+  checkb "no bridges" true r.two_edge_connected;
+  checkb "biconnected" true r.biconnected
+
+let test_path_graph_bridges () =
+  (* 0 - 1 - 2: both fibres are bridges, node 1 is an articulation point *)
+  let r = Analysis.analyse (topo_of_fibres 3 [ (0, 1); (1, 2) ]) in
+  check Alcotest.(list (pair int int)) "bridges" [ (0, 1); (1, 2) ] r.bridges;
+  check Alcotest.(list int) "articulation" [ 1 ] r.articulation_points;
+  checkb "not 2-edge-connected" false r.two_edge_connected
+
+let test_barbell () =
+  (* two triangles joined by one fibre: the joint is the only bridge and
+     its endpoints are articulation points *)
+  let r =
+    Analysis.analyse
+      (topo_of_fibres 6 [ (0, 1); (1, 2); (2, 0); (3, 4); (4, 5); (5, 3); (2, 3) ])
+  in
+  check Alcotest.(list (pair int int)) "one bridge" [ (2, 3) ] r.bridges;
+  check Alcotest.(list int) "two articulation points" [ 2; 3 ] r.articulation_points
+
+let test_parallel_fibres_not_bridge () =
+  (* duplicated fibre: cutting one leaves the other *)
+  let topo =
+    {
+      Fitout.t_name = "par";
+      t_nodes = 2;
+      t_links = Fitout.undirected [ (0, 1, 1.0); (0, 1, 1.0) ];
+    }
+  in
+  let r = Analysis.analyse topo in
+  checkb "parallel fibres are not bridges" true (r.bridges = [])
+
+let test_star_analysis () =
+  let r = Analysis.analyse (Reference.star 5) in
+  check Alcotest.int "bridges" 4 (List.length r.bridges);
+  check Alcotest.(list int) "hub is articulation" [ 0 ] r.articulation_points
+
+let test_nsfnet_survivable () =
+  let r = Analysis.analyse Reference.nsfnet in
+  checkb "NSFNET is 2-edge-connected" true r.two_edge_connected;
+  check Alcotest.int "diameter" 4 r.diameter;
+  check Alcotest.int "fibres" 21 r.fibres
+
+let test_eon_survivable () =
+  let r = Analysis.analyse Reference.eon in
+  checkb "EON is 2-edge-connected" true r.two_edge_connected
+
+let test_disconnected_rejected () =
+  Alcotest.check_raises "disconnected"
+    (Invalid_argument "Analysis.analyse: disconnected topology") (fun () ->
+      ignore (Analysis.analyse (topo_of_fibres 4 [ (0, 1); (2, 3) ])))
+
+(* Bridge set cross-checked against brute force (remove each fibre, test
+   connectivity). *)
+let prop_bridges_match_brute_force =
+  QCheck.Test.make ~name:"bridges = brute-force cut test" ~count:60
+    QCheck.small_int (fun seed ->
+      let rng = Rr_util.Rng.create (seed + 3) in
+      (* random connected graph: spanning chain + extras *)
+      let n = 3 + Rr_util.Rng.int rng 6 in
+      let fibres = ref [] in
+      for v = 0 to n - 2 do
+        fibres := (v, v + 1) :: !fibres
+      done;
+      for _ = 1 to Rr_util.Rng.int rng 6 do
+        let u = Rr_util.Rng.int rng n and v = Rr_util.Rng.int rng n in
+        if u <> v && not (List.mem (min u v, max u v) !fibres)
+           && not (List.mem (max u v, min u v) !fibres)
+        then fibres := (min u v, max u v) :: !fibres
+      done;
+      let fibres = List.sort_uniq compare !fibres in
+      let topo = topo_of_fibres n fibres in
+      let r = Analysis.analyse topo in
+      let connected_without cut =
+        let uf = Rr_util.Union_find.create n in
+        List.iter
+          (fun (u, v) -> if (u, v) <> cut then ignore (Rr_util.Union_find.union uf u v))
+          fibres;
+        Rr_util.Union_find.count uf = 1
+      in
+      let brute =
+        List.filter (fun f -> not (connected_without f)) fibres
+        |> List.sort compare
+      in
+      List.sort compare r.bridges = brute)
+
+(* ------------------------------------------------------------------ *)
+(* Csv_out                                                              *)
+
+let test_csv_plain () =
+  let s = Csv.to_string ~header:[ "a"; "b" ] [ [ "1"; "2" ]; [ "3"; "4" ] ] in
+  check Alcotest.string "content" "a,b\n1,2\n3,4\n" s
+
+let test_csv_quoting () =
+  check Alcotest.string "comma" "\"a,b\"" (Csv.escape "a,b");
+  check Alcotest.string "quote" "\"say \"\"hi\"\"\"" (Csv.escape "say \"hi\"");
+  check Alcotest.string "newline" "\"x\ny\"" (Csv.escape "x\ny");
+  check Alcotest.string "plain untouched" "plain" (Csv.escape "plain")
+
+let test_csv_width_mismatch () =
+  Alcotest.check_raises "width" (Invalid_argument "Csv_out: row width differs from header")
+    (fun () -> ignore (Csv.to_string ~header:[ "a" ] [ [ "1"; "2" ] ]))
+
+let test_csv_save_roundtrip () =
+  let path = Filename.temp_file "rrcsv" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Csv.save path ~header:[ "x" ] [ [ "1" ]; [ "2" ] ];
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      let content = really_input_string ic len in
+      close_in ic;
+      check Alcotest.string "roundtrip" "x\n1\n2\n" content)
+
+let test_csv_float () =
+  let f = 0.1 +. 0.2 in
+  check Alcotest.(float 0.0) "roundtrip float" f (float_of_string (Csv.of_float f))
+
+let suite =
+  [
+    ( "topo.analysis",
+      [
+        Alcotest.test_case "ring" `Quick test_ring_analysis;
+        Alcotest.test_case "path graph" `Quick test_path_graph_bridges;
+        Alcotest.test_case "barbell" `Quick test_barbell;
+        Alcotest.test_case "parallel fibres" `Quick test_parallel_fibres_not_bridge;
+        Alcotest.test_case "star" `Quick test_star_analysis;
+        Alcotest.test_case "nsfnet" `Quick test_nsfnet_survivable;
+        Alcotest.test_case "eon" `Quick test_eon_survivable;
+        Alcotest.test_case "disconnected" `Quick test_disconnected_rejected;
+        qtest prop_bridges_match_brute_force;
+      ] );
+    ( "util.csv",
+      [
+        Alcotest.test_case "plain" `Quick test_csv_plain;
+        Alcotest.test_case "quoting" `Quick test_csv_quoting;
+        Alcotest.test_case "width mismatch" `Quick test_csv_width_mismatch;
+        Alcotest.test_case "save roundtrip" `Quick test_csv_save_roundtrip;
+        Alcotest.test_case "float cell" `Quick test_csv_float;
+      ] );
+  ]

@@ -1,0 +1,487 @@
+(* Tests for the paper's algorithms: Section 3.3 approximation, Section 4
+   load-aware routing, the exact solvers, baselines and the router facade. *)
+
+module Net = Rr_wdm.Network
+module Conv = Rr_wdm.Conversion
+module Slp = Rr_wdm.Semilightpath
+module RR = Robust_routing
+module Types = RR.Types
+module Rng = Rr_util.Rng
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+let qtest = QCheck_alcotest.to_alcotest
+
+let link ?(lambdas = [ 0; 1 ]) ?(weight = fun _ -> 1.0) u v =
+  { Net.ls_src = u; ls_dst = v; ls_lambdas = lambdas; ls_weight = weight }
+
+(* Trap topology as a WDM network: the two-step baseline must fail here
+   while the Suurballe-based algorithm succeeds. *)
+let trap_net () =
+  Net.create ~n_nodes:4 ~n_wavelengths:2
+    ~links:
+      [
+        link 0 1;                       (* e0 spine *)
+        link 1 2;                       (* e1 spine *)
+        link 2 3;                       (* e2 spine *)
+        link 0 2 ~weight:(fun _ -> 3.0); (* e3 detour *)
+        link 1 3 ~weight:(fun _ -> 3.0); (* e4 detour *)
+      ]
+    ~converters:(fun _ -> Conv.Full 0.5)
+
+let random_net ?(n = 8) ?(w = 3) ?(density = 1.0) seed =
+  let rng = Rng.create seed in
+  let topo = Rr_topo.Random_topo.degree_bounded ~rng ~n ~degree:3 in
+  Rr_topo.Fitout.fit_out ~rng ~n_wavelengths:w ~lambda_density:density topo
+
+(* Randomly pre-load a network to create interesting residual structure. *)
+let preload rng net fraction =
+  for e = 0 to Net.n_links net - 1 do
+    Rr_util.Bitset.iter
+      (fun l -> if Rng.uniform rng < fraction then Net.allocate net e l)
+      (Net.lambdas net e)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Types                                                                *)
+
+let test_types_costs () =
+  let net = trap_net () in
+  let p = { Slp.hops = [ { Slp.edge = 0; lambda = 0 }; { Slp.edge = 1; lambda = 0 } ] } in
+  let b = { Slp.hops = [ { Slp.edge = 3; lambda = 1 } ] } in
+  let protected_sol = { Types.primary = p; backup = Some b } in
+  let unprotected_sol = { Types.primary = p; backup = None } in
+  check Alcotest.(float 1e-9) "primary" 2.0 (Types.primary_cost net protected_sol);
+  check Alcotest.(float 1e-9) "backup" 3.0 (Types.backup_cost net protected_sol);
+  check Alcotest.(float 1e-9) "total" 5.0 (Types.total_cost net protected_sol);
+  check Alcotest.(float 1e-9) "unprotected backup 0" 0.0 (Types.backup_cost net unprotected_sol)
+
+let test_types_validate_disjointness () =
+  let net = trap_net () in
+  let p = { Slp.hops = [ { Slp.edge = 0; lambda = 0 }; { Slp.edge = 4; lambda = 0 } ] } in
+  let b_shares = { Slp.hops = [ { Slp.edge = 0; lambda = 1 }; { Slp.edge = 4; lambda = 1 } ] } in
+  checkb "shared link rejected" true
+    (match Types.validate net { src = 0; dst = 3 } { Types.primary = p; backup = Some b_shares } with
+     | Error e -> e = "primary and backup share a physical link"
+     | Ok () -> false)
+
+let test_types_allocate_atomic () =
+  let net = trap_net () in
+  (* backup's only hop made unavailable: allocation must roll back the
+     already-allocated primary *)
+  Rr_wdm.Network.allocate net 3 1;
+  let p = { Slp.hops = [ { Slp.edge = 0; lambda = 0 } ] } in
+  let b = { Slp.hops = [ { Slp.edge = 3; lambda = 1 } ] } in
+  let sol = { Types.primary = p; backup = Some b } in
+  let before = Rr_wdm.Network.total_in_use net in
+  (try Types.allocate net sol with Invalid_argument _ -> ());
+  check Alcotest.int "no partial allocation" before (Rr_wdm.Network.total_in_use net)
+
+(* ------------------------------------------------------------------ *)
+(* Approx_cost (Section 3.3)                                            *)
+
+let test_approx_trap () =
+  let net = trap_net () in
+  match RR.Approx_cost.route net ~source:0 ~target:3 with
+  | None -> Alcotest.fail "approx must find the disjoint pair"
+  | Some sol ->
+    checkb "valid" true (Types.validate net { src = 0; dst = 3 } sol = Ok ());
+    check Alcotest.(float 1e-9) "total cost" 8.0 (Types.total_cost net sol)
+
+let test_approx_none_on_bridge () =
+  let net =
+    Net.create ~n_nodes:3 ~n_wavelengths:2
+      ~links:[ link 0 1; link 1 2 ]
+      ~converters:(fun _ -> Conv.Full 0.0)
+  in
+  checkb "no pair on a path graph" true (RR.Approx_cost.route net ~source:0 ~target:2 = None)
+
+let test_approx_lemma2_refinement () =
+  (* Lemma 2: refined cost <= auxiliary pair weight (full conversion). *)
+  for seed = 1 to 20 do
+    let net = random_net seed in
+    match RR.Approx_cost.route_detailed net ~source:0 ~target:(Net.n_nodes net - 1) with
+    | None -> ()
+    | Some d ->
+      checkb
+        (Printf.sprintf "seed %d refinement no worse" seed)
+        true
+        (d.refined_cost <= d.aux_weight +. 1e-6)
+  done
+
+let prop_approx_solutions_valid =
+  QCheck.Test.make ~name:"approx solutions validate and are edge-disjoint" ~count:80
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed + 31) in
+      let net = random_net (seed + 31) in
+      preload rng net 0.2;
+      let target = Net.n_nodes net - 1 in
+      match RR.Approx_cost.route net ~source:0 ~target with
+      | None -> true
+      | Some sol -> Types.validate net { src = 0; dst = target } sol = Ok ())
+
+let prop_theorem2_ratio =
+  QCheck.Test.make
+    ~name:"Theorem 2: approx <= 2x exact under the conversion-cost premise"
+    ~count:40 QCheck.small_int (fun seed ->
+      let net = random_net ~n:7 (seed + 101) in
+      let target = Net.n_nodes net - 1 in
+      match
+        ( RR.Exact.route net ~source:0 ~target,
+          RR.Approx_cost.route_detailed net ~source:0 ~target )
+      with
+      | Some (_, opt), Some d ->
+        opt > 0.0 && d.refined_cost <= (2.0 *. opt) +. 1e-6
+      | None, None -> true
+      | None, Some _ -> false (* approx cannot out-find the exact solver *)
+      | Some _, None ->
+        (* The auxiliary-graph heuristic may miss pairs the exact solver
+           finds (it commits to one Suurballe solution); tolerated. *)
+        true)
+
+let prop_approx_agrees_on_feasibility =
+  QCheck.Test.make ~name:"no disjoint pair in G -> approx returns None" ~count:60
+    QCheck.small_int (fun seed ->
+      let net = random_net ~n:6 (seed + 400) in
+      let g = Net.graph net in
+      let target = Net.n_nodes net - 1 in
+      let count =
+        Rr_graph.Flow.disjoint_paths_count
+          ~enabled:(fun e -> Net.has_available net e)
+          g ~source:0 ~target
+      in
+      let approx = RR.Approx_cost.route net ~source:0 ~target in
+      if count < 2 then approx = None else true)
+
+(* ------------------------------------------------------------------ *)
+(* Exact                                                                *)
+
+let test_exact_ring () =
+  let net =
+    Rr_topo.Fitout.fit_out ~rng:(Rng.create 3) ~n_wavelengths:2
+      (Rr_topo.Reference.ring 6)
+  in
+  match RR.Exact.route net ~source:0 ~target:3 with
+  | None -> Alcotest.fail "ring always has two disjoint paths"
+  | Some (sol, c) ->
+    (* two arcs of 3 hops each, unit weights, no conversions needed *)
+    check Alcotest.(float 1e-9) "cost" 6.0 c;
+    checkb "valid" true (Types.validate net { src = 0; dst = 3 } sol = Ok ())
+
+let test_exact_beats_or_ties_everyone () =
+  for seed = 1 to 15 do
+    let net = random_net ~n:7 (seed + 777) in
+    let target = Net.n_nodes net - 1 in
+    match RR.Exact.route net ~source:0 ~target with
+    | None -> ()
+    | Some (_, opt) ->
+      List.iter
+        (fun policy ->
+          match RR.Router.route net policy ~source:0 ~target with
+          | None -> ()
+          | Some sol ->
+            let c = Types.total_cost net sol in
+            checkb
+              (Printf.sprintf "seed %d: exact <= %s" seed (RR.Router.policy_name policy))
+              true
+              (opt <= c +. 1e-6))
+        [ RR.Router.Cost_approx; RR.Router.Two_step; RR.Router.First_fit ]
+  done
+
+let test_exact_budget () =
+  let net = random_net ~n:8 1 in
+  Alcotest.check_raises "budget exceeded" RR.Exact.Budget_exceeded (fun () ->
+      ignore (RR.Exact.enumerate_simple_paths ~max_paths:1 net ~source:0 ~target:4))
+
+let prop_exact_matches_ilp =
+  QCheck.Test.make ~name:"combinatorial exact = paper ILP on tiny instances"
+    ~count:12 QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed + 2000) in
+      let topo = Rr_topo.Reference.ring 4 in
+      let net = Rr_topo.Fitout.fit_out ~rng ~n_wavelengths:2 ~lambda_density:0.8 topo in
+      match
+        (RR.Exact.route net ~source:0 ~target:2, RR.Ilp_exact.route net ~source:0 ~target:2)
+      with
+      | None, None -> true
+      | Some (_, a), Some (_, b) -> Float.abs (a -. b) < 1e-5
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Mincog (Section 4.1)                                                 *)
+
+let test_mincog_prefers_light_links () =
+  (* Two parallel 2-hop routes; load one of them and MinCog must route the
+     pair around... there are only two routes, so instead check the
+     bottleneck equals the exact minimum. *)
+  let net = trap_net () in
+  (* load the spine link e1 heavily *)
+  Net.allocate net 1 0;
+  (match RR.Mincog.route net ~source:0 ~target:3 with
+   | None -> Alcotest.fail "pair expected"
+   | Some r ->
+     (* Optimal pair avoiding e1 entirely: {e0,e4} and {e3,e2} with
+        bottleneck 0. *)
+     check Alcotest.(float 1e-9) "bottleneck avoids loaded link" 0.0 r.bottleneck);
+  match RR.Mincog.min_bottleneck net ~source:0 ~target:3 with
+  | None -> Alcotest.fail "exact bottleneck expected"
+  | Some (b, _) -> check Alcotest.(float 1e-9) "exact bottleneck" 0.0 b
+
+let test_mincog_theta_bounds () =
+  let net = trap_net () in
+  let lo, hi = RR.Mincog.theta_bounds net in
+  check Alcotest.(float 1e-9) "fresh net lo" 0.5 lo;
+  check Alcotest.(float 1e-9) "fresh net hi" 0.5 hi;
+  Net.allocate net 0 0;
+  let lo2, hi2 = RR.Mincog.theta_bounds net in
+  check Alcotest.(float 1e-9) "after load lo" 0.5 lo2;
+  check Alcotest.(float 1e-9) "after load hi" 1.0 hi2
+
+let prop_mincog_ratio_theorem3 =
+  QCheck.Test.make
+    ~name:"Theorem 3: geometric bottleneck < 3x exact (+ one level slack)"
+    ~count:40 QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed + 55) in
+      let net = random_net (seed + 55) in
+      preload rng net 0.35;
+      let target = Net.n_nodes net - 1 in
+      match
+        (RR.Mincog.route net ~source:0 ~target, RR.Mincog.min_bottleneck net ~source:0 ~target)
+      with
+      | None, None -> true
+      | Some r, Some (bstar, _) ->
+        (* ratio on the threshold scale; guard the zero-load case *)
+        if bstar <= 1e-9 then r.bottleneck <= 1.0
+        else r.bottleneck /. bstar < 3.0 +. 1e-6
+      | Some _, None -> false
+      | None, Some _ -> false)
+
+let prop_mincog_solutions_valid =
+  QCheck.Test.make ~name:"mincog solutions validate" ~count:60 QCheck.small_int
+    (fun seed ->
+      let rng = Rng.create (seed + 66) in
+      let net = random_net (seed + 66) in
+      preload rng net 0.3;
+      let target = Net.n_nodes net - 1 in
+      match RR.Mincog.route net ~source:0 ~target with
+      | None -> true
+      | Some r -> Types.validate net { src = 0; dst = target } r.solution = Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* Approx_load_cost (Section 4.2)                                       *)
+
+let prop_load_cost_valid_and_bounded =
+  QCheck.Test.make
+    ~name:"load-cost solutions validate; bottleneck within phase-1 threshold"
+    ~count:60 QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed + 91) in
+      let net = random_net (seed + 91) in
+      preload rng net 0.3;
+      let target = Net.n_nodes net - 1 in
+      match RR.Approx_load_cost.route net ~source:0 ~target with
+      | None -> true
+      | Some r ->
+        Types.validate net { src = 0; dst = target } r.solution = Ok ()
+        && r.bottleneck < r.theta +. 1e-9)
+
+let test_load_cost_cheaper_than_load_only () =
+  (* Phase 2 optimises cost within the same threshold, so it should not be
+     more expensive than the pure congestion route on average. *)
+  let improvements = ref 0 and comparisons = ref 0 in
+  for seed = 1 to 25 do
+    let rng = Rng.create (seed * 13) in
+    let net = random_net (seed * 13) in
+    preload rng net 0.3;
+    let target = Net.n_nodes net - 1 in
+    match
+      (RR.Mincog.route net ~source:0 ~target, RR.Approx_load_cost.route net ~source:0 ~target)
+    with
+    | Some a, Some b ->
+      incr comparisons;
+      let ca = Types.total_cost net a.RR.Mincog.solution in
+      let cb = Types.total_cost net b.RR.Approx_load_cost.solution in
+      if cb <= ca +. 1e-6 then incr improvements
+    | _ -> ()
+  done;
+  checkb "load+cost at least as cheap in most runs" true
+    (!comparisons > 5 && float_of_int !improvements >= 0.7 *. float_of_int !comparisons)
+
+(* ------------------------------------------------------------------ *)
+(* Baselines                                                            *)
+
+let test_two_step_fails_on_trap () =
+  let net = trap_net () in
+  checkb "two-step trapped" true (RR.Baselines.two_step net ~source:0 ~target:3 = None);
+  checkb "suurballe-based approx succeeds" true
+    (RR.Approx_cost.route net ~source:0 ~target:3 <> None)
+
+let test_unprotected_single_path () =
+  let net = trap_net () in
+  match RR.Baselines.unprotected net ~source:0 ~target:3 with
+  | None -> Alcotest.fail "path expected"
+  | Some sol ->
+    checkb "no backup" true (sol.Types.backup = None);
+    check Alcotest.(float 1e-9) "optimal single path" 3.0 (Types.total_cost net sol)
+
+let test_first_fit_valid () =
+  for seed = 1 to 10 do
+    let net = random_net (seed + 300) in
+    let target = Net.n_nodes net - 1 in
+    match RR.Baselines.first_fit net ~source:0 ~target with
+    | None -> ()
+    | Some sol ->
+      checkb
+        (Printf.sprintf "seed %d first-fit valid" seed)
+        true
+        (Types.validate net { src = 0; dst = target } sol = Ok ())
+  done
+
+let test_rwa_variants_valid () =
+  for seed = 1 to 10 do
+    let rng = Rng.create (seed + 600) in
+    let net = random_net (seed + 600) in
+    preload rng net 0.25;
+    let target = Net.n_nodes net - 1 in
+    List.iter
+      (fun (name, route) ->
+        match route net ~source:0 ~target with
+        | None -> ()
+        | Some sol ->
+          checkb
+            (Printf.sprintf "seed %d %s valid" seed name)
+            true
+            (Types.validate net { src = 0; dst = target } sol = Ok ()))
+      [
+        ("most-used", RR.Baselines.most_used_fit);
+        ("least-used", RR.Baselines.least_used_fit);
+      ]
+  done
+
+let test_most_used_packs () =
+  (* On an idle two-wavelength ring, most-used assigns λ0 to the first
+     connection and then reuses λ0 for the disjoint second path, while
+     least-used alternates after the first allocation exists. *)
+  let net =
+    Rr_topo.Fitout.fit_out ~rng:(Rng.create 2) ~n_wavelengths:4
+      (Rr_topo.Reference.ring 6)
+  in
+  Net.allocate net 0 2 (* make λ2 the most used *);
+  (match RR.Baselines.most_used_fit net ~source:1 ~target:3 with
+   | None -> Alcotest.fail "route expected"
+   | Some sol ->
+     List.iter
+       (fun h -> check Alcotest.int "packs onto λ2" 2 h.Slp.lambda)
+       sol.Types.primary.Slp.hops);
+  match RR.Baselines.least_used_fit net ~source:1 ~target:3 with
+  | None -> Alcotest.fail "route expected"
+  | Some sol ->
+    List.iter
+      (fun h -> checkb "spreads away from λ2" true (h.Slp.lambda <> 2))
+      sol.Types.primary.Slp.hops
+
+(* ------------------------------------------------------------------ *)
+(* Router facade                                                        *)
+
+let test_router_policy_names_roundtrip () =
+  List.iter
+    (fun p ->
+      check
+        Alcotest.(option string)
+        "roundtrip"
+        (Some (RR.Router.policy_name p))
+        (Option.map RR.Router.policy_name (RR.Router.policy_of_string (RR.Router.policy_name p))))
+    RR.Router.all_policies;
+  check Alcotest.bool "unknown" true (RR.Router.policy_of_string "nope" = None)
+
+let test_router_admit_allocates () =
+  let net = trap_net () in
+  let before = Net.total_in_use net in
+  match RR.Router.admit net RR.Router.Cost_approx ~source:0 ~target:3 with
+  | None -> Alcotest.fail "admission expected"
+  | Some sol ->
+    let expected =
+      Slp.length sol.Types.primary
+      + match sol.Types.backup with Some b -> Slp.length b | None -> 0
+    in
+    check Alcotest.int "wavelengths reserved" (before + expected) (Net.total_in_use net);
+    (* Release returns to the initial state. *)
+    Types.release net sol;
+    check Alcotest.int "release restores" before (Net.total_in_use net)
+
+let test_router_admit_respects_capacity () =
+  (* Admit until blocked; the network must never over-allocate. *)
+  let net = trap_net () in
+  let admitted = ref 0 in
+  let continue = ref true in
+  while !continue do
+    match RR.Router.admit net RR.Router.Cost_approx ~source:0 ~target:3 with
+    | Some _ -> incr admitted
+    | None -> continue := false
+  done;
+  (* Each admission takes 4 links x 1 λ; with W=2 there is capacity for
+     exactly 2 disjoint-pair admissions. *)
+  check Alcotest.int "two admissions fit" 2 !admitted
+
+let prop_admit_matches_route_cost =
+  QCheck.Test.make ~name:"admit returns the same solution route computes"
+    ~count:40 QCheck.small_int (fun seed ->
+      let net = random_net (seed + 811) in
+      let target = Net.n_nodes net - 1 in
+      let planned = RR.Router.route net RR.Router.Cost_approx ~source:0 ~target in
+      let admitted = RR.Router.admit net RR.Router.Cost_approx ~source:0 ~target in
+      match (planned, admitted) with
+      | None, None -> true
+      | Some a, Some b -> Types.total_cost net a = Types.total_cost net b
+      | _ -> false)
+
+let suite =
+  [
+    ( "core.types",
+      [
+        Alcotest.test_case "costs" `Quick test_types_costs;
+        Alcotest.test_case "disjointness" `Quick test_types_validate_disjointness;
+        Alcotest.test_case "allocate atomic" `Quick test_types_allocate_atomic;
+      ] );
+    ( "core.approx_cost",
+      [
+        Alcotest.test_case "trap fixture" `Quick test_approx_trap;
+        Alcotest.test_case "bridge infeasible" `Quick test_approx_none_on_bridge;
+        Alcotest.test_case "Lemma 2 refinement" `Quick test_approx_lemma2_refinement;
+        qtest prop_approx_solutions_valid;
+        qtest prop_theorem2_ratio;
+        qtest prop_approx_agrees_on_feasibility;
+      ] );
+    ( "core.exact",
+      [
+        Alcotest.test_case "ring" `Quick test_exact_ring;
+        Alcotest.test_case "dominates heuristics" `Quick test_exact_beats_or_ties_everyone;
+        Alcotest.test_case "budget" `Quick test_exact_budget;
+        qtest prop_exact_matches_ilp;
+      ] );
+    ( "core.mincog",
+      [
+        Alcotest.test_case "prefers light links" `Quick test_mincog_prefers_light_links;
+        Alcotest.test_case "theta bounds" `Quick test_mincog_theta_bounds;
+        qtest prop_mincog_ratio_theorem3;
+        qtest prop_mincog_solutions_valid;
+      ] );
+    ( "core.load_cost",
+      [
+        qtest prop_load_cost_valid_and_bounded;
+        Alcotest.test_case "cheaper than load-only" `Quick test_load_cost_cheaper_than_load_only;
+      ] );
+    ( "core.baselines",
+      [
+        Alcotest.test_case "two-step trapped" `Quick test_two_step_fails_on_trap;
+        Alcotest.test_case "unprotected" `Quick test_unprotected_single_path;
+        Alcotest.test_case "first-fit valid" `Quick test_first_fit_valid;
+        Alcotest.test_case "rwa variants valid" `Quick test_rwa_variants_valid;
+        Alcotest.test_case "most-used packs" `Quick test_most_used_packs;
+      ] );
+    ( "core.router",
+      [
+        Alcotest.test_case "policy names" `Quick test_router_policy_names_roundtrip;
+        Alcotest.test_case "admit allocates" `Quick test_router_admit_allocates;
+        Alcotest.test_case "admit respects capacity" `Quick test_router_admit_respects_capacity;
+        qtest prop_admit_matches_route_cost;
+      ] );
+  ]

@@ -1,0 +1,207 @@
+(* Tests for the LP simplex and the 0/1 branch-and-bound solver. *)
+
+module Lp = Rr_ilp.Lp
+module Ilp = Rr_ilp.Ilp
+module Rng = Rr_util.Rng
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+let qtest = QCheck_alcotest.to_alcotest
+
+let optimal = function
+  | Lp.Optimal { objective; values } -> (objective, values)
+  | Lp.Infeasible -> Alcotest.fail "unexpectedly infeasible"
+  | Lp.Unbounded -> Alcotest.fail "unexpectedly unbounded"
+
+(* ------------------------------------------------------------------ *)
+(* LP                                                                   *)
+
+let test_lp_textbook () =
+  (* min -3x - 5y  s.t. x <= 4; 2y <= 12; 3x + 2y <= 18  (x,y >= 0)
+     Classic Dantzig example: optimum at (2, 6), objective -36. *)
+  let p =
+    {
+      Lp.n_vars = 2;
+      objective = [| -3.0; -5.0 |];
+      rows =
+        [
+          ([ (0, 1.0) ], Lp.Le, 4.0);
+          ([ (1, 2.0) ], Lp.Le, 12.0);
+          ([ (0, 3.0); (1, 2.0) ], Lp.Le, 18.0);
+        ];
+    }
+  in
+  let obj, values = optimal (Lp.solve p) in
+  check Alcotest.(float 1e-6) "objective" (-36.0) obj;
+  check Alcotest.(float 1e-6) "x" 2.0 values.(0);
+  check Alcotest.(float 1e-6) "y" 6.0 values.(1)
+
+let test_lp_equality_and_ge () =
+  (* min x + y  s.t. x + y = 2; x >= 0.5  → optimum 2 at (0.5, 1.5) or any
+     split; objective is what matters. *)
+  let p =
+    {
+      Lp.n_vars = 2;
+      objective = [| 1.0; 1.0 |];
+      rows = [ ([ (0, 1.0); (1, 1.0) ], Lp.Eq, 2.0); ([ (0, 1.0) ], Lp.Ge, 0.5) ];
+    }
+  in
+  let obj, values = optimal (Lp.solve p) in
+  check Alcotest.(float 1e-6) "objective" 2.0 obj;
+  checkb "x >= 0.5" true (values.(0) >= 0.5 -. 1e-9)
+
+let test_lp_infeasible () =
+  let p =
+    {
+      Lp.n_vars = 1;
+      objective = [| 1.0 |];
+      rows = [ ([ (0, 1.0) ], Lp.Le, 1.0); ([ (0, 1.0) ], Lp.Ge, 2.0) ];
+    }
+  in
+  (match Lp.solve p with
+   | Lp.Infeasible -> ()
+   | _ -> Alcotest.fail "expected infeasible")
+
+let test_lp_unbounded () =
+  let p = { Lp.n_vars = 1; objective = [| -1.0 |]; rows = [] } in
+  match Lp.solve p with
+  | Lp.Unbounded -> ()
+  | _ -> Alcotest.fail "expected unbounded"
+
+let test_lp_negative_rhs () =
+  (* min x s.t. -x <= -3  (i.e. x >= 3) *)
+  let p =
+    { Lp.n_vars = 1; objective = [| 1.0 |]; rows = [ ([ (0, -1.0) ], Lp.Le, -3.0) ] }
+  in
+  let _, values = optimal (Lp.solve p) in
+  check Alcotest.(float 1e-6) "x = 3" 3.0 values.(0)
+
+let test_lp_degenerate () =
+  (* redundant constraints shouldn't break phase 1/2 *)
+  let p =
+    {
+      Lp.n_vars = 2;
+      objective = [| 1.0; 2.0 |];
+      rows =
+        [
+          ([ (0, 1.0); (1, 1.0) ], Lp.Eq, 1.0);
+          ([ (0, 2.0); (1, 2.0) ], Lp.Eq, 2.0);
+          ([ (0, 1.0) ], Lp.Ge, 0.0);
+        ];
+    }
+  in
+  let obj, _ = optimal (Lp.solve p) in
+  check Alcotest.(float 1e-6) "objective" 1.0 obj
+
+(* ------------------------------------------------------------------ *)
+(* ILP                                                                  *)
+
+let test_ilp_forces_integrality () =
+  (* min -(x+y) s.t. x + y <= 1.5, binaries: LP relax gives 1.5, IP gives 1. *)
+  let t = Ilp.create () in
+  let x = Ilp.add_binary t ~obj:(-1.0) "x" in
+  let y = Ilp.add_binary t ~obj:(-1.0) "y" in
+  Ilp.add_le t [ (x, 1.0); (y, 1.0) ] 1.5;
+  match Ilp.solve t with
+  | None -> Alcotest.fail "feasible"
+  | Some s ->
+    check Alcotest.(float 1e-6) "objective" (-1.0) s.objective;
+    checkb "integral" true
+      (Array.for_all (fun v -> Float.abs (v -. Float.round v) < 1e-6) s.values)
+
+let test_ilp_knapsack () =
+  (* max 10a + 6b + 4c s.t. a+b+c <= 2, 5a+4b+3c <= 8  → min of negated.
+     a+b weighs 9 > 8, so the optimum is a + c = 14. *)
+  let t = Ilp.create () in
+  let a = Ilp.add_binary t ~obj:(-10.0) "a" in
+  let b = Ilp.add_binary t ~obj:(-6.0) "b" in
+  let c = Ilp.add_binary t ~obj:(-4.0) "c" in
+  Ilp.add_le t [ (a, 1.0); (b, 1.0); (c, 1.0) ] 2.0;
+  Ilp.add_le t [ (a, 5.0); (b, 4.0); (c, 3.0) ] 8.0;
+  match Ilp.solve t with
+  | None -> Alcotest.fail "feasible"
+  | Some s ->
+    check Alcotest.(float 1e-6) "objective" (-14.0) s.objective;
+    check Alcotest.(float 1e-6) "a chosen" 1.0 s.values.(a);
+    check Alcotest.(float 1e-6) "b not" 0.0 s.values.(b);
+    check Alcotest.(float 1e-6) "c chosen" 1.0 s.values.(c)
+
+let test_ilp_infeasible () =
+  let t = Ilp.create () in
+  let x = Ilp.add_binary t "x" in
+  Ilp.add_ge t [ (x, 1.0) ] 2.0;
+  check Alcotest.bool "infeasible" true (Ilp.solve t = None)
+
+let test_ilp_continuous_mix () =
+  (* min z s.t. z >= 3x - 1, x binary forced to 1 → z = 2 *)
+  let t = Ilp.create () in
+  let x = Ilp.add_binary t "x" in
+  let z = Ilp.add_continuous t ~obj:1.0 "z" in
+  Ilp.add_eq t [ (x, 1.0) ] 1.0;
+  Ilp.add_le t [ (x, 3.0); (z, -1.0) ] 1.0;
+  match Ilp.solve t with
+  | None -> Alcotest.fail "feasible"
+  | Some s -> check Alcotest.(float 1e-6) "z" 2.0 s.values.(z)
+
+(* Random small 0/1 programs cross-checked against exhaustive enumeration. *)
+let prop_ilp_matches_enumeration =
+  QCheck.Test.make ~name:"branch-and-bound = brute force on random 0/1 programs"
+    ~count:60 QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed + 500) in
+      let nv = 2 + Rng.int rng 5 in
+      let nc = 1 + Rng.int rng 4 in
+      let obj = Array.init nv (fun _ -> Rng.float rng 10.0 -. 5.0) in
+      let rows =
+        List.init nc (fun _ ->
+            let coefs = Array.init nv (fun _ -> Rng.float rng 6.0 -. 3.0) in
+            let rhs = Rng.float rng 4.0 in
+            (coefs, rhs))
+      in
+      let t = Ilp.create () in
+      let vars = Array.init nv (fun i -> Ilp.add_binary t ~obj:obj.(i) (Printf.sprintf "v%d" i)) in
+      List.iter
+        (fun (coefs, rhs) ->
+          Ilp.add_le t (Array.to_list (Array.mapi (fun i c -> (vars.(i), c)) coefs)) rhs)
+        rows;
+      (* brute force *)
+      let best = ref infinity in
+      for mask = 0 to (1 lsl nv) - 1 do
+        let x = Array.init nv (fun i -> if mask land (1 lsl i) <> 0 then 1.0 else 0.0) in
+        let feasible =
+          List.for_all
+            (fun (coefs, rhs) ->
+              let lhs = ref 0.0 in
+              Array.iteri (fun i c -> lhs := !lhs +. (c *. x.(i))) coefs;
+              !lhs <= rhs +. 1e-9)
+            rows
+        in
+        if feasible then begin
+          let v = ref 0.0 in
+          Array.iteri (fun i c -> v := !v +. (c *. x.(i))) obj;
+          if !v < !best then best := !v
+        end
+      done;
+      match Ilp.solve t with
+      | None -> !best = infinity
+      | Some s -> Float.abs (s.objective -. !best) < 1e-5)
+
+let suite =
+  [
+    ( "ilp.lp",
+      [
+        Alcotest.test_case "textbook" `Quick test_lp_textbook;
+        Alcotest.test_case "equality and ge" `Quick test_lp_equality_and_ge;
+        Alcotest.test_case "infeasible" `Quick test_lp_infeasible;
+        Alcotest.test_case "unbounded" `Quick test_lp_unbounded;
+        Alcotest.test_case "negative rhs" `Quick test_lp_negative_rhs;
+        Alcotest.test_case "degenerate" `Quick test_lp_degenerate;
+      ] );
+    ( "ilp.bnb",
+      [
+        Alcotest.test_case "forces integrality" `Quick test_ilp_forces_integrality;
+        Alcotest.test_case "knapsack" `Quick test_ilp_knapsack;
+        Alcotest.test_case "infeasible" `Quick test_ilp_infeasible;
+        Alcotest.test_case "continuous mix" `Quick test_ilp_continuous_mix;
+        qtest prop_ilp_matches_enumeration;
+      ] );
+  ]

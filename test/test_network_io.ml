@@ -1,0 +1,127 @@
+(* Tests for the textual network format and DOT export. *)
+
+module Net = Rr_wdm.Network
+module Io = Rr_wdm.Network_io
+module Conv = Rr_wdm.Conversion
+module Rng = Rr_util.Rng
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+let qtest = QCheck_alcotest.to_alcotest
+
+let sample = {|
+# a small test network
+wdm 3 2
+converter 0 none
+converter 1 full 0.5
+converter 2 range 1 0.25
+link 0 1 2.5
+link 1 2 1.0 lambdas 0
+link 2 0 3.0 lambdas 0,1
+|}
+
+let test_parse_basic () =
+  match Io.parse sample with
+  | Error e -> Alcotest.fail e
+  | Ok net ->
+    check Alcotest.int "nodes" 3 (Net.n_nodes net);
+    check Alcotest.int "links" 3 (Net.n_links net);
+    check Alcotest.int "W" 2 (Net.n_wavelengths net);
+    check Alcotest.(float 1e-9) "weight" 2.5 (Net.weight net 0 0);
+    check Alcotest.(list int) "restricted lambdas" [ 0 ]
+      (Rr_util.Bitset.to_list (Net.lambdas net 1));
+    checkb "converter none" true (Net.converter net 0 = Conv.No_conversion);
+    checkb "converter full" true (Net.converter net 1 = Conv.Full 0.5);
+    checkb "converter range" true (Net.converter net 2 = Conv.Range (1, 0.25))
+
+let expect_error text fragment =
+  match Io.parse text with
+  | Ok _ -> Alcotest.failf "expected parse error mentioning %S" fragment
+  | Error e ->
+    let contains hay needle =
+      let nh = String.length hay and nn = String.length needle in
+      let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+      go 0
+    in
+    checkb (Printf.sprintf "error %S mentions %S" e fragment) true (contains e fragment)
+
+let test_parse_errors () =
+  expect_error "link 0 1 1.0" "before wdm header";
+  expect_error "wdm 2 2\nlink 0 5 1.0" "out of range";
+  expect_error "wdm 2 2\nfrobnicate" "unknown directive";
+  expect_error "wdm 2" "usage: wdm";
+  expect_error "wdm 2 2\nlink 0 1 abc" "expected number";
+  expect_error "" "missing wdm header";
+  expect_error "wdm 2 2\nwdm 2 2" "duplicate"
+
+let test_roundtrip () =
+  match Io.parse sample with
+  | Error e -> Alcotest.fail e
+  | Ok net -> (
+    let text = Io.print net in
+    match Io.parse text with
+    | Error e -> Alcotest.fail ("reparse: " ^ e)
+    | Ok net2 ->
+      check Alcotest.int "links" (Net.n_links net) (Net.n_links net2);
+      for e = 0 to Net.n_links net - 1 do
+        check Alcotest.(pair int int) "endpoints"
+          (Net.link_src net e, Net.link_dst net e)
+          (Net.link_src net2 e, Net.link_dst net2 e);
+        checkb "lambdas" true
+          (Rr_util.Bitset.equal (Net.lambdas net e) (Net.lambdas net2 e))
+      done)
+
+let prop_roundtrip_random =
+  QCheck.Test.make ~name:"print/parse round-trips random networks" ~count:40
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed + 11) in
+      let topo = Rr_topo.Random_topo.degree_bounded ~rng ~n:8 ~degree:3 in
+      let net =
+        Rr_topo.Fitout.fit_out ~rng ~n_wavelengths:4 ~lambda_density:0.7 topo
+      in
+      match Io.parse (Io.print net) with
+      | Error _ -> false
+      | Ok net2 ->
+        Net.n_links net = Net.n_links net2
+        && Net.n_nodes net = Net.n_nodes net2
+        &&
+        let ok = ref true in
+        for e = 0 to Net.n_links net - 1 do
+          if not (Rr_util.Bitset.equal (Net.lambdas net e) (Net.lambdas net2 e)) then
+            ok := false;
+          Rr_util.Bitset.iter
+            (fun l ->
+              if Float.abs (Net.weight net e l -. Net.weight net2 e l) > 1e-9 then
+                ok := false)
+            (Net.lambdas net e)
+        done;
+        !ok)
+
+let test_dot_export () =
+  match Io.parse sample with
+  | Error e -> Alcotest.fail e
+  | Ok net ->
+    Net.allocate net 0 0;
+    Net.fail_link net 1;
+    let dot = Io.to_dot ~highlight:[ (0, "red") ] net in
+    let contains needle =
+      let nh = String.length dot and nn = String.length needle in
+      let rec go i = i + nn <= nh && (String.sub dot i nn = needle || go (i + 1)) in
+      go 0
+    in
+    checkb "digraph" true (contains "digraph wdm");
+    checkb "usage label" true (contains "e0 1/2");
+    checkb "highlight" true (contains "color=\"red\"");
+    checkb "failed dashed" true (contains "style=dashed")
+
+let suite =
+  [
+    ( "wdm.network_io",
+      [
+        Alcotest.test_case "parse basic" `Quick test_parse_basic;
+        Alcotest.test_case "parse errors" `Quick test_parse_errors;
+        Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+        qtest prop_roundtrip_random;
+        Alcotest.test_case "dot export" `Quick test_dot_export;
+      ] );
+  ]

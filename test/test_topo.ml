@@ -1,0 +1,163 @@
+(* Tests for topology generators and the WDM fit-out. *)
+
+module Fitout = Rr_topo.Fitout
+module Reference = Rr_topo.Reference
+module Random_topo = Rr_topo.Random_topo
+module Net = Rr_wdm.Network
+module Rng = Rr_util.Rng
+module Traversal = Rr_graph.Traversal
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+let qtest = QCheck_alcotest.to_alcotest
+
+let strongly_connected topo =
+  let g =
+    Rr_graph.Digraph.of_edges topo.Fitout.t_nodes
+      (List.map (fun (u, v, _) -> (u, v)) topo.Fitout.t_links)
+  in
+  Traversal.is_strongly_connected g
+
+let test_nsfnet_shape () =
+  let t = Reference.nsfnet in
+  check Alcotest.int "nodes" 14 t.Fitout.t_nodes;
+  check Alcotest.int "directed links" 42 (List.length t.Fitout.t_links);
+  checkb "strongly connected" true (strongly_connected t)
+
+let test_eon_shape () =
+  let t = Reference.eon in
+  check Alcotest.int "nodes" 19 t.Fitout.t_nodes;
+  check Alcotest.int "directed links" 74 (List.length t.Fitout.t_links);
+  checkb "strongly connected" true (strongly_connected t)
+
+let test_ring_and_grid () =
+  let r = Reference.ring 5 in
+  check Alcotest.int "ring links" 10 (List.length r.Fitout.t_links);
+  checkb "ring connected" true (strongly_connected r);
+  let g = Reference.grid 3 4 in
+  check Alcotest.int "grid nodes" 12 g.Fitout.t_nodes;
+  (* 3x4 grid: horizontal 3*3 + vertical 2*4 = 17 fibres -> 34 links *)
+  check Alcotest.int "grid links" 34 (List.length g.Fitout.t_links);
+  checkb "grid connected" true (strongly_connected g)
+
+let test_torus () =
+  let t = Reference.torus 3 4 in
+  check Alcotest.int "nodes" 12 t.Fitout.t_nodes;
+  (* 4-regular: 2 fibres per node -> 24 fibres -> 48 directed links *)
+  check Alcotest.int "links" 48 (List.length t.Fitout.t_links);
+  checkb "connected" true (strongly_connected t);
+  let r = Rr_topo.Analysis.analyse t in
+  checkb "biconnected" true r.Rr_topo.Analysis.biconnected;
+  check Alcotest.int "4-regular" 4 r.Rr_topo.Analysis.min_degree;
+  Alcotest.check_raises "too small" (Invalid_argument "Reference.torus: need at least 3x3")
+    (fun () -> ignore (Reference.torus 2 5))
+
+let test_star_has_no_disjoint_pairs () =
+  let net =
+    Fitout.fit_out ~rng:(Rng.create 1) ~n_wavelengths:2 (Reference.star 5)
+  in
+  let g = Net.graph net in
+  check Alcotest.int "leaf-to-leaf max flow" 1
+    (Rr_graph.Flow.disjoint_paths_count g ~source:1 ~target:2)
+
+let test_fitout_defaults () =
+  let net = Fitout.fit_out ~rng:(Rng.create 2) ~n_wavelengths:4 Reference.nsfnet in
+  check Alcotest.int "W" 4 (Net.n_wavelengths net);
+  (* full complement by default *)
+  for e = 0 to Net.n_links net - 1 do
+    check Alcotest.int
+      (Printf.sprintf "link %d full Λ" e)
+      4
+      (Rr_util.Bitset.cardinal (Net.lambdas net e))
+  done;
+  (* default converters satisfy Theorem 2's premise: conversion cost at a
+     node <= weight of any incident link *)
+  for v = 0 to Net.n_nodes net - 1 do
+    let c = Rr_wdm.Conversion.max_cost (Net.converter net v) ~n_wavelengths:4 in
+    Rr_graph.Digraph.fold_edges
+      (fun e u w () ->
+        if u = v || w = v then
+          Rr_util.Bitset.iter
+            (fun l ->
+              checkb "premise" true (c <= Net.weight net e l +. 1e-9))
+            (Net.lambdas net e))
+      (Net.graph net) ()
+  done
+
+let test_fitout_density_keeps_one () =
+  let net =
+    Fitout.fit_out ~rng:(Rng.create 5) ~n_wavelengths:8 ~lambda_density:0.01
+      Reference.nsfnet
+  in
+  for e = 0 to Net.n_links net - 1 do
+    checkb "at least one λ" true (Rr_util.Bitset.cardinal (Net.lambdas net e) >= 1)
+  done
+
+let test_fitout_jitter_bounds () =
+  let net =
+    Fitout.fit_out ~rng:(Rng.create 6) ~n_wavelengths:3 ~weight_jitter:0.2
+      (Reference.ring 4)
+  in
+  for e = 0 to Net.n_links net - 1 do
+    Rr_util.Bitset.iter
+      (fun l ->
+        let w = Net.weight net e l in
+        checkb "jitter in band" true (w >= 0.8 -. 1e-9 && w <= 1.2 +. 1e-9))
+      (Net.lambdas net e)
+  done
+
+let test_fitout_rejects_bad_args () =
+  Alcotest.check_raises "bad density"
+    (Invalid_argument "Fitout.fit_out: lambda_density must be in (0,1]") (fun () ->
+      ignore
+        (Fitout.fit_out ~rng:(Rng.create 1) ~n_wavelengths:2 ~lambda_density:0.0
+           (Reference.ring 3)))
+
+let prop_random_topos_connected =
+  QCheck.Test.make ~name:"random topologies are strongly connected" ~count:60
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed + 1) in
+      let er = Random_topo.erdos_renyi ~rng ~n:12 ~p:0.3 in
+      let wx = Random_topo.waxman ~rng ~n:15 () in
+      let db = Random_topo.degree_bounded ~rng ~n:12 ~degree:3 in
+      strongly_connected er && strongly_connected wx && strongly_connected db)
+
+let prop_degree_bounded_has_disjoint_pairs =
+  QCheck.Test.make
+    ~name:"degree-bounded topologies admit a disjoint pair everywhere" ~count:40
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed + 7) in
+      let topo = Random_topo.degree_bounded ~rng ~n:10 ~degree:3 in
+      let g =
+        Rr_graph.Digraph.of_edges topo.Fitout.t_nodes
+          (List.map (fun (u, v, _) -> (u, v)) topo.Fitout.t_links)
+      in
+      let ok = ref true in
+      for t = 1 to 9 do
+        if Rr_graph.Flow.disjoint_paths_count g ~source:0 ~target:t < 2 then ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    ( "topo.reference",
+      [
+        Alcotest.test_case "nsfnet" `Quick test_nsfnet_shape;
+        Alcotest.test_case "eon" `Quick test_eon_shape;
+        Alcotest.test_case "ring and grid" `Quick test_ring_and_grid;
+        Alcotest.test_case "torus" `Quick test_torus;
+        Alcotest.test_case "star infeasible" `Quick test_star_has_no_disjoint_pairs;
+      ] );
+    ( "topo.fitout",
+      [
+        Alcotest.test_case "defaults" `Quick test_fitout_defaults;
+        Alcotest.test_case "density keeps one" `Quick test_fitout_density_keeps_one;
+        Alcotest.test_case "jitter bounds" `Quick test_fitout_jitter_bounds;
+        Alcotest.test_case "rejects bad args" `Quick test_fitout_rejects_bad_args;
+      ] );
+    ( "topo.random",
+      [
+        qtest prop_random_topos_connected;
+        qtest prop_degree_bounded_has_disjoint_pairs;
+      ] );
+  ]
