@@ -36,6 +36,7 @@ module Stats = Rr_util.Stats
 let fast = ref false
 let only = ref None
 let csv_dir = ref None
+let json_path = ref None
 
 (* With --csv <dir>, every table is also written as <dir>/<slug>.csv. *)
 let csv_tables : (string * string list * string list list) list ref = ref []
@@ -1178,6 +1179,148 @@ let run_prov () =
     \   setting of the paper's refs [17], [3])\n"
 
 (* ------------------------------------------------------------------ *)
+(* PERF-ROUTING: workspace pooling and the parallel batch engine        *)
+
+(* The pooling workload stresses what pooling removes: per-request O(nW)
+   array allocation.  NSFNET with a wide wavelength set and sparse
+   (range-1) converters keeps the search itself cheap relative to the
+   scratch state it needs. *)
+let perf_net ?(w = 64) ?(preload = 0.25) seed =
+  let rng = Rng.create seed in
+  let net =
+    Rr_topo.Fitout.fit_out ~rng ~n_wavelengths:w
+      ~converter:(fun _ -> Rr_wdm.Conversion.Range (1, 200.0))
+      Rr_topo.Reference.nsfnet
+  in
+  for e = 0 to Net.n_links net - 1 do
+    Rr_util.Bitset.iter
+      (fun l -> if Rng.uniform rng < preload then Net.allocate net e l)
+      (Net.lambdas net e)
+  done;
+  net
+
+let run_perf_routing () =
+  let w = 64 in
+  let net = perf_net ~w ~preload:0.5 41 in
+  let rng = Rng.create 43 in
+  (* Short-haul requests (adjacent node pairs): the search early-exits at
+     the sink, so per-request scratch allocation is the dominant cost the
+     pool is meant to remove. *)
+  let g = Net.graph net in
+  let pairs =
+    Array.init 16 (fun _ ->
+        Rr_graph.Digraph.endpoints g (Rng.int rng (Rr_graph.Digraph.n_edges g)))
+  in
+  let i = ref 0 in
+  let next_pair () =
+    let p = pairs.(!i land 15) in
+    incr i;
+    p
+  in
+  (* Layered kernel: the O(nW) search at the bottom of every policy. *)
+  let layered workspace () =
+    let s, d = next_pair () in
+    ignore (Rr_wdm.Layered.optimal ?workspace net ~source:s ~target:d)
+  in
+  let layered_unpooled = measure_ns (layered None) in
+  let ws = Rr_util.Workspace.create () in
+  let layered_pooled = measure_ns (layered (Some ws)) in
+  (* Full Section 3.3 pipeline (auxiliary graph + Suurballe + refine). *)
+  let pipeline workspace () =
+    let s, d = next_pair () in
+    ignore (RR.Approx_cost.route ?workspace net ~source:s ~target:d)
+  in
+  let pipeline_unpooled = measure_ns (pipeline None) in
+  let pipeline_pooled = measure_ns (pipeline (Some ws)) in
+  (* Batch engine: sequential speculative discipline vs the domain pool. *)
+  let batch_reqs =
+    List.init (if !fast then 8 else 24) (fun _ ->
+        let s, d = next_pair () in
+        { Types.src = s; dst = d })
+  in
+  let batch_net = perf_net ~w:16 47 in
+  let seq_ns =
+    measure_ns (fun () ->
+        ignore (RR.Batch.route (Net.copy batch_net) Router.Cost_approx batch_reqs))
+  in
+  let jobs = RR.Parallel.default_jobs () in
+  let par_ns =
+    RR.Parallel.with_pool ~jobs (fun pool ->
+        measure_ns (fun () ->
+            ignore
+              (RR.Batch.route_parallel ~pool (Net.copy batch_net)
+                 Router.Cost_approx batch_reqs)))
+  in
+  let speedup a b = if b > 0.0 then a /. b else nan in
+  let t =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "PERF-ROUTING: workspace pooling and parallel batch (NSFNET, \
+            W=%d kernel at 50%% preload / W=16 batch at 25%%, range-1 \
+            converters)"
+           w)
+      ~header:[ "benchmark"; "unpooled/seq"; "pooled/parallel"; "speedup" ]
+  in
+  Table.add_row t
+    [
+      "layered kernel"; ns_cell layered_unpooled; ns_cell layered_pooled;
+      Printf.sprintf "%.2fx" (speedup layered_unpooled layered_pooled);
+    ];
+  Table.add_row t
+    [
+      "sec-3.3 pipeline"; ns_cell pipeline_unpooled; ns_cell pipeline_pooled;
+      Printf.sprintf "%.2fx" (speedup pipeline_unpooled pipeline_pooled);
+    ];
+  Table.add_row t
+    [
+      Printf.sprintf "batch x%d (jobs=%d)" (List.length batch_reqs) jobs;
+      ns_cell seq_ns; ns_cell par_ns;
+      Printf.sprintf "%.2fx" (speedup seq_ns par_ns);
+    ];
+  Table.print t;
+  Printf.printf
+    "  (pooling reuses one set of O(nW) scratch arrays across requests;\n\
+    \   the parallel row compares Batch.route against route_parallel on\n\
+    \   %d worker domain%s)\n"
+    jobs
+    (if jobs = 1 then "" else "s");
+  match !json_path with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    Printf.fprintf oc
+      "{\n\
+      \  \"benchmark\": \"perf-routing\",\n\
+      \  \"workload\": {\n\
+      \    \"topology\": \"nsfnet\",\n\
+      \    \"kernel_wavelengths\": %d,\n\
+      \    \"batch_wavelengths\": 16,\n\
+      \    \"converters\": \"range-1\",\n\
+      \    \"kernel_preload\": 0.5,\n\
+      \    \"batch_preload\": 0.25,\n\
+      \    \"batch_size\": %d\n\
+      \  },\n\
+      \  \"layered_kernel\": { \"unpooled_ns\": %.1f, \"pooled_ns\": %.1f, \
+       \"speedup\": %.3f },\n\
+      \  \"approx_pipeline\": { \"unpooled_ns\": %.1f, \"pooled_ns\": %.1f, \
+       \"speedup\": %.3f },\n\
+      \  \"batch\": { \"jobs\": %d, \"sequential_ns\": %.1f, \
+       \"parallel_ns\": %.1f, \"speedup\": %.3f },\n\
+      \  \"acceptance\": { \"pooled_speedup_floor\": 1.3, \"achieved\": \
+       %.3f, \"ok\": %b }\n\
+       }\n"
+      w (List.length batch_reqs) layered_unpooled layered_pooled
+      (speedup layered_unpooled layered_pooled)
+      pipeline_unpooled pipeline_pooled
+      (speedup pipeline_unpooled pipeline_pooled)
+      jobs seq_ns par_ns (speedup seq_ns par_ns)
+      (speedup layered_unpooled layered_pooled)
+      (speedup layered_unpooled layered_pooled >= 1.3);
+    close_out oc;
+    Printf.printf "json: wrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
 (* ILP-X                                                                *)
 
 let run_ilp_cross () =
@@ -1240,6 +1383,7 @@ let sections =
     ("abl-reconfigure", run_abl_reconfigure);
     ("prov", run_prov);
     ("ilp-cross", run_ilp_cross);
+    ("perf-routing", run_perf_routing);
   ]
 
 let () =
@@ -1250,7 +1394,9 @@ let () =
       if a = "--only" && i + 1 < List.length args then
         only := Some (List.nth args (i + 1));
       if a = "--csv" && i + 1 < List.length args then
-        csv_dir := Some (List.nth args (i + 1)))
+        csv_dir := Some (List.nth args (i + 1));
+      if a = "--json" && i + 1 < List.length args then
+        json_path := Some (List.nth args (i + 1)))
     args;
   let chosen =
     match !only with

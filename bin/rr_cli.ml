@@ -261,7 +261,16 @@ let batch_cmd =
   let order =
     Arg.(value & opt order_conv RR.Batch.Fifo & info [ "order" ] ~doc:"Processing order.")
   in
-  let run topo policy w seed size order =
+  let jobs =
+    Arg.(
+      value & opt int 0
+      & info [ "jobs" ]
+          ~doc:
+            "Route the batch with the speculative two-phase engine on N \
+             worker domains (N >= 1).  0 (the default) keeps the paper's \
+             sequential one-by-one discipline.")
+  in
+  let run topo policy w seed size order jobs =
     let net = build_net topo w seed in
     let rng = Rr_util.Rng.create seed in
     let reqs =
@@ -269,7 +278,10 @@ let batch_cmd =
           let s, d = Rr_sim.Workload.random_pair rng ~n_nodes:(Net.n_nodes net) in
           { RR.Types.src = s; dst = d })
     in
-    let r = RR.Batch.process ~order net policy reqs in
+    let r =
+      if jobs <= 0 then RR.Batch.process ~order net policy reqs
+      else RR.Batch.route_parallel ~order ~jobs net policy reqs
+    in
     List.iter
       (fun o ->
         match o.RR.Batch.solution with
@@ -285,7 +297,9 @@ let batch_cmd =
   in
   Cmd.v
     (Cmd.info "batch" ~doc:"Process one batch of random requests (Section 2).")
-    Term.(const run $ topo_arg $ policy_arg $ wavelengths_arg $ seed_arg $ size $ order)
+    Term.(
+      const run $ topo_arg $ policy_arg $ wavelengths_arg $ seed_arg $ size
+      $ order $ jobs)
 
 (* ------------------------------------------------------------------ *)
 (* provision                                                            *)

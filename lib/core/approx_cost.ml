@@ -1,5 +1,6 @@
 module Aux = Rr_wdm.Auxiliary
 module Layered = Rr_wdm.Layered
+module Workspace = Rr_util.Workspace
 
 type detail = {
   aux : Aux.t;
@@ -11,20 +12,32 @@ type detail = {
 }
 
 (* Refine one auxiliary path: optimal semilightpath within the physical
-   subgraph its traversal arcs induce. *)
-let refine net ~source ~target links =
-  let set = Hashtbl.create 16 in
-  List.iter (fun e -> Hashtbl.replace set e ()) links;
-  Layered.optimal net ~link_enabled:(Hashtbl.mem set) ~source ~target
+   subgraph its traversal arcs induce.  With a workspace, link-subset
+   membership uses its stamped mark set (independent of the distance
+   epoch, so the layered search below may reset distances freely). *)
+let refine net ?workspace ~source ~target links =
+  match workspace with
+  | Some ws ->
+    Workspace.mark_reset ws (Rr_wdm.Network.n_links net);
+    List.iter (Workspace.mark ws) links;
+    Layered.optimal net ~link_enabled:(Workspace.marked ws) ~workspace:ws
+      ~source ~target
+  | None ->
+    let set = Hashtbl.create 16 in
+    List.iter (fun e -> Hashtbl.replace set e ()) links;
+    Layered.optimal net ~link_enabled:(Hashtbl.mem set) ~source ~target
 
-let route_detailed net ~source ~target =
+let route_detailed ?workspace net ~source ~target =
   let aux = Aux.gprime net ~source ~target in
-  match Aux.disjoint_pair aux with
+  match Aux.disjoint_pair ?workspace aux with
   | None -> None
   | Some ((p1, p2), aux_weight) ->
     let links1 = Aux.links_of_path aux p1 in
     let links2 = Aux.links_of_path aux p2 in
-    (match (refine net ~source ~target links1, refine net ~source ~target links2) with
+    (match
+       ( refine net ?workspace ~source ~target links1,
+         refine net ?workspace ~source ~target links2 )
+     with
      | Some (sl1, c1), Some (sl2, c2) ->
        (* Serve the cheaper path as primary. *)
        let (primary, _), (backup, _) =
@@ -41,5 +54,5 @@ let route_detailed net ~source ~target =
          }
      | _ -> None)
 
-let route net ~source ~target =
-  Option.map (fun d -> d.solution) (route_detailed net ~source ~target)
+let route ?workspace net ~source ~target =
+  Option.map (fun d -> d.solution) (route_detailed ?workspace net ~source ~target)

@@ -19,13 +19,23 @@ type detail = {
   refined_cost : float;  (** C(P₁′) + C(P₂′) ≤ [aux_weight] *)
 }
 
-val route : Rr_wdm.Network.t -> source:int -> target:int -> Types.solution option
+val route :
+  ?workspace:Rr_util.Workspace.t ->
+  Rr_wdm.Network.t ->
+  source:int ->
+  target:int ->
+  Types.solution option
 (** [None] when no two edge-disjoint semilightpaths exist in the residual
     network (or when a degenerate converter configuration admits no
     consistent wavelength chain along the chosen subgraphs — impossible
-    under the paper's full-switching assumption (i)). *)
+    under the paper's full-switching assumption (i)).  [workspace] is
+    shared by the Suurballe passes and the layered refinements. *)
 
 val route_detailed :
-  Rr_wdm.Network.t -> source:int -> target:int -> detail option
+  ?workspace:Rr_util.Workspace.t ->
+  Rr_wdm.Network.t ->
+  source:int ->
+  target:int ->
+  detail option
 (** Same, exposing the intermediate quantities that the Lemma 2 and
     Theorem 2 experiments report. *)

@@ -16,6 +16,7 @@ type result = {
 val route :
   ?base:float ->
   ?resolution:int ->
+  ?workspace:Rr_util.Workspace.t ->
   Rr_wdm.Network.t ->
   source:int ->
   target:int ->

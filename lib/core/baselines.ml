@@ -2,19 +2,27 @@ module Net = Rr_wdm.Network
 module Layered = Rr_wdm.Layered
 module Slp = Rr_wdm.Semilightpath
 
-let two_step net ~source ~target =
-  match Layered.optimal net ~source ~target with
+let two_step ?workspace net ~source ~target =
+  match Layered.optimal ?workspace net ~source ~target with
   | None -> None
   | Some (p1, _) ->
-    let used = Hashtbl.create 16 in
-    List.iter (fun e -> Hashtbl.replace used e ()) (Slp.links p1);
-    let link_enabled e = not (Hashtbl.mem used e) in
-    (match Layered.optimal net ~link_enabled ~source ~target with
+    let link_enabled =
+      match workspace with
+      | Some ws ->
+        Rr_util.Workspace.mark_reset ws (Net.n_links net);
+        List.iter (Rr_util.Workspace.mark ws) (Slp.links p1);
+        fun e -> not (Rr_util.Workspace.marked ws e)
+      | None ->
+        let used = Hashtbl.create 16 in
+        List.iter (fun e -> Hashtbl.replace used e ()) (Slp.links p1);
+        fun e -> not (Hashtbl.mem used e)
+    in
+    (match Layered.optimal ?workspace net ~link_enabled ~source ~target with
      | None -> None
      | Some (p2, _) -> Some { Types.primary = p1; backup = Some p2 })
 
-let unprotected net ~source ~target =
-  match Layered.optimal net ~source ~target with
+let unprotected ?workspace net ~source ~target =
+  match Layered.optimal ?workspace net ~source ~target with
   | None -> None
   | Some (p, _) -> Some { Types.primary = p; backup = None }
 
@@ -22,11 +30,13 @@ let unprotected net ~source ~target =
    caller-supplied preference order (first-fit = identity order, most-used
    = packing order, least-used = spreading order; cf. the adaptive RWA
    heuristics of Mokhtar & Azizoglu, the paper's ref [16]). *)
-let greedy_path net ~prefer ~link_enabled ~source ~target =
+let greedy_path ?workspace net ~prefer ~link_enabled ~source ~target =
   let g = Net.graph net in
   let enabled e = link_enabled e && Net.has_available net e in
   match
-    Rr_graph.Dijkstra.shortest_path ~enabled g ~weight:(fun _ -> 1.0) ~source ~target
+    Rr_graph.Dijkstra.shortest_path ~enabled ?workspace g
+      ~weight:(fun _ -> 1.0)
+      ~source ~target
   with
   | None -> None
   | Some (links, _) ->
@@ -55,23 +65,29 @@ let greedy_path net ~prefer ~link_enabled ~source ~target =
      | None -> None
      | Some hops -> Some ({ Slp.hops }, links))
 
-let greedy_pair net ~prefer ~source ~target =
-  match greedy_path net ~prefer ~link_enabled:(fun _ -> true) ~source ~target with
+let greedy_pair ?workspace net ~prefer ~source ~target =
+  match
+    greedy_path ?workspace net ~prefer ~link_enabled:(fun _ -> true) ~source ~target
+  with
   | None -> None
   | Some (p1, links1) ->
     let used = Hashtbl.create 16 in
     List.iter (fun e -> Hashtbl.replace used e ()) links1;
     let link_enabled e = not (Hashtbl.mem used e) in
-    (match greedy_path net ~prefer ~link_enabled ~source ~target with
+    (match greedy_path ?workspace net ~prefer ~link_enabled ~source ~target with
      | None -> None
      | Some (p2, _) -> Some { Types.primary = p1; backup = Some p2 })
 
-let first_fit net ~source ~target =
+let first_fit ?workspace net ~source ~target =
   let order = List.init (Net.n_wavelengths net) Fun.id in
-  greedy_pair net ~prefer:(fun () -> order) ~source ~target
+  greedy_pair ?workspace net ~prefer:(fun () -> order) ~source ~target
 
-let most_used_fit net ~source ~target =
-  greedy_pair net ~prefer:(fun () -> Rr_wdm.Usage.most_used_order net) ~source ~target
+let most_used_fit ?workspace net ~source ~target =
+  greedy_pair ?workspace net
+    ~prefer:(fun () -> Rr_wdm.Usage.most_used_order net)
+    ~source ~target
 
-let least_used_fit net ~source ~target =
-  greedy_pair net ~prefer:(fun () -> Rr_wdm.Usage.least_used_order net) ~source ~target
+let least_used_fit ?workspace net ~source ~target =
+  greedy_pair ?workspace net
+    ~prefer:(fun () -> Rr_wdm.Usage.least_used_order net)
+    ~source ~target

@@ -11,20 +11,40 @@
       separate-RWA-decisions strawman. *)
 
 val two_step :
-  Rr_wdm.Network.t -> source:int -> target:int -> Types.solution option
+  ?workspace:Rr_util.Workspace.t ->
+  Rr_wdm.Network.t ->
+  source:int ->
+  target:int ->
+  Types.solution option
 
 val unprotected :
-  Rr_wdm.Network.t -> source:int -> target:int -> Types.solution option
+  ?workspace:Rr_util.Workspace.t ->
+  Rr_wdm.Network.t ->
+  source:int ->
+  target:int ->
+  Types.solution option
 
 val first_fit :
-  Rr_wdm.Network.t -> source:int -> target:int -> Types.solution option
+  ?workspace:Rr_util.Workspace.t ->
+  Rr_wdm.Network.t ->
+  source:int ->
+  target:int ->
+  Types.solution option
 
 val most_used_fit :
-  Rr_wdm.Network.t -> source:int -> target:int -> Types.solution option
+  ?workspace:Rr_util.Workspace.t ->
+  Rr_wdm.Network.t ->
+  source:int ->
+  target:int ->
+  Types.solution option
 (** Hop-count routing with *packing* wavelength assignment: prefer the
     wavelength already used on the most links (cf. adaptive RWA, the
     paper's ref [16]). *)
 
 val least_used_fit :
-  Rr_wdm.Network.t -> source:int -> target:int -> Types.solution option
+  ?workspace:Rr_util.Workspace.t ->
+  Rr_wdm.Network.t ->
+  source:int ->
+  target:int ->
+  Types.solution option
 (** Spreading assignment: prefer the least-used wavelength. *)

@@ -25,24 +25,35 @@ let order_name = function
   | Longest_first -> "longest-first"
   | Random _ -> "random"
 
-let hop_distance net req =
-  let d =
-    Rr_graph.Traversal.bfs_dist
-      ~enabled:(fun e -> Net.has_available net e)
-      (Net.graph net) ~source:req.Types.src
-  in
-  if req.Types.dst >= 0 && req.Types.dst < Array.length d then d.(req.Types.dst)
-  else -1
-
 let arrange net order requests =
   match order with
   | Fifo -> requests
   | Shortest_first | Longest_first ->
+    (* One BFS per distinct source, not per request: batch workloads
+       typically repeat sources, and each BFS is O(n + m). *)
+    let trees = Hashtbl.create 8 in
+    let dist_from src =
+      match Hashtbl.find_opt trees src with
+      | Some d -> d
+      | None ->
+        let d =
+          Rr_graph.Traversal.bfs_dist
+            ~enabled:(fun e -> Net.has_available net e)
+            (Net.graph net) ~source:src
+        in
+        Hashtbl.add trees src d;
+        d
+    in
     let keyed =
       List.map
         (fun r ->
-          let d = hop_distance net r in
-          ((if d < 0 then max_int else d), r))
+          let d = dist_from r.Types.src in
+          let h =
+            if r.Types.dst >= 0 && r.Types.dst < Array.length d then
+              d.(r.Types.dst)
+            else -1
+          in
+          ((if h < 0 then max_int else h), r))
         requests
     in
     let cmp (a, _) (b, _) =
@@ -88,3 +99,97 @@ let process ?(order = Fifo) net policy requests =
     total_cost;
     final_load = Net.network_load net;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Speculative two-phase batch engine.
+
+   Phase A routes every request read-only against a snapshot of the
+   network as it stood when the batch arrived — requests do not see each
+   other, so the phase parallelises perfectly.  Phase B walks the batch in
+   order on the live network: a speculative solution still valid there is
+   allocated as-is; one invalidated by an earlier admission is recomputed
+   sequentially (the slow path); a request that found no route against the
+   snapshot is dropped outright — admissions only consume resources, so a
+   request infeasible on the snapshot is also infeasible on the live
+   network.
+
+   Phase B never depends on how Phase A was executed, so [route] and
+   [route_parallel] produce identical results by construction. *)
+
+let speculate_one snapshot ws policy req =
+  if valid snapshot req then
+    Router.route ~workspace:ws snapshot policy ~source:req.Types.src
+      ~target:req.Types.dst
+  else None
+
+let apply net policy ordered speculative =
+  let ws = Rr_util.Workspace.create () in
+  let outcomes =
+    List.map2
+      (fun req spec ->
+        let solution =
+          match spec with
+          | None -> None
+          | Some sol -> (
+            let r = { Types.src = req.Types.src; dst = req.Types.dst } in
+            match Types.validate net r sol with
+            | Ok () ->
+              Types.allocate net sol;
+              Some sol
+            | Error _ ->
+              (* An earlier admission consumed a wavelength this solution
+                 needs: recompute against the live network. *)
+              Router.admit ~workspace:ws net policy ~source:req.Types.src
+                ~target:req.Types.dst)
+        in
+        { request = req; solution })
+      ordered speculative
+  in
+  let admitted = List.length (List.filter (fun o -> o.solution <> None) outcomes) in
+  let total_cost =
+    List.fold_left
+      (fun acc o ->
+        match o.solution with
+        | Some sol -> acc +. Types.total_cost net sol
+        | None -> acc)
+      0.0 outcomes
+  in
+  {
+    outcomes;
+    admitted;
+    dropped = List.length outcomes - admitted;
+    total_cost;
+    final_load = Net.network_load net;
+  }
+
+let route ?(order = Fifo) net policy requests =
+  let ordered = arrange net order requests in
+  let snapshot = Net.copy net in
+  let ws = Rr_util.Workspace.create () in
+  let speculative =
+    List.map (fun req -> speculate_one snapshot ws policy req) ordered
+  in
+  apply net policy ordered speculative
+
+let route_parallel ?(order = Fifo) ?pool ?jobs net policy requests =
+  let ordered = arrange net order requests in
+  let jobs =
+    match (pool, jobs) with
+    | Some p, _ -> Parallel.size p
+    | None, Some j -> j
+    | None, None -> Parallel.default_jobs ()
+  in
+  if jobs < 1 then invalid_arg "Batch.route_parallel: jobs must be at least 1";
+  let reqs = Array.of_list ordered in
+  let phase_a p =
+    Parallel.map p
+      ~worker:(fun _ -> (Net.copy net, Rr_util.Workspace.create ()))
+      ~f:(fun (snapshot, ws) req -> speculate_one snapshot ws policy req)
+      reqs
+  in
+  let speculative =
+    match pool with
+    | Some p -> phase_a p
+    | None -> Parallel.with_pool ~jobs phase_a
+  in
+  apply net policy ordered (Array.to_list speculative)

@@ -45,4 +45,37 @@ val order_name : order -> string
 val arrange :
   Rr_wdm.Network.t -> order -> Types.request list -> Types.request list
 (** The processing order {!process} would use, without admitting anything
-    (hop distances are measured on the current residual network). *)
+    (hop distances are measured on the current residual network, with one
+    BFS per distinct source). *)
+
+val route :
+  ?order:order ->
+  Rr_wdm.Network.t ->
+  Router.policy ->
+  Types.request list ->
+  result
+(** Speculative two-phase batch discipline.  Phase A routes every request
+    read-only against a snapshot of the network at batch entry; phase B
+    admits them in order on the live network, re-validating each
+    speculative solution and recomputing it only when an earlier admission
+    invalidated it.  Requests with no route against the snapshot are
+    dropped without a retry (admissions only consume resources).  Differs
+    from {!process} when a request's best route *changes* due to an
+    earlier admission without becoming invalid — {!process} sees the
+    updated residual network for every request, {!route} only for the
+    recomputed ones. *)
+
+val route_parallel :
+  ?order:order ->
+  ?pool:Parallel.t ->
+  ?jobs:int ->
+  Rr_wdm.Network.t ->
+  Router.policy ->
+  Types.request list ->
+  result
+(** {!route} with phase A fanned out over a {!Parallel} domain pool; each
+    worker routes against its own snapshot with its own workspace, and
+    phase B is unchanged, so the result is identical to {!route} for every
+    [jobs].  Pass [pool] to reuse long-lived workers across batches
+    ([jobs] is then ignored); otherwise a pool of [jobs] (default
+    {!Parallel.default_jobs}) is created for the call. *)

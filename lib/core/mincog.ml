@@ -21,20 +21,31 @@ let theta_bounds net =
   done;
   if !lo = infinity then (1.0, 1.0) else (!lo, !hi)
 
-let refine net ~source ~target links =
-  let set = Hashtbl.create 16 in
-  List.iter (fun e -> Hashtbl.replace set e ()) links;
-  Layered.optimal net ~link_enabled:(Hashtbl.mem set) ~source ~target
+let refine net ?workspace ~source ~target links =
+  match workspace with
+  | Some ws ->
+    Rr_util.Workspace.mark_reset ws (Net.n_links net);
+    List.iter (Rr_util.Workspace.mark ws) links;
+    Layered.optimal net
+      ~link_enabled:(Rr_util.Workspace.marked ws)
+      ~workspace:ws ~source ~target
+  | None ->
+    let set = Hashtbl.create 16 in
+    List.iter (fun e -> Hashtbl.replace set e ()) links;
+    Layered.optimal net ~link_enabled:(Hashtbl.mem set) ~source ~target
 
 (* Try one threshold: build G_c, Suurballe, refine both paths. *)
-let attempt net ~theta ~base ~source ~target =
+let attempt ?workspace net ~theta ~base ~source ~target =
   let aux = Aux.gc net ~theta ~base ~source ~target () in
-  match Aux.disjoint_pair aux with
+  match Aux.disjoint_pair ?workspace aux with
   | None -> None
   | Some ((p1, p2), _) ->
     let links1 = Aux.links_of_path aux p1 in
     let links2 = Aux.links_of_path aux p2 in
-    (match (refine net ~source ~target links1, refine net ~source ~target links2) with
+    (match
+       ( refine net ?workspace ~source ~target links1,
+         refine net ?workspace ~source ~target links2 )
+     with
      | Some (sl1, c1), Some (sl2, c2) ->
        let primary, backup = if c1 <= c2 then (sl1, sl2) else (sl2, sl1) in
        let bottleneck =
@@ -45,7 +56,7 @@ let attempt net ~theta ~base ~source ~target =
        Some { theta; bottleneck; solution = { Types.primary; backup = Some backup } }
      | _ -> None)
 
-let route ?(base = 16.0) ?(resolution = 10) net ~source ~target =
+let route ?(base = 16.0) ?(resolution = 10) ?workspace net ~source ~target =
   let theta_min, theta_max = theta_bounds net in
   let delta = theta_max -. theta_min in
   (* Thresholds in increasing order: ϑ_min, then geometrically growing
@@ -61,13 +72,13 @@ let route ?(base = 16.0) ?(resolution = 10) net ~source ~target =
   let rec try_all = function
     | [] -> None
     | theta :: rest -> (
-      match attempt net ~theta ~base ~source ~target with
+      match attempt ?workspace net ~theta ~base ~source ~target with
       | Some r -> Some r
       | None -> try_all rest)
   in
   try_all candidates
 
-let min_bottleneck net ~source ~target =
+let min_bottleneck ?workspace net ~source ~target =
   (* Distinct realised load levels, ascending; feasibility (existence of an
      edge-disjoint pair among links of load <= level) is monotone, so the
      smallest feasible level is found by linear scan with early exit (the
@@ -81,7 +92,7 @@ let min_bottleneck net ~source ~target =
   in
   let attempt_level level =
     (* ϑ strictly above [level] but below the next level. *)
-    attempt net ~theta:(level +. 1e-9) ~base:16.0 ~source ~target
+    attempt ?workspace net ~theta:(level +. 1e-9) ~base:16.0 ~source ~target
   in
   let rec go = function
     | [] -> None

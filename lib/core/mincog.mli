@@ -22,6 +22,7 @@ type result = {
 val route :
   ?base:float ->
   ?resolution:int ->
+  ?workspace:Rr_util.Workspace.t ->
   Rr_wdm.Network.t ->
   source:int ->
   target:int ->
@@ -31,7 +32,11 @@ val route :
     default 10).  [None] when even [ϑ_max] admits no pair. *)
 
 val min_bottleneck :
-  Rr_wdm.Network.t -> source:int -> target:int -> (float * Types.solution) option
+  ?workspace:Rr_util.Workspace.t ->
+  Rr_wdm.Network.t ->
+  source:int ->
+  target:int ->
+  (float * Types.solution) option
 (** Exact minimum of the pair's maximum link load, with a witness pair. *)
 
 val theta_bounds : Rr_wdm.Network.t -> float * float

@@ -3,19 +3,30 @@ module Net = Rr_wdm.Network
 module Layered = Rr_wdm.Layered
 module Slp = Rr_wdm.Semilightpath
 
-let refine net ~source ~target links =
-  let set = Hashtbl.create 16 in
-  List.iter (fun e -> Hashtbl.replace set e ()) links;
-  Layered.optimal net ~link_enabled:(Hashtbl.mem set) ~source ~target
+let refine net ?workspace ~source ~target links =
+  match workspace with
+  | Some ws ->
+    Rr_util.Workspace.mark_reset ws (Net.n_links net);
+    List.iter (Rr_util.Workspace.mark ws) links;
+    Layered.optimal net
+      ~link_enabled:(Rr_util.Workspace.marked ws)
+      ~workspace:ws ~source ~target
+  | None ->
+    let set = Hashtbl.create 16 in
+    List.iter (fun e -> Hashtbl.replace set e ()) links;
+    Layered.optimal net ~link_enabled:(Hashtbl.mem set) ~source ~target
 
-let route net ~source ~target =
+let route ?workspace net ~source ~target =
   let aux = Aux.gprime_gated net ~source ~target in
-  match Aux.disjoint_pair aux with
+  match Aux.disjoint_pair ?workspace aux with
   | None -> None
   | Some ((p1, p2), _) ->
     let links1 = Aux.links_of_path aux p1 in
     let links2 = Aux.links_of_path aux p2 in
-    (match (refine net ~source ~target links1, refine net ~source ~target links2) with
+    (match
+       ( refine net ?workspace ~source ~target links1,
+         refine net ?workspace ~source ~target links2 )
+     with
      | Some (sl1, c1), Some (sl2, c2) ->
        let primary, backup = if c1 <= c2 then (sl1, sl2) else (sl2, sl1) in
        Some { Types.primary; backup = Some backup }

@@ -7,7 +7,12 @@
     ({!Rr_wdm.Auxiliary.gprime_gated}) and the same
     Suurballe-plus-refinement pipeline as Section 3.3. *)
 
-val route : Rr_wdm.Network.t -> source:int -> target:int -> Types.solution option
+val route :
+  ?workspace:Rr_util.Workspace.t ->
+  Rr_wdm.Network.t ->
+  source:int ->
+  target:int ->
+  Types.solution option
 (** [None] when no internally node-disjoint pair of semilightpaths exists
     in the residual network.  Returned paths are also edge-disjoint (node
     disjointness implies it). *)

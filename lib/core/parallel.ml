@@ -1,0 +1,130 @@
+type t = {
+  size : int;
+  mutex : Mutex.t;
+  work : Condition.t;       (* signalled when a new job generation starts *)
+  finished : Condition.t;   (* signalled when the last worker finishes *)
+  mutable job : (int -> unit) option;
+  mutable job_gen : int;
+  mutable pending : int;
+  mutable stopping : bool;
+  mutable error : exn option;
+  mutable domains : unit Domain.t list;
+}
+
+let record_error t exn =
+  Mutex.lock t.mutex;
+  if t.error = None then t.error <- Some exn;
+  Mutex.unlock t.mutex
+
+(* Each spawned worker handles every job generation exactly once; [seen]
+   tracks the last generation it ran.  All signalling is under the mutex,
+   which also provides the happens-before edges that publish job closures
+   to workers and their writes back to the caller. *)
+let worker_loop t i =
+  let seen = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock t.mutex;
+    while (not t.stopping) && t.job_gen = !seen do
+      Condition.wait t.work t.mutex
+    done;
+    if t.stopping then begin
+      Mutex.unlock t.mutex;
+      running := false
+    end
+    else begin
+      seen := t.job_gen;
+      let job = t.job in
+      Mutex.unlock t.mutex;
+      (match job with
+      | None -> ()
+      | Some f -> ( try f i with exn -> record_error t exn));
+      Mutex.lock t.mutex;
+      t.pending <- t.pending - 1;
+      if t.pending = 0 then Condition.broadcast t.finished;
+      Mutex.unlock t.mutex
+    end
+  done
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Parallel.create: jobs must be at least 1";
+  let t =
+    {
+      size = jobs;
+      mutex = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      job = None;
+      job_gen = 0;
+      pending = 0;
+      stopping = false;
+      error = None;
+      domains = [];
+    }
+  in
+  t.domains <-
+    List.init (jobs - 1) (fun k -> Domain.spawn (fun () -> worker_loop t (k + 1)));
+  t
+
+let size t = t.size
+let default_jobs () = Domain.recommended_domain_count ()
+
+let run t f =
+  if t.size = 1 then f 0
+  else begin
+    Mutex.lock t.mutex;
+    if t.job <> None || t.stopping then begin
+      Mutex.unlock t.mutex;
+      invalid_arg "Parallel.run: pool busy or shut down"
+    end;
+    t.error <- None;
+    t.job <- Some f;
+    t.job_gen <- t.job_gen + 1;
+    t.pending <- t.size - 1;
+    Condition.broadcast t.work;
+    Mutex.unlock t.mutex;
+    (* The calling domain is worker 0. *)
+    (try f 0 with exn -> record_error t exn);
+    Mutex.lock t.mutex;
+    while t.pending > 0 do
+      Condition.wait t.finished t.mutex
+    done;
+    t.job <- None;
+    let err = t.error in
+    t.error <- None;
+    Mutex.unlock t.mutex;
+    match err with Some e -> raise e | None -> ()
+  end
+
+let map t ~worker ~f arr =
+  let n = Array.length arr in
+  let out = Array.make n None in
+  let next = Atomic.make 0 in
+  run t (fun i ->
+      let st = worker i in
+      let rec go () =
+        let idx = Atomic.fetch_and_add next 1 in
+        if idx < n then begin
+          (* Disjoint indices: no two workers ever write the same slot. *)
+          out.(idx) <- Some (f st arr.(idx));
+          go ()
+        end
+      in
+      go ());
+  Array.map (function Some x -> x | None -> assert false) out
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  if t.job <> None then begin
+    Mutex.unlock t.mutex;
+    invalid_arg "Parallel.shutdown: pool busy"
+  end;
+  t.stopping <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.mutex;
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,0 +1,44 @@
+(** A minimal fixed-size domain pool (OCaml 5 [Domain]s, stdlib only).
+
+    Built for {!Batch.route_parallel}: the read-only routing phase of a
+    batch is embarrassingly parallel, so a handful of long-lived worker
+    domains pull request indices from a shared atomic counter.  Spawning a
+    domain costs milliseconds, which is why the pool is created once and
+    reused across batches rather than per call.
+
+    A pool of size [j] uses the calling domain as worker 0 and [j - 1]
+    spawned domains; [jobs = 1] therefore spawns nothing and runs inline.
+    Pools are not re-entrant: {!run}/{!map} from two domains, or from
+    inside a running job, is a programming error. *)
+
+type t
+
+val create : jobs:int -> t
+(** Spawn a pool of [jobs] workers ([jobs - 1] domains).  Raises
+    [Invalid_argument] when [jobs < 1]. *)
+
+val size : t -> int
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val run : t -> (int -> unit) -> unit
+(** [run pool f] executes [f i] once per worker [i] (0 inclusive to
+    [size - 1]), concurrently, and returns when all have finished.  If any
+    worker raises, one of the raised exceptions is re-raised here (after
+    all workers finish). *)
+
+val map : t -> worker:(int -> 'w) -> f:('w -> 'a -> 'b) -> 'a array -> 'b array
+(** [map pool ~worker ~f arr] evaluates [f st arr.(i)] for every index,
+    distributing indices over workers via an atomic counter
+    (work-stealing, no pre-partitioning, so uneven item costs balance).
+    [worker i] builds each worker's private state [st] once per call —
+    e.g. a network snapshot plus a {!Rr_util.Workspace.t}, which must not
+    be shared across domains. *)
+
+val shutdown : t -> unit
+(** Terminate and join the worker domains.  The pool must be idle.
+    Idempotent; the pool is unusable afterwards. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [create], run the callback, always [shutdown]. *)

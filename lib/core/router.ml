@@ -31,25 +31,30 @@ let policy_name = function
 let policy_of_string s =
   List.find_opt (fun p -> policy_name p = s) all_policies
 
-let route net policy ~source ~target =
+let route ?workspace net policy ~source ~target =
   match policy with
-  | Cost_approx -> Approx_cost.route net ~source ~target
+  | Cost_approx -> Approx_cost.route ?workspace net ~source ~target
   | Load_aware ->
-    Option.map (fun r -> r.Mincog.solution) (Mincog.route net ~source ~target)
+    Option.map
+      (fun r -> r.Mincog.solution)
+      (Mincog.route ?workspace net ~source ~target)
   | Load_cost ->
     Option.map
       (fun r -> r.Approx_load_cost.solution)
-      (Approx_load_cost.route net ~source ~target)
-  | Two_step -> Baselines.two_step net ~source ~target
-  | First_fit -> Baselines.first_fit net ~source ~target
-  | Most_used -> Baselines.most_used_fit net ~source ~target
-  | Least_used -> Baselines.least_used_fit net ~source ~target
-  | Unprotected -> Baselines.unprotected net ~source ~target
-  | Node_protect -> Node_protect.route net ~source ~target
-  | Exact -> Option.map fst (Exact.route net ~source ~target)
+      (Approx_load_cost.route ?workspace net ~source ~target)
+  | Two_step -> Baselines.two_step ?workspace net ~source ~target
+  | First_fit -> Baselines.first_fit ?workspace net ~source ~target
+  | Most_used -> Baselines.most_used_fit ?workspace net ~source ~target
+  | Least_used -> Baselines.least_used_fit ?workspace net ~source ~target
+  | Unprotected -> Baselines.unprotected ?workspace net ~source ~target
+  | Node_protect -> Node_protect.route ?workspace net ~source ~target
+  | Exact ->
+    (* The exact enumerative solver has no Dijkstra-shaped scratch state. *)
+    ignore workspace;
+    Option.map fst (Exact.route net ~source ~target)
 
-let admit net policy ~source ~target =
-  match route net policy ~source ~target with
+let admit ?workspace net policy ~source ~target =
+  match route ?workspace net policy ~source ~target with
   | None -> None
   | Some sol -> (
     match Types.validate net { Types.src = source; dst = target } sol with

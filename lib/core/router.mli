@@ -18,11 +18,23 @@ val policy_name : policy -> string
 val policy_of_string : string -> policy option
 
 val route :
-  Rr_wdm.Network.t -> policy -> source:int -> target:int -> Types.solution option
-(** Compute a robust route on the residual network; no allocation. *)
+  ?workspace:Rr_util.Workspace.t ->
+  Rr_wdm.Network.t ->
+  policy ->
+  source:int ->
+  target:int ->
+  Types.solution option
+(** Compute a robust route on the residual network; no allocation.
+    [workspace] supplies reusable scratch arrays to every search the policy
+    runs (ignored by [Exact]); see {!Rr_util.Workspace}. *)
 
 val admit :
-  Rr_wdm.Network.t -> policy -> source:int -> target:int -> Types.solution option
+  ?workspace:Rr_util.Workspace.t ->
+  Rr_wdm.Network.t ->
+  policy ->
+  source:int ->
+  target:int ->
+  Types.solution option
 (** {!route}, then validate against the residual network and allocate all
     wavelengths of both paths.  Raises [Failure] if a policy ever returns
     an invalid solution (an algorithm bug, not an operational condition). *)

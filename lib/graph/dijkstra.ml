@@ -1,17 +1,47 @@
+module Workspace = Rr_util.Workspace
+
+(* The tree aliases the workspace that ran the search; [gen] detects reuse
+   of the workspace by a later search so stale reads raise instead of
+   returning garbage. *)
 type tree = {
-  dist : float array;
-  pred_edge : int array;
+  ws : Workspace.t;
+  gen : int;
+  n : int;
   source : int;
 }
 
-let run ?enabled g ~weight ~source ~target =
+let check t =
+  if Workspace.generation t.ws <> t.gen then
+    invalid_arg "Dijkstra: tree is stale (its workspace ran another search)"
+
+let dist t v =
+  check t;
+  if v < 0 || v >= t.n then invalid_arg "Dijkstra.dist: node out of range";
+  Workspace.dist t.ws v
+
+let pred_edge t v =
+  check t;
+  if v < 0 || v >= t.n then invalid_arg "Dijkstra.pred_edge: node out of range";
+  Workspace.pred t.ws v
+
+let source t = t.source
+
+let dists t =
+  check t;
+  Array.init t.n (Workspace.dist t.ws)
+
+let run ?enabled ?workspace g ~weight ~source ~target =
   let n = Digraph.n_nodes g in
   if source < 0 || source >= n then invalid_arg "Dijkstra: source out of range";
-  let dist = Array.make n infinity in
-  let pred_edge = Array.make n (-1) in
-  let heap = Rr_util.Indexed_heap.create n in
+  let ws =
+    match workspace with
+    | Some ws -> ws
+    | None -> Workspace.create ~capacity:n ()
+  in
+  Workspace.reset ws n;
+  let heap = Workspace.heap ws n in
   let enabled = match enabled with None -> fun _ -> true | Some f -> f in
-  dist.(source) <- 0.0;
+  Workspace.set ws source 0.0 (-1);
   Rr_util.Indexed_heap.insert heap source 0.0;
   let exception Done in
   (try
@@ -28,9 +58,8 @@ let run ?enabled g ~weight ~source ~target =
              if w < 0.0 then invalid_arg "Dijkstra: negative edge weight";
              let v = Digraph.dst g e in
              let dv = du +. w in
-             if dv < dist.(v) then begin
-               dist.(v) <- dv;
-               pred_edge.(v) <- e;
+             if dv < Workspace.dist ws v then begin
+               Workspace.set ws v dv e;
                Rr_util.Indexed_heap.insert_or_decrease heap v dv
              end
            end
@@ -39,17 +68,18 @@ let run ?enabled g ~weight ~source ~target =
      in
      loop ()
    with Done -> ());
-  { dist; pred_edge; source }
+  { ws; gen = Workspace.generation ws; n; source }
 
-let tree ?enabled g ~weight ~source = run ?enabled g ~weight ~source ~target:None
+let tree ?enabled ?workspace g ~weight ~source =
+  run ?enabled ?workspace g ~weight ~source ~target:None
 
 let path_to g t node =
-  if t.dist.(node) = infinity then None
+  if dist t node = infinity then None
   else begin
     let rec collect v acc =
       if v = t.source then acc
       else begin
-        let e = t.pred_edge.(v) in
+        let e = pred_edge t v in
         collect (Digraph.src g e) (e :: acc)
       end
     in
@@ -59,8 +89,8 @@ let path_to g t node =
 let path_cost ~weight path =
   List.fold_left (fun acc e -> acc +. weight e) 0.0 path
 
-let shortest_path ?enabled g ~weight ~source ~target =
-  let t = run ?enabled g ~weight ~source ~target:(Some target) in
+let shortest_path ?enabled ?workspace g ~weight ~source ~target =
+  let t = run ?enabled ?workspace g ~weight ~source ~target:(Some target) in
   match path_to g t target with
   | None -> None
-  | Some p -> Some (p, t.dist.(target))
+  | Some p -> Some (p, dist t target)

@@ -4,26 +4,56 @@
     Section 3.3, both Dijkstra passes of Suurballe's algorithm, and the
     layered-wavelength-graph search all reduce to this routine.  Uses the
     indexed binary heap from {!Rr_util.Indexed_heap}
-    ([O((n + m) log n)]). *)
+    ([O((n + m) log n)]).
 
-type tree = {
-  dist : float array;       (** [dist.(v)] = distance from source, or [infinity]. *)
-  pred_edge : int array;    (** incoming tree edge id, or [-1]. *)
-  source : int;
-}
+    All entry points accept an optional {!Rr_util.Workspace.t}.  With a
+    workspace, the search reuses its scratch arrays instead of allocating
+    fresh [O(n)] state per call — the intended mode for a long-lived
+    router.  A returned {!tree} then aliases the workspace: it stays
+    readable only until the workspace's next search, after which its
+    accessors raise [Invalid_argument] (staleness is detected, never
+    silent).  Without a workspace a private one is allocated and the tree
+    remains valid indefinitely. *)
+
+type tree
+
+val run :
+  ?enabled:(int -> bool) ->
+  ?workspace:Rr_util.Workspace.t ->
+  Digraph.t ->
+  weight:(int -> float) ->
+  source:int ->
+  target:int option ->
+  tree
+(** Shortest-path search; settles every node, or early-exits once [target]
+    is settled.  [enabled] filters edges (default: all).  Raises
+    [Invalid_argument] on a negative weight encountered during the
+    search. *)
 
 val tree :
   ?enabled:(int -> bool) ->
+  ?workspace:Rr_util.Workspace.t ->
   Digraph.t ->
   weight:(int -> float) ->
   source:int ->
   tree
-(** Full shortest-path tree.  [enabled] filters edges (default: all).
-    Raises [Invalid_argument] on a negative weight encountered during the
-    search. *)
+(** Full shortest-path tree ([run] with no target). *)
+
+val dist : tree -> int -> float
+(** Distance from the source, or [infinity] if unreachable. *)
+
+val pred_edge : tree -> int -> int
+(** Incoming tree edge id, or [-1]. *)
+
+val source : tree -> int
+
+val dists : tree -> float array
+(** Materialise all distances as a fresh array (safe to keep after the
+    workspace moves on). *)
 
 val shortest_path :
   ?enabled:(int -> bool) ->
+  ?workspace:Rr_util.Workspace.t ->
   Digraph.t ->
   weight:(int -> float) ->
   source:int ->

@@ -3,17 +3,18 @@
    zero-cost reversal of a first-path edge. *)
 type arc = Orig of int | Rev of int
 
-let edge_disjoint_pair ?enabled g ~weight ~source ~target =
+let edge_disjoint_pair ?enabled ?workspace g ~weight ~source ~target =
   if source = target then invalid_arg "Suurballe: source = target";
   let n = Digraph.n_nodes g in
   let enabled = match enabled with None -> fun _ -> true | Some f -> f in
-  let t1 = Dijkstra.tree ~enabled g ~weight ~source in
+  let t1 = Dijkstra.tree ~enabled ?workspace g ~weight ~source in
   match Dijkstra.path_to g t1 target with
   | None -> None
   | Some p1 ->
     let on_p1 = Hashtbl.create 16 in
     List.iter (fun e -> Hashtbl.replace on_p1 e ()) p1;
-    (* Transformed graph: reduced costs, first path reversed. *)
+    (* Transformed graph: reduced costs, first path reversed.  [t1] is
+       only read here, before the second pass reuses the workspace. *)
     let b = Digraph.builder n in
     let arcs = ref [] in
     let costs = ref [] in
@@ -26,19 +27,24 @@ let edge_disjoint_pair ?enabled g ~weight ~source ~target =
       if enabled e then begin
         let u = Digraph.src g e and v = Digraph.dst g e in
         if Hashtbl.mem on_p1 e then add v u (Rev e) 0.0
-        else if t1.dist.(u) < infinity && t1.dist.(v) < infinity then begin
-          let rc = weight e +. t1.dist.(u) -. t1.dist.(v) in
-          (* Clamp tiny negatives from float rounding. *)
-          add u v (Orig e) (Float.max rc 0.0)
+        else begin
+          let du = Dijkstra.dist t1 u and dv = Dijkstra.dist t1 v in
+          if du < infinity && dv < infinity then begin
+            let rc = weight e +. du -. dv in
+            (* Clamp tiny negatives from float rounding. *)
+            add u v (Orig e) (Float.max rc 0.0)
+          end
+          (* Edges touching unreachable nodes cannot lie on any s-t path. *)
         end
-        (* Edges touching unreachable nodes cannot lie on any s-t path. *)
       end
     done;
     let h = Digraph.freeze b in
     let arc_tag = Array.of_list (List.rev !arcs) in
     let arc_cost = Array.of_list (List.rev !costs) in
     (match
-       Dijkstra.shortest_path h ~weight:(fun e -> arc_cost.(e)) ~source ~target
+       Dijkstra.shortest_path h ?workspace
+         ~weight:(fun e -> arc_cost.(e))
+         ~source ~target
      with
      | None -> None
      | Some (p2', _) ->
@@ -114,11 +120,11 @@ let decompose g ~weight ~source ~target kept =
   let total = Path.cost ~weight q1 +. Path.cost ~weight q2 in
   ((q1, q2), total)
 
-let edge_disjoint_pair_paper ?enabled g ~weight ~source ~target =
+let edge_disjoint_pair_paper ?enabled ?workspace g ~weight ~source ~target =
   if source = target then invalid_arg "Suurballe: source = target";
   let n = Digraph.n_nodes g in
   let enabled = match enabled with None -> fun _ -> true | Some f -> f in
-  match Dijkstra.shortest_path ~enabled g ~weight ~source ~target with
+  match Dijkstra.shortest_path ~enabled ?workspace g ~weight ~source ~target with
   | None -> None
   | Some (p1, _) ->
     let on_p1 = Hashtbl.create 16 in
@@ -156,7 +162,7 @@ let edge_disjoint_pair_paper ?enabled g ~weight ~source ~target =
          p2';
        Some (decompose g ~weight ~source ~target kept))
 
-let node_disjoint_pair ?enabled g ~weight ~source ~target =
+let node_disjoint_pair ?enabled ?workspace g ~weight ~source ~target =
   if source = target then invalid_arg "Suurballe: source = target";
   let enabled = match enabled with None -> fun _ -> true | Some f -> f in
   let n = Digraph.n_nodes g in
@@ -179,7 +185,7 @@ let node_disjoint_pair ?enabled g ~weight ~source ~target =
   let w e = if e < n then 0.0 else weight orig_of.(e) in
   (* Route from s_out to t_in so the endpoints' internal arcs are not
      (incorrectly) required to be disjoint. *)
-  match edge_disjoint_pair h ~weight:w ~source:(source + n) ~target with
+  match edge_disjoint_pair h ?workspace ~weight:w ~source:(source + n) ~target with
   | None -> None
   | Some ((p1, p2), _) ->
     let strip p = List.filter_map (fun e -> if e < n then None else Some orig_of.(e)) p in

@@ -9,10 +9,15 @@
 
     The returned paths are simple and mutually edge-disjoint; their order is
     unspecified.  The reported cost is the exact sum of the original weights
-    over both paths. *)
+    over both paths.
+
+    All entry points accept an optional {!Rr_util.Workspace.t}, passed
+    through to the underlying Dijkstra passes so a long-lived caller reuses
+    one set of scratch arrays. *)
 
 val edge_disjoint_pair :
   ?enabled:(int -> bool) ->
+  ?workspace:Rr_util.Workspace.t ->
   Digraph.t ->
   weight:(int -> float) ->
   source:int ->
@@ -22,6 +27,7 @@ val edge_disjoint_pair :
 
 val edge_disjoint_pair_paper :
   ?enabled:(int -> bool) ->
+  ?workspace:Rr_util.Workspace.t ->
   Digraph.t ->
   weight:(int -> float) ->
   source:int ->
@@ -37,6 +43,7 @@ val edge_disjoint_pair_paper :
 
 val node_disjoint_pair :
   ?enabled:(int -> bool) ->
+  ?workspace:Rr_util.Workspace.t ->
   Digraph.t ->
   weight:(int -> float) ->
   source:int ->

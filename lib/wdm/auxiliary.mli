@@ -61,9 +61,11 @@ val links_of_path : t -> int list -> int list
 (** Physical links of the traversal arcs along an auxiliary-graph path, in
     path order. *)
 
-val disjoint_pair : t -> ((int list * int list) * float) option
+val disjoint_pair :
+  ?workspace:Rr_util.Workspace.t -> t -> ((int list * int list) * float) option
 (** Suurballe on the auxiliary graph from [s'] to [t'']
-    ([Find_Two_Paths], Section 3.3.2). *)
+    ([Find_Two_Paths], Section 3.3.2).  [workspace] is passed through to the
+    Dijkstra passes. *)
 
 val stats : t -> int * int * int
 (** (edge-nodes incl. s'/t'', traversal arcs, conversion arcs) — used by the

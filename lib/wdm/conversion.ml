@@ -34,6 +34,21 @@ let max_cost spec ~n_wavelengths =
   done;
   !best
 
+let successors spec ~n_wavelengths =
+  Array.init n_wavelengths (fun p ->
+      (* Build in descending-q order so prepending yields ascending q — the
+         same relax order as the dense [for q = 0 to w-1] loop it replaces. *)
+      let qs = ref [] and cs = ref [] in
+      for q = n_wavelengths - 1 downto 0 do
+        if q <> p then
+          match cost spec p q with
+          | Some c ->
+            qs := q :: !qs;
+            cs := c :: !cs
+          | None -> ()
+      done;
+      (Array.of_list !qs, Array.of_list !cs))
+
 let validate spec ~n_wavelengths =
   match spec with
   | No_conversion -> Ok ()

@@ -31,5 +31,13 @@ val max_cost : spec -> n_wavelengths:int -> float
 (** Largest finite conversion cost over the [n_wavelengths²] pairs (0 for
     [No_conversion]).  Used by Theorem 2's premise check. *)
 
+val successors : spec -> n_wavelengths:int -> (int array * float array) array
+(** [successors spec ~n_wavelengths] precomputes, for each wavelength [λp],
+    the allowed conversion targets [λq <> λp] in ascending order with their
+    costs, as parallel arrays.  Lets the layered-graph search visit only
+    feasible pairs instead of scanning all [W] per state — for sparse
+    converters ([No_conversion], small [Range]) this removes the dense
+    [O(W)] inner loop. *)
+
 val validate : spec -> n_wavelengths:int -> (unit, string) result
 (** Table shape / negative-cost checks. *)

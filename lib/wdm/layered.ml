@@ -1,18 +1,25 @@
 module Bitset = Rr_util.Bitset
 module Heap = Rr_util.Indexed_heap
+module Workspace = Rr_util.Workspace
 
 (* States are packed as v*W + λ; super source = n*W, super sink = n*W + 1.
    Rather than materialising the layered digraph we run Dijkstra directly
    over implicit adjacency, which saves the O(nW²) construction on every
-   request. *)
+   request.
 
-type pred =
-  | P_none
-  | P_start                      (* from super source *)
-  | P_traverse of int            (* arrived via link e, same λ *)
-  | P_convert of int             (* converted from λp at the same node *)
+   Predecessors are stored as ints so the search can run in a reusable
+   {!Workspace} (whose pred array is unboxed):
+     -2        from super source
+     2e        arrived via link e, same λ
+     2x + 1    converted; x is the predecessor's λ ([optimal]) or its
+               packed (λ, k) ([optimal_bounded])
+   The workspace's unset value -1 doubles as "no predecessor". *)
 
-let optimal ?(link_enabled = fun _ -> true) net ~source ~target =
+let p_start = -2
+let p_traverse e = 2 * e
+let p_convert x = (2 * x) + 1
+
+let optimal ?(link_enabled = fun _ -> true) ?workspace net ~source ~target =
   let n = Network.n_nodes net in
   let w = Network.n_wavelengths net in
   if source < 0 || source >= n || target < 0 || target >= n then
@@ -21,17 +28,20 @@ let optimal ?(link_enabled = fun _ -> true) net ~source ~target =
   let n_states = (n * w) + 2 in
   let super_source = n * w in
   let super_sink = (n * w) + 1 in
-  let dist = Array.make n_states infinity in
-  let pred = Array.make n_states P_none in
-  let heap = Heap.create n_states in
+  let ws =
+    match workspace with
+    | Some ws -> ws
+    | None -> Workspace.create ~capacity:n_states ()
+  in
+  Workspace.reset ws n_states;
+  let heap = Workspace.heap ws n_states in
   let relax state d p =
-    if d < dist.(state) then begin
-      dist.(state) <- d;
-      pred.(state) <- p;
+    if d < Workspace.dist ws state then begin
+      Workspace.set ws state d p;
       Heap.insert_or_decrease heap state d
     end
   in
-  relax super_source 0.0 P_start;
+  relax super_source 0.0 p_start;
   let graph = Network.graph net in
   let settled_sink = ref false in
   while (not !settled_sink) && not (Heap.is_empty heap) do
@@ -46,12 +56,14 @@ let optimal ?(link_enabled = fun _ -> true) net ~source ~target =
           (fun e ->
             if link_enabled e then
               Bitset.iter
-                (fun l -> relax ((source * w) + l) d P_start)
-                (Network.available net e))
+                (fun l ->
+                  if Network.is_available net e l then
+                    relax ((source * w) + l) d p_start)
+                (Network.lambdas net e))
           (Rr_graph.Digraph.out_edges graph source)
       else begin
         let v = state / w and l = state mod w in
-        if v = target then relax super_sink d (P_convert l)
+        if v = target then relax super_sink d (p_convert l)
         else begin
           (* Traversal arcs. *)
           Array.iter
@@ -60,51 +72,55 @@ let optimal ?(link_enabled = fun _ -> true) net ~source ~target =
                 relax
                   ((Network.link_dst net e * w) + l)
                   (d +. Network.weight net e l)
-                  (P_traverse e))
+                  (p_traverse e))
             (Rr_graph.Digraph.out_edges graph v);
           (* Conversion arcs at v (not at the source: a fresh transmitter
              can start on any wavelength directly). *)
-          if v <> source then
-            for l' = 0 to w - 1 do
-              if l' <> l then
-                match Network.conv_cost net v l l' with
-                | Some c -> relax ((v * w) + l') (d +. c) (P_convert l)
-                | None -> ()
+          if v <> source then begin
+            let qs, cs = Network.conv_successors net v l in
+            for i = 0 to Array.length qs - 1 do
+              relax ((v * w) + qs.(i)) (d +. cs.(i)) (p_convert l)
             done
+          end
         end
       end
   done;
-  if dist.(super_sink) = infinity then None
+  if Workspace.dist ws super_sink = infinity then None
   else begin
     (* Reconstruct hops by walking predecessors back from the sink. *)
     let rec back state acc =
-      match pred.(state) with
-      | P_none -> invalid_arg "Layered.optimal: broken predecessor chain"
-      | P_start -> acc
-      | P_traverse e ->
+      let p = Workspace.pred ws state in
+      if p = -1 then invalid_arg "Layered.optimal: broken predecessor chain"
+      else if p = p_start then acc
+      else if p land 1 = 0 then begin
+        let e = p asr 1 in
         let l = state mod w in
         let u = Network.link_src net e in
         back ((u * w) + l) ({ Semilightpath.edge = e; lambda = l } :: acc)
-      | P_convert l_prev ->
+      end
+      else begin
+        let l_prev = p asr 1 in
         let v = if state = super_sink then target else state / w in
         back ((v * w) + l_prev) acc
+      end
     in
+    let p_sink = Workspace.pred ws super_sink in
     let hops =
-      match pred.(super_sink) with
-      | P_convert l_last -> back ((target * w) + l_last) []
-      | _ -> invalid_arg "Layered.optimal: sink without wavelength"
+      if p_sink >= 0 && p_sink land 1 = 1 then
+        back ((target * w) + (p_sink asr 1)) []
+      else invalid_arg "Layered.optimal: sink without wavelength"
     in
-    Some ({ Semilightpath.hops }, dist.(super_sink))
+    Some ({ Semilightpath.hops }, Workspace.dist ws super_sink)
   end
 
-let optimal_cost ?link_enabled net ~source ~target =
-  Option.map snd (optimal ?link_enabled net ~source ~target)
+let optimal_cost ?link_enabled ?workspace net ~source ~target =
+  Option.map snd (optimal ?link_enabled ?workspace net ~source ~target)
 
 (* Budget-extended layered search: states are (v, λ, conversions used),
    packed as ((v*W)+λ)*(K+1) + k, with the same super source/sink trick as
    [optimal].  Conversion arcs consume one unit of budget. *)
-let optimal_bounded ?(link_enabled = fun _ -> true) net ~max_conversions ~source
-    ~target =
+let optimal_bounded ?(link_enabled = fun _ -> true) ?workspace net
+    ~max_conversions ~source ~target =
   if max_conversions < 0 then invalid_arg "Layered.optimal_bounded: negative budget";
   let n = Network.n_nodes net in
   let w = Network.n_wavelengths net in
@@ -116,17 +132,20 @@ let optimal_bounded ?(link_enabled = fun _ -> true) net ~max_conversions ~source
   let super_source = n * w * kk in
   let super_sink = (n * w * kk) + 1 in
   let pack v l k = (((v * w) + l) * kk) + k in
-  let dist = Array.make n_states infinity in
-  let pred = Array.make n_states P_none in
-  let heap = Heap.create n_states in
+  let ws =
+    match workspace with
+    | Some ws -> ws
+    | None -> Workspace.create ~capacity:n_states ()
+  in
+  Workspace.reset ws n_states;
+  let heap = Workspace.heap ws n_states in
   let relax state d p =
-    if d < dist.(state) then begin
-      dist.(state) <- d;
-      pred.(state) <- p;
+    if d < Workspace.dist ws state then begin
+      Workspace.set ws state d p;
       Heap.insert_or_decrease heap state d
     end
   in
-  relax super_source 0.0 P_start;
+  relax super_source 0.0 p_start;
   let graph = Network.graph net in
   let settled_sink = ref false in
   while (not !settled_sink) && not (Heap.is_empty heap) do
@@ -139,13 +158,15 @@ let optimal_bounded ?(link_enabled = fun _ -> true) net ~max_conversions ~source
           (fun e ->
             if link_enabled e then
               Bitset.iter
-                (fun l -> relax (pack source l 0) d P_start)
-                (Network.available net e))
+                (fun l ->
+                  if Network.is_available net e l then
+                    relax (pack source l 0) d p_start)
+                (Network.lambdas net e))
           (Rr_graph.Digraph.out_edges graph source)
       else begin
         let vk = state / kk and k = state mod kk in
         let v = vk / w and l = vk mod w in
-        if v = target then relax super_sink d (P_convert ((l * kk) + k))
+        if v = target then relax super_sink d (p_convert ((l * kk) + k))
         else begin
           Array.iter
             (fun e ->
@@ -153,44 +174,50 @@ let optimal_bounded ?(link_enabled = fun _ -> true) net ~max_conversions ~source
                 relax
                   (pack (Network.link_dst net e) l k)
                   (d +. Network.weight net e l)
-                  (P_traverse e))
+                  (p_traverse e))
             (Rr_graph.Digraph.out_edges graph v);
-          if v <> source && k < max_conversions then
-            for l' = 0 to w - 1 do
-              if l' <> l then
-                match Network.conv_cost net v l l' with
-                | Some c ->
-                  relax (pack v l' (k + 1)) (d +. c) (P_convert ((l * kk) + k))
-                | None -> ()
+          if v <> source && k < max_conversions then begin
+            let qs, cs = Network.conv_successors net v l in
+            for i = 0 to Array.length qs - 1 do
+              relax (pack v qs.(i) (k + 1)) (d +. cs.(i))
+                (p_convert ((l * kk) + k))
             done
+          end
         end
       end
   done;
-  if dist.(super_sink) = infinity then None
+  if Workspace.dist ws super_sink = infinity then None
   else begin
-    (* P_convert carries the packed (λ, k) of the predecessor state. *)
+    (* Converted preds carry the packed (λ, k) of the predecessor state. *)
     let rec back state acc =
-      match pred.(state) with
-      | P_none -> invalid_arg "Layered.optimal_bounded: broken predecessor chain"
-      | P_start -> acc
-      | P_traverse e ->
+      let p = Workspace.pred ws state in
+      if p = -1 then
+        invalid_arg "Layered.optimal_bounded: broken predecessor chain"
+      else if p = p_start then acc
+      else if p land 1 = 0 then begin
+        let e = p asr 1 in
         let vk = state / kk and k = state mod kk in
         let l = vk mod w in
         let u = Network.link_src net e in
         back (pack u l k) ({ Semilightpath.edge = e; lambda = l } :: acc)
-      | P_convert lk ->
+      end
+      else begin
+        let lk = p asr 1 in
         let l_prev = lk / kk and k_prev = lk mod kk in
         let v = if state = super_sink then target else state / kk / w in
         back (pack v l_prev k_prev) acc
+      end
     in
+    let p_sink = Workspace.pred ws super_sink in
     let hops =
-      match pred.(super_sink) with
-      | P_convert lk ->
+      if p_sink >= 0 && p_sink land 1 = 1 then begin
+        let lk = p_sink asr 1 in
         let l_last = lk / kk and k_last = lk mod kk in
         back (pack target l_last k_last) []
-      | _ -> invalid_arg "Layered.optimal_bounded: sink without wavelength"
+      end
+      else invalid_arg "Layered.optimal_bounded: sink without wavelength"
     in
-    Some ({ Semilightpath.hops }, dist.(super_sink))
+    Some ({ Semilightpath.hops }, Workspace.dist ws super_sink)
   end
 
 let assign_on_path net links =

@@ -12,10 +12,17 @@
     metric conversion-cost tables (all generators in {!Rr_topo} produce
     metric tables) they never beat a direct conversion, matching the
     paper's model.  {!assign_on_path} is the direct-conversion-only DP used
-    to cross-check. *)
+    to cross-check.
+
+    The searches accept an optional {!Rr_util.Workspace.t} holding the
+    [O(nW)] (or [O(nWK)]) distance/predecessor/heap scratch state; a
+    long-lived router passes one workspace so repeated queries allocate
+    nothing of that size.  Results are materialised before return and do
+    not alias the workspace. *)
 
 val optimal :
   ?link_enabled:(int -> bool) ->
+  ?workspace:Rr_util.Workspace.t ->
   Network.t ->
   source:int ->
   target:int ->
@@ -26,6 +33,7 @@ val optimal :
 
 val optimal_cost :
   ?link_enabled:(int -> bool) ->
+  ?workspace:Rr_util.Workspace.t ->
   Network.t ->
   source:int ->
   target:int ->
@@ -33,6 +41,7 @@ val optimal_cost :
 
 val optimal_bounded :
   ?link_enabled:(int -> bool) ->
+  ?workspace:Rr_util.Workspace.t ->
   Network.t ->
   max_conversions:int ->
   source:int ->

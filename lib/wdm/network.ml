@@ -14,6 +14,8 @@ type t = {
   lambdas : Bitset.t array;         (* per link: Λ(e) *)
   weights : float array array;      (* per link: weight per wavelength (nan if absent) *)
   converters : Conversion.spec array;
+  conv_succ : (int array * float array) array array;
+      (* per node, per λp: allowed λq ≠ λp (ascending) with costs *)
   mutable used : Bitset.t array;    (* per link: wavelengths in use *)
   failed : bool array;
 }
@@ -59,6 +61,7 @@ let create ~n_nodes ~n_wavelengths ~links ~converters =
     lambdas;
     weights;
     converters = conv;
+    conv_succ = Array.map (fun spec -> Conversion.successors spec ~n_wavelengths) conv;
     used = Array.init m (fun _ -> Bitset.create n_wavelengths);
     failed = Array.make m false;
   }
@@ -89,6 +92,7 @@ let weight t e l =
 let converter t v = t.converters.(v)
 let conv_allowed t v p q = Conversion.allowed t.converters.(v) p q
 let conv_cost t v p q = Conversion.cost t.converters.(v) p q
+let conv_successors t v p = t.conv_succ.(v).(p)
 
 let used t e = t.used.(e)
 
@@ -96,8 +100,13 @@ let available t e =
   if t.failed.(e) then Bitset.create t.n_wavelengths
   else Bitset.diff t.lambdas.(e) t.used.(e)
 
-let is_available t e l = Bitset.mem (available t e) l
-let has_available t e = not (Bitset.is_empty (available t e))
+(* Both sit in the layered search's inner loop: test directly instead of
+   materialising the (allocating) difference set. *)
+let is_available t e l =
+  (not t.failed.(e)) && Bitset.mem t.lambdas.(e) l && not (Bitset.mem t.used.(e) l)
+
+let has_available t e =
+  (not t.failed.(e)) && not (Bitset.subset t.lambdas.(e) t.used.(e))
 
 let allocate t e l =
   if t.failed.(e) then invalid_arg "Network.allocate: link failed";

@@ -54,6 +54,12 @@ val conv_allowed : t -> int -> int -> int -> bool
 val conv_cost : t -> int -> int -> int -> float option
 (** [conv_cost t v λp λq = c_v(λp, λq)] when allowed. *)
 
+val conv_successors : t -> int -> int -> int array * float array
+(** [conv_successors t v λp]: the allowed conversion targets [λq ≠ λp] at
+    node [v], ascending, with their costs, as parallel arrays.  Precomputed
+    at {!create}; shared by {!copy}.  The arrays are owned by the network —
+    callers must not mutate them. *)
+
 (** {1 Usage, residual network, load} *)
 
 val used : t -> int -> Rr_util.Bitset.t

@@ -115,7 +115,7 @@ let prop_dijkstra_vs_bellman_ford =
       let r = Bellman_ford.run g ~weight:w ~source:0 in
       let ok = ref true in
       for v = 0 to n - 1 do
-        if Float.abs (t.dist.(v) -. r.dist.(v)) > 1e-6 then ok := false
+        if Float.abs (Dijkstra.dist t v -. r.dist.(v)) > 1e-6 then ok := false
       done;
       !ok)
 
@@ -128,10 +128,10 @@ let prop_dijkstra_path_cost_consistent =
       let ok = ref true in
       for v = 1 to n - 1 do
         match Dijkstra.path_to g t v with
-        | None -> if t.dist.(v) <> infinity then ok := false
+        | None -> if Dijkstra.dist t v <> infinity then ok := false
         | Some p ->
           if not (Path.is_valid g ~source:0 ~target:v p) then ok := false;
-          if Float.abs (Dijkstra.path_cost ~weight:w p -. t.dist.(v)) > 1e-6 then
+          if Float.abs (Dijkstra.path_cost ~weight:w p -. Dijkstra.dist t v) > 1e-6 then
             ok := false
       done;
       !ok)

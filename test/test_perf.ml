@@ -1,0 +1,343 @@
+(* Tests for the performance layer: workspace-pooled searches must return
+   exactly what their allocating counterparts do, and the parallel batch
+   engine must be indistinguishable from its sequential twin. *)
+
+module Net = Rr_wdm.Network
+module Conv = Rr_wdm.Conversion
+module Layered = Rr_wdm.Layered
+module RR = Robust_routing
+module Types = RR.Types
+module Rng = Rr_util.Rng
+module Workspace = Rr_util.Workspace
+
+let checkb = Alcotest.(check bool)
+let qtest = QCheck_alcotest.to_alcotest
+
+let random_net ?(n = 8) ?(w = 3) ?(density = 1.0) seed =
+  let rng = Rng.create seed in
+  let topo = Rr_topo.Random_topo.degree_bounded ~rng ~n ~degree:3 in
+  Rr_topo.Fitout.fit_out ~rng ~n_wavelengths:w ~lambda_density:density topo
+
+let preload rng net fraction =
+  for e = 0 to Net.n_links net - 1 do
+    Rr_util.Bitset.iter
+      (fun l -> if Rng.uniform rng < fraction then Net.allocate net e l)
+      (Net.lambdas net e)
+  done
+
+let random_requests rng net k =
+  List.init k (fun _ ->
+      let s, d =
+        Rr_sim.Workload.random_pair rng ~n_nodes:(Net.n_nodes net)
+      in
+      { Types.src = s; dst = d })
+
+(* Structural equality of batch results; covers paths, wavelengths, order
+   and the aggregate statistics. *)
+let same_result (a : RR.Batch.result) (b : RR.Batch.result) = a = b
+
+(* ------------------------------------------------------------------ *)
+(* Workspace pooling                                                    *)
+
+let prop_pooled_layered_matches =
+  QCheck.Test.make ~name:"pooled layered search = unpooled (100 queries)"
+    ~count:10 QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed + 9000) in
+      let net = random_net ~w:4 (seed + 9000) in
+      preload rng net 0.3;
+      let n = Net.n_nodes net in
+      let ws = Workspace.create () in
+      let ok = ref true in
+      for _ = 1 to 100 do
+        let s = Rng.int rng n in
+        let t = Rng.int rng n in
+        if s <> t then begin
+          let fresh = Layered.optimal net ~source:s ~target:t in
+          let pooled = Layered.optimal ~workspace:ws net ~source:s ~target:t in
+          if fresh <> pooled then ok := false
+        end
+      done;
+      !ok)
+
+let prop_pooled_router_matches =
+  QCheck.Test.make ~name:"pooled Router.route = unpooled, all policies"
+    ~count:15 QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed + 9100) in
+      let net = random_net ~w:3 (seed + 9100) in
+      preload rng net 0.25;
+      let n = Net.n_nodes net in
+      let ws = Workspace.create () in
+      let ok = ref true in
+      List.iter
+        (fun policy ->
+          for _ = 1 to 5 do
+            let s = Rng.int rng n and t = Rng.int rng n in
+            if s <> t then begin
+              let fresh = RR.Router.route net policy ~source:s ~target:t in
+              let pooled =
+                RR.Router.route ~workspace:ws net policy ~source:s ~target:t
+              in
+              if fresh <> pooled then ok := false
+            end
+          done)
+        [
+          RR.Router.Cost_approx; RR.Router.Load_aware; RR.Router.Load_cost;
+          RR.Router.Two_step; RR.Router.First_fit; RR.Router.Unprotected;
+          RR.Router.Node_protect;
+        ];
+      !ok)
+
+let test_workspace_stale_tree_raises () =
+  let g =
+    let b = Rr_graph.Digraph.builder 3 in
+    ignore (Rr_graph.Digraph.add_edge b 0 1);
+    ignore (Rr_graph.Digraph.add_edge b 1 2);
+    Rr_graph.Digraph.freeze b
+  in
+  let ws = Workspace.create () in
+  let t1 = Rr_graph.Dijkstra.tree ~workspace:ws g ~weight:(fun _ -> 1.0) ~source:0 in
+  checkb "fresh tree readable" true (Rr_graph.Dijkstra.dist t1 2 = 2.0);
+  let _t2 = Rr_graph.Dijkstra.tree ~workspace:ws g ~weight:(fun _ -> 1.0) ~source:1 in
+  Alcotest.check_raises "stale tree raises"
+    (Invalid_argument "Dijkstra: tree is stale (its workspace ran another search)")
+    (fun () -> ignore (Rr_graph.Dijkstra.dist t1 2))
+
+let test_workspace_growth_preserves_isolation () =
+  (* A workspace grown mid-stream must not resurrect entries stamped
+     before the growth. *)
+  let ws = Workspace.create ~capacity:2 () in
+  Workspace.reset ws 2;
+  Workspace.set ws 1 5.0 7;
+  Workspace.reset ws 64;
+  checkb "old entry invisible after growth" true (Workspace.dist ws 1 = infinity);
+  checkb "fresh slots unset" true (not (Workspace.is_set ws 63));
+  Workspace.set ws 63 1.5 3;
+  checkb "write after growth" true (Workspace.dist ws 63 = 1.5)
+
+(* ------------------------------------------------------------------ *)
+(* Conversion successor lists                                           *)
+
+let prop_conv_successors_match_dense =
+  QCheck.Test.make ~name:"conv successors = dense cost scan" ~count:100
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed + 9200) in
+      let w = 2 + Rng.int rng 6 in
+      let spec =
+        match Rng.int rng 4 with
+        | 0 -> Conv.No_conversion
+        | 1 -> Conv.Full (Rng.uniform rng)
+        | 2 -> Conv.Range (Rng.int rng w, Rng.uniform rng)
+        | _ ->
+          Conv.Table
+            (Array.init w (fun p ->
+                 Array.init w (fun q ->
+                     if p = q then Some 0.0
+                     else if Rng.uniform rng < 0.5 then Some (Rng.uniform rng)
+                     else None)))
+      in
+      let succ = Conv.successors spec ~n_wavelengths:w in
+      let ok = ref true in
+      for p = 0 to w - 1 do
+        let qs, cs = succ.(p) in
+        if Array.length qs <> Array.length cs then ok := false;
+        (* Every listed pair is allowed at the listed cost, ascending. *)
+        Array.iteri
+          (fun i q ->
+            if q = p then ok := false;
+            if i > 0 && qs.(i - 1) >= q then ok := false;
+            match Conv.cost spec p q with
+            | Some c -> if c <> cs.(i) then ok := false
+            | None -> ok := false)
+          qs;
+        (* Every allowed pair is listed. *)
+        let listed = Array.to_list qs in
+        for q = 0 to w - 1 do
+          if q <> p then
+            match Conv.cost spec p q with
+            | Some _ -> if not (List.mem q listed) then ok := false
+            | None -> if List.mem q listed then ok := false
+        done
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Batch: arrange cache, speculative engine, parallel determinism       *)
+
+let prop_arrange_sorted =
+  QCheck.Test.make ~name:"arrange shortest-first ascending after BFS cache"
+    ~count:50 QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed + 9300) in
+      let net = random_net (seed + 9300) in
+      preload rng net 0.3;
+      let reqs = random_requests rng net 30 in
+      let hop req =
+        let d =
+          Rr_graph.Traversal.bfs_dist
+            ~enabled:(fun e -> Net.has_available net e)
+            (Net.graph net) ~source:req.Types.src
+        in
+        let h = d.(req.Types.dst) in
+        if h < 0 then max_int else h
+      in
+      let check_order order cmp =
+        let arranged = RR.Batch.arrange net order reqs in
+        List.length arranged = List.length reqs
+        && fst
+             (List.fold_left
+                (fun (ok, prev) r ->
+                  let h = hop r in
+                  ((ok && cmp prev h), h))
+                (true, match order with RR.Batch.Longest_first -> max_int | _ -> 0)
+                arranged)
+      in
+      check_order RR.Batch.Shortest_first (fun a b -> a <= b)
+      && check_order RR.Batch.Longest_first (fun a b -> a >= b))
+
+let prop_route_parallel_identical =
+  QCheck.Test.make ~name:"route_parallel ~jobs:4 = sequential route" ~count:20
+    QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed + 9400) in
+      let net = random_net ~n:10 ~w:3 (seed + 9400) in
+      preload rng net 0.2;
+      let reqs = random_requests rng net 25 in
+      let seq = RR.Batch.route (Net.copy net) RR.Router.Cost_approx reqs in
+      let par =
+        RR.Batch.route_parallel ~jobs:4 (Net.copy net) RR.Router.Cost_approx reqs
+      in
+      same_result seq par)
+
+let test_route_parallel_jobs_invariant () =
+  let rng = Rng.create 4242 in
+  let net = random_net ~n:10 ~w:4 4242 in
+  preload rng net 0.25;
+  let reqs = random_requests rng net 30 in
+  List.iter
+    (fun policy ->
+      let base = RR.Batch.route (Net.copy net) policy reqs in
+      List.iter
+        (fun jobs ->
+          let r = RR.Batch.route_parallel ~jobs (Net.copy net) policy reqs in
+          checkb
+            (Printf.sprintf "%s jobs=%d" (RR.Router.policy_name policy) jobs)
+            true (same_result base r))
+        [ 1; 2; 4 ])
+    [ RR.Router.Cost_approx; RR.Router.Load_cost; RR.Router.First_fit ]
+
+let test_route_parallel_shared_pool () =
+  (* A long-lived pool reused across batches behaves like per-call pools. *)
+  let rng = Rng.create 777 in
+  let net1 = random_net ~n:9 777 in
+  let net2 = random_net ~n:9 778 in
+  preload rng net1 0.2;
+  let reqs1 = random_requests rng net1 20 in
+  let reqs2 = random_requests rng net2 20 in
+  RR.Parallel.with_pool ~jobs:3 (fun pool ->
+      List.iter
+        (fun (net, reqs) ->
+          let seq = RR.Batch.route (Net.copy net) RR.Router.Two_step reqs in
+          let par =
+            RR.Batch.route_parallel ~pool (Net.copy net) RR.Router.Two_step reqs
+          in
+          checkb "pooled batch identical" true (same_result seq par))
+        [ (net1, reqs1); (net2, reqs2) ])
+
+let test_route_orders_identical_across_jobs () =
+  let rng = Rng.create 31337 in
+  let net = random_net ~n:10 31337 in
+  preload rng net 0.3;
+  let reqs = random_requests rng net 25 in
+  List.iter
+    (fun order ->
+      let seq = RR.Batch.route ~order (Net.copy net) RR.Router.Unprotected reqs in
+      let par =
+        RR.Batch.route_parallel ~order ~jobs:4 (Net.copy net)
+          RR.Router.Unprotected reqs
+      in
+      checkb (RR.Batch.order_name order) true (same_result seq par))
+    [
+      RR.Batch.Fifo; RR.Batch.Shortest_first; RR.Batch.Longest_first;
+      RR.Batch.Random 5;
+    ]
+
+let test_route_admissions_validate () =
+  (* The speculative engine must leave the network in a state consistent
+     with its reported outcomes. *)
+  let rng = Rng.create 99 in
+  let net = random_net ~n:10 ~w:3 99 in
+  preload rng net 0.2;
+  let reqs = random_requests rng net 30 in
+  let before = Net.total_in_use net in
+  let r = RR.Batch.route_parallel ~jobs:2 net RR.Router.Cost_approx reqs in
+  let consumed =
+    List.fold_left
+      (fun acc o ->
+        match o.RR.Batch.solution with
+        | Some sol ->
+          let count p = List.length p.Rr_wdm.Semilightpath.hops in
+          acc + count sol.Types.primary
+          + (match sol.Types.backup with Some b -> count b | None -> 0)
+        | None -> acc)
+      0 r.RR.Batch.outcomes
+  in
+  checkb "wavelength conservation" true
+    (Net.total_in_use net = before + consumed);
+  checkb "admitted + dropped = batch" true
+    (r.RR.Batch.admitted + r.RR.Batch.dropped = List.length reqs)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel pool plumbing                                               *)
+
+let test_parallel_map_basic () =
+  RR.Parallel.with_pool ~jobs:4 (fun pool ->
+      let arr = Array.init 100 Fun.id in
+      let out =
+        RR.Parallel.map pool ~worker:(fun i -> i) ~f:(fun _ x -> x * x) arr
+      in
+      checkb "squares" true (out = Array.init 100 (fun i -> i * i)))
+
+let test_parallel_exception_propagates () =
+  RR.Parallel.with_pool ~jobs:2 (fun pool ->
+      Alcotest.check_raises "worker failure re-raised" (Failure "boom")
+        (fun () ->
+          ignore
+            (RR.Parallel.map pool ~worker:(fun i -> i)
+               ~f:(fun _ x -> if x = 7 then failwith "boom" else x)
+               (Array.init 16 Fun.id)));
+      (* The pool survives a failed job. *)
+      let out =
+        RR.Parallel.map pool ~worker:(fun i -> i) ~f:(fun _ x -> x + 1)
+          (Array.init 8 Fun.id)
+      in
+      checkb "pool reusable after failure" true
+        (out = Array.init 8 (fun i -> i + 1)))
+
+let suite =
+  [
+    ( "perf.workspace",
+      [
+        qtest prop_pooled_layered_matches;
+        qtest prop_pooled_router_matches;
+        Alcotest.test_case "stale tree raises" `Quick
+          test_workspace_stale_tree_raises;
+        Alcotest.test_case "growth isolation" `Quick
+          test_workspace_growth_preserves_isolation;
+        qtest prop_conv_successors_match_dense;
+      ] );
+    ( "perf.batch",
+      [
+        qtest prop_arrange_sorted;
+        qtest prop_route_parallel_identical;
+        Alcotest.test_case "jobs invariance" `Quick
+          test_route_parallel_jobs_invariant;
+        Alcotest.test_case "shared pool" `Quick test_route_parallel_shared_pool;
+        Alcotest.test_case "orders identical" `Quick
+          test_route_orders_identical_across_jobs;
+        Alcotest.test_case "conservation" `Quick test_route_admissions_validate;
+      ] );
+    ( "perf.parallel",
+      [
+        Alcotest.test_case "map basic" `Quick test_parallel_map_basic;
+        Alcotest.test_case "exception propagation" `Quick
+          test_parallel_exception_propagates;
+      ] );
+  ]
