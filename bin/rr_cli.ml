@@ -90,6 +90,74 @@ let resolve_net file topo w seed =
 (* ------------------------------------------------------------------ *)
 (* topo                                                                 *)
 
+(* ------------------------------------------------------------------ *)
+(* observability: --metrics / --trace sinks                             *)
+
+let die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "rr_cli: %s\n" msg;
+      exit 1)
+    fmt
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Export the run's routing metrics (per-stage latency histograms, \
+           admission and blocking-cause counters): Prometheus exposition \
+           text, or a JSON dump when $(docv) ends in .json.  Use - for \
+           stdout.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Export the span timeline as Chrome trace_event JSON — load it in \
+           chrome://tracing or Perfetto.  Use - for stdout.")
+
+(* Catch unwritable sinks before the run, not after minutes of work. *)
+let check_writable = function
+  | None | Some "-" -> ()
+  | Some path -> (
+    match open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 path with
+    | oc -> close_out oc
+    | exception Sys_error e -> die "cannot write %s: %s" path e)
+
+let obs_of metrics trace =
+  check_writable metrics;
+  check_writable trace;
+  if metrics = None && trace = None then Rr_obs.Obs.null
+  else Rr_obs.Obs.create ()
+
+let write_sink path contents =
+  if path = "-" then print_string contents
+  else begin
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc
+  end
+
+let export_obs obs metrics trace =
+  (match metrics with
+   | None -> ()
+   | Some path ->
+     let m = Rr_obs.Obs.metrics obs in
+     let doc =
+       if Filename.check_suffix path ".json" then Rr_obs.Export.json m
+       else Rr_obs.Export.prometheus m
+     in
+     write_sink path doc);
+  match trace with
+  | None -> ()
+  | Some path ->
+    write_sink path
+      (Rr_obs.Export.chrome_trace (Rr_obs.Tracer.spans (Rr_obs.Obs.tracer obs)))
+
 let topo_cmd =
   let run topo =
     Printf.printf "%s: %d nodes, %d directed links\n" topo.Rr_topo.Fitout.t_name
@@ -112,13 +180,14 @@ let route_cmd =
   let dst =
     Arg.(required & opt (some int) None & info [ "dest"; "d" ] ~doc:"Destination node.")
   in
-  let run topo file policy w seed s d =
+  let run topo file policy w seed s d metrics trace =
+    let obs = obs_of metrics trace in
     let net = resolve_net file topo w seed in
-    if s < 0 || s >= Net.n_nodes net || d < 0 || d >= Net.n_nodes net || s = d then begin
-      Printf.eprintf "invalid node pair %d -> %d\n" s d;
-      exit 1
-    end;
-    match Router.route net policy ~source:s ~target:d with
+    if s < 0 || s >= Net.n_nodes net || d < 0 || d >= Net.n_nodes net || s = d then
+      die "invalid node pair %d -> %d" s d;
+    let result = Router.route ~obs net policy ~source:s ~target:d in
+    export_obs obs metrics trace;
+    match result with
     | None ->
       Printf.printf "no robust route from %d to %d under policy %s\n" s d
         (Router.policy_name policy);
@@ -131,7 +200,7 @@ let route_cmd =
     (Cmd.info "route" ~doc:"Compute a robust route for one request.")
     Term.(
       const run $ topo_arg $ file_arg $ policy_arg $ wavelengths_arg $ seed_arg
-      $ src $ dst)
+      $ src $ dst $ metrics_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                             *)
@@ -152,7 +221,9 @@ let simulate_cmd =
   let reprovision =
     Arg.(value & flag & info [ "reprovision" ] ~doc:"Re-provision backups after switch-over.")
   in
-  let run topo policy w seed erlang duration failure_rate node_failure_rate reprovision =
+  let run topo policy w seed erlang duration failure_rate node_failure_rate
+      reprovision metrics trace =
+    let obs = obs_of metrics trace in
     let net = build_net topo w seed in
     let workload =
       Rr_sim.Workload.make ~arrival_rate:(erlang /. 10.0) ~mean_holding:10.0
@@ -168,7 +239,8 @@ let simulate_cmd =
         repair_time = 40.0;
       }
     in
-    let r = Rr_sim.Simulator.run net cfg in
+    let r = Rr_sim.Simulator.run ~obs net cfg in
+    export_obs obs metrics trace;
     let c = r.Rr_sim.Simulator.counters in
     Printf.printf "policy            %s\n" (Router.policy_name policy);
     Printf.printf "offered           %d\n" c.offered;
@@ -193,7 +265,8 @@ let simulate_cmd =
     (Cmd.info "simulate" ~doc:"Run a dynamic-traffic simulation.")
     Term.(
       const run $ topo_arg $ policy_arg $ wavelengths_arg $ seed_arg $ erlang
-      $ duration $ failure_rate $ node_failure_rate $ reprovision)
+      $ duration $ failure_rate $ node_failure_rate $ reprovision $ metrics_arg
+      $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* audit                                                                *)
@@ -263,14 +336,19 @@ let batch_cmd =
   in
   let jobs =
     Arg.(
-      value & opt int 0
+      value
+      & opt (some int) None
       & info [ "jobs" ]
           ~doc:
             "Route the batch with the speculative two-phase engine on N \
-             worker domains (N >= 1).  0 (the default) keeps the paper's \
-             sequential one-by-one discipline.")
+             worker domains (N >= 1).  Omitted: the paper's sequential \
+             one-by-one discipline.")
   in
-  let run topo policy w seed size order jobs =
+  let run topo policy w seed size order jobs metrics trace =
+    (match jobs with
+     | Some j when j < 1 -> die "--jobs must be at least 1 (got %d)" j
+     | _ -> ());
+    let obs = obs_of metrics trace in
     let net = build_net topo w seed in
     let rng = Rr_util.Rng.create seed in
     let reqs =
@@ -279,9 +357,11 @@ let batch_cmd =
           { RR.Types.src = s; dst = d })
     in
     let r =
-      if jobs <= 0 then RR.Batch.process ~order net policy reqs
-      else RR.Batch.route_parallel ~order ~jobs net policy reqs
+      match jobs with
+      | None -> RR.Batch.process ~order ~obs net policy reqs
+      | Some jobs -> RR.Batch.route_parallel ~order ~jobs ~obs net policy reqs
     in
+    export_obs obs metrics trace;
     List.iter
       (fun o ->
         match o.RR.Batch.solution with
@@ -299,7 +379,7 @@ let batch_cmd =
     (Cmd.info "batch" ~doc:"Process one batch of random requests (Section 2).")
     Term.(
       const run $ topo_arg $ policy_arg $ wavelengths_arg $ seed_arg $ size
-      $ order $ jobs)
+      $ order $ jobs $ metrics_arg $ trace_arg)
 
 (* ------------------------------------------------------------------ *)
 (* provision                                                            *)

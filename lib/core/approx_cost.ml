@@ -1,6 +1,8 @@
 module Aux = Rr_wdm.Auxiliary
 module Layered = Rr_wdm.Layered
+module Slp = Rr_wdm.Semilightpath
 module Workspace = Rr_util.Workspace
+module Obs = Rr_obs.Obs
 
 type detail = {
   aux : Aux.t;
@@ -14,30 +16,53 @@ type detail = {
 (* Refine one auxiliary path: optimal semilightpath within the physical
    subgraph its traversal arcs induce.  With a workspace, link-subset
    membership uses its stamped mark set (independent of the distance
-   epoch, so the layered search below may reset distances freely). *)
-let refine net ?workspace ~source ~target links =
-  match workspace with
-  | Some ws ->
-    Workspace.mark_reset ws (Rr_wdm.Network.n_links net);
-    List.iter (Workspace.mark ws) links;
-    Layered.optimal net ~link_enabled:(Workspace.marked ws) ~workspace:ws
-      ~source ~target
-  | None ->
-    let set = Hashtbl.create 16 in
-    List.iter (fun e -> Hashtbl.replace set e ()) links;
-    Layered.optimal net ~link_enabled:(Hashtbl.mem set) ~source ~target
+   epoch, so the layered search below may reset distances freely).
 
-let route_detailed ?workspace net ~source ~target =
+   The layered optimum is a walk in the wavelength graph; with
+   range-limited converters it can revisit a physical link on a second
+   wavelength (bouncing between adjacent converter nodes to emulate a
+   multi-step conversion).  Such walks are not semilightpaths, so they are
+   screened out here — the candidate subgraph then has no refinement. *)
+let refine net ?workspace ?(obs = Obs.null) ~source ~target links =
+  let result =
+    match workspace with
+    | Some ws ->
+      Workspace.mark_reset ws (Rr_wdm.Network.n_links net);
+      List.iter (Workspace.mark ws) links;
+      Layered.optimal net ~link_enabled:(Workspace.marked ws) ~obs ~workspace:ws
+        ~source ~target
+    | None ->
+      let set = Hashtbl.create 16 in
+      List.iter (fun e -> Hashtbl.replace set e ()) links;
+      Layered.optimal net ~link_enabled:(Hashtbl.mem set) ~obs ~source ~target
+  in
+  match result with
+  | Some (p, _) when not (Slp.link_simple p) ->
+    Obs.add obs "refine.nonsimple" 1;
+    None
+  | r -> r
+
+let route_detailed ?workspace ?(obs = Obs.null) net ~source ~target =
+  let t0 = Obs.start obs in
   let aux = Aux.gprime net ~source ~target in
-  match Aux.disjoint_pair ?workspace aux with
-  | None -> None
+  Obs.stop obs "stage.aux_graph" t0;
+  let t0 = Obs.start obs in
+  let pair = Aux.disjoint_pair ~obs ?workspace aux in
+  Obs.stop obs "stage.disjoint_pair" t0;
+  match pair with
+  | None ->
+    Obs.add obs "route.block.no_disjoint_pair" 1;
+    None
   | Some ((p1, p2), aux_weight) ->
+    let t0 = Obs.start obs in
     let links1 = Aux.links_of_path aux p1 in
     let links2 = Aux.links_of_path aux p2 in
-    (match
-       ( refine net ?workspace ~source ~target links1,
-         refine net ?workspace ~source ~target links2 )
-     with
+    Obs.stop obs "stage.induce" t0;
+    let t0 = Obs.start obs in
+    let r1 = refine net ?workspace ~obs ~source ~target links1
+    and r2 = refine net ?workspace ~obs ~source ~target links2 in
+    Obs.stop obs "stage.refine" t0;
+    (match (r1, r2) with
      | Some (sl1, c1), Some (sl2, c2) ->
        (* Serve the cheaper path as primary. *)
        let (primary, _), (backup, _) =
@@ -52,7 +77,11 @@ let route_detailed ?workspace net ~source ~target =
            solution = { Types.primary; backup = Some backup };
            refined_cost = c1 +. c2;
          }
-     | _ -> None)
+     | _ ->
+       Obs.add obs "route.block.no_wavelength" 1;
+       None)
 
-let route ?workspace net ~source ~target =
-  Option.map (fun d -> d.solution) (route_detailed ?workspace net ~source ~target)
+let route ?workspace ?obs net ~source ~target =
+  Option.map
+    (fun d -> d.solution)
+    (route_detailed ?workspace ?obs net ~source ~target)

@@ -21,6 +21,7 @@ type detail = {
 
 val route :
   ?workspace:Rr_util.Workspace.t ->
+  ?obs:Rr_obs.Obs.t ->
   Rr_wdm.Network.t ->
   source:int ->
   target:int ->
@@ -29,10 +30,19 @@ val route :
     network (or when a degenerate converter configuration admits no
     consistent wavelength chain along the chosen subgraphs — impossible
     under the paper's full-switching assumption (i)).  [workspace] is
-    shared by the Suurballe passes and the layered refinements. *)
+    shared by the Suurballe passes and the layered refinements.
+
+    With [?obs] the pipeline records per-stage latency spans
+    ([stage.aux_graph], [stage.disjoint_pair], [stage.induce],
+    [stage.refine]) plus blocking-cause counters
+    ([route.block.no_disjoint_pair] when Suurballe finds no pair,
+    [route.block.no_wavelength] when a refinement fails) and a
+    [refine.nonsimple] counter for layered walks screened out for
+    revisiting a physical link (see {!Rr_wdm.Semilightpath.link_simple}). *)
 
 val route_detailed :
   ?workspace:Rr_util.Workspace.t ->
+  ?obs:Rr_obs.Obs.t ->
   Rr_wdm.Network.t ->
   source:int ->
   target:int ->

@@ -1,6 +1,8 @@
 module Aux = Rr_wdm.Auxiliary
 module Net = Rr_wdm.Network
 module Layered = Rr_wdm.Layered
+module Slp = Rr_wdm.Semilightpath
+module Obs = Rr_obs.Obs
 
 type result = {
   theta : float;
@@ -8,26 +10,37 @@ type result = {
   solution : Types.solution;
 }
 
-let refine net ?workspace ~source ~target links =
-  match workspace with
-  | Some ws ->
-    Rr_util.Workspace.mark_reset ws (Net.n_links net);
-    List.iter (Rr_util.Workspace.mark ws) links;
-    Layered.optimal net
-      ~link_enabled:(Rr_util.Workspace.marked ws)
-      ~workspace:ws ~source ~target
-  | None ->
-    let set = Hashtbl.create 16 in
-    List.iter (fun e -> Hashtbl.replace set e ()) links;
-    Layered.optimal net ~link_enabled:(Hashtbl.mem set) ~source ~target
+(* Same screening as {!Approx_cost.refine}: a layered walk that revisits a
+   physical link is not a semilightpath and cannot be admitted. *)
+let refine net ?workspace ?(obs = Obs.null) ~source ~target links =
+  let result =
+    match workspace with
+    | Some ws ->
+      Rr_util.Workspace.mark_reset ws (Net.n_links net);
+      List.iter (Rr_util.Workspace.mark ws) links;
+      Layered.optimal net
+        ~link_enabled:(Rr_util.Workspace.marked ws)
+        ~obs ~workspace:ws ~source ~target
+    | None ->
+      let set = Hashtbl.create 16 in
+      List.iter (fun e -> Hashtbl.replace set e ()) links;
+      Layered.optimal net ~link_enabled:(Hashtbl.mem set) ~obs ~source ~target
+  in
+  match result with
+  | Some (p, _) when not (Slp.link_simple p) ->
+    Obs.add obs "refine.nonsimple" 1;
+    None
+  | r -> r
 
-let route ?base ?resolution ?workspace net ~source ~target =
-  match Mincog.route ?base ?resolution ?workspace net ~source ~target with
+let route ?base ?resolution ?workspace ?(obs = Obs.null) net ~source ~target =
+  match Mincog.route ?base ?resolution ?workspace ~obs net ~source ~target with
   | None -> None
   | Some phase1 ->
     let theta = phase1.Mincog.theta in
+    let t0 = Obs.start obs in
     let aux = Aux.grc net ~theta ~source ~target in
-    (match Aux.disjoint_pair ?workspace aux with
+    Obs.stop obs "stage.aux_graph" t0;
+    (match Aux.disjoint_pair ~obs ?workspace aux with
      | None ->
        (* ϑ was feasible in phase 1, so G_rc (same topology as G_c) must
           admit a pair; fall back to the phase-1 routes defensively. *)
@@ -41,8 +54,8 @@ let route ?base ?resolution ?workspace net ~source ~target =
        let links1 = Aux.links_of_path aux p1 in
        let links2 = Aux.links_of_path aux p2 in
        (match
-          ( refine net ?workspace ~source ~target links1,
-            refine net ?workspace ~source ~target links2 )
+          ( refine net ?workspace ~obs ~source ~target links1,
+            refine net ?workspace ~obs ~source ~target links2 )
         with
         | Some (sl1, c1), Some (sl2, c2) ->
           let primary, backup = if c1 <= c2 then (sl1, sl2) else (sl2, sl1) in

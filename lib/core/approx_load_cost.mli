@@ -17,6 +17,7 @@ val route :
   ?base:float ->
   ?resolution:int ->
   ?workspace:Rr_util.Workspace.t ->
+  ?obs:Rr_obs.Obs.t ->
   Rr_wdm.Network.t ->
   source:int ->
   target:int ->

@@ -1,9 +1,17 @@
 module Net = Rr_wdm.Network
 module Layered = Rr_wdm.Layered
 module Slp = Rr_wdm.Semilightpath
+module Obs = Rr_obs.Obs
 
-let two_step ?workspace net ~source ~target =
-  match Layered.optimal ?workspace net ~source ~target with
+(* Layered optima are walks; screen out the rare non-link-simple ones so
+   baselines never hand the admission validator an invalid path (see
+   {!Slp.link_simple}). *)
+let simple_only = function
+  | Some (p, _) when not (Slp.link_simple p) -> None
+  | r -> r
+
+let two_step ?workspace ?(obs = Obs.null) net ~source ~target =
+  match simple_only (Layered.optimal ~obs ?workspace net ~source ~target) with
   | None -> None
   | Some (p1, _) ->
     let link_enabled =
@@ -17,12 +25,15 @@ let two_step ?workspace net ~source ~target =
         List.iter (fun e -> Hashtbl.replace used e ()) (Slp.links p1);
         fun e -> not (Hashtbl.mem used e)
     in
-    (match Layered.optimal ?workspace net ~link_enabled ~source ~target with
+    (match
+       simple_only
+         (Layered.optimal ~obs ?workspace net ~link_enabled ~source ~target)
+     with
      | None -> None
      | Some (p2, _) -> Some { Types.primary = p1; backup = Some p2 })
 
-let unprotected ?workspace net ~source ~target =
-  match Layered.optimal ?workspace net ~source ~target with
+let unprotected ?workspace ?(obs = Obs.null) net ~source ~target =
+  match simple_only (Layered.optimal ~obs ?workspace net ~source ~target) with
   | None -> None
   | Some (p, _) -> Some { Types.primary = p; backup = None }
 
@@ -30,11 +41,11 @@ let unprotected ?workspace net ~source ~target =
    caller-supplied preference order (first-fit = identity order, most-used
    = packing order, least-used = spreading order; cf. the adaptive RWA
    heuristics of Mokhtar & Azizoglu, the paper's ref [16]). *)
-let greedy_path ?workspace net ~prefer ~link_enabled ~source ~target =
+let greedy_path ?workspace ?obs net ~prefer ~link_enabled ~source ~target =
   let g = Net.graph net in
   let enabled e = link_enabled e && Net.has_available net e in
   match
-    Rr_graph.Dijkstra.shortest_path ~enabled ?workspace g
+    Rr_graph.Dijkstra.shortest_path ~enabled ?obs ?workspace g
       ~weight:(fun _ -> 1.0)
       ~source ~target
   with
@@ -65,29 +76,31 @@ let greedy_path ?workspace net ~prefer ~link_enabled ~source ~target =
      | None -> None
      | Some hops -> Some ({ Slp.hops }, links))
 
-let greedy_pair ?workspace net ~prefer ~source ~target =
+let greedy_pair ?workspace ?obs net ~prefer ~source ~target =
   match
-    greedy_path ?workspace net ~prefer ~link_enabled:(fun _ -> true) ~source ~target
+    greedy_path ?workspace ?obs net ~prefer
+      ~link_enabled:(fun _ -> true)
+      ~source ~target
   with
   | None -> None
   | Some (p1, links1) ->
     let used = Hashtbl.create 16 in
     List.iter (fun e -> Hashtbl.replace used e ()) links1;
     let link_enabled e = not (Hashtbl.mem used e) in
-    (match greedy_path ?workspace net ~prefer ~link_enabled ~source ~target with
+    (match greedy_path ?workspace ?obs net ~prefer ~link_enabled ~source ~target with
      | None -> None
      | Some (p2, _) -> Some { Types.primary = p1; backup = Some p2 })
 
-let first_fit ?workspace net ~source ~target =
+let first_fit ?workspace ?obs net ~source ~target =
   let order = List.init (Net.n_wavelengths net) Fun.id in
-  greedy_pair ?workspace net ~prefer:(fun () -> order) ~source ~target
+  greedy_pair ?workspace ?obs net ~prefer:(fun () -> order) ~source ~target
 
-let most_used_fit ?workspace net ~source ~target =
-  greedy_pair ?workspace net
+let most_used_fit ?workspace ?obs net ~source ~target =
+  greedy_pair ?workspace ?obs net
     ~prefer:(fun () -> Rr_wdm.Usage.most_used_order net)
     ~source ~target
 
-let least_used_fit ?workspace net ~source ~target =
-  greedy_pair ?workspace net
+let least_used_fit ?workspace ?obs net ~source ~target =
+  greedy_pair ?workspace ?obs net
     ~prefer:(fun () -> Rr_wdm.Usage.least_used_order net)
     ~source ~target

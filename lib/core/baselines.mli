@@ -12,6 +12,7 @@
 
 val two_step :
   ?workspace:Rr_util.Workspace.t ->
+  ?obs:Rr_obs.Obs.t ->
   Rr_wdm.Network.t ->
   source:int ->
   target:int ->
@@ -19,6 +20,7 @@ val two_step :
 
 val unprotected :
   ?workspace:Rr_util.Workspace.t ->
+  ?obs:Rr_obs.Obs.t ->
   Rr_wdm.Network.t ->
   source:int ->
   target:int ->
@@ -26,6 +28,7 @@ val unprotected :
 
 val first_fit :
   ?workspace:Rr_util.Workspace.t ->
+  ?obs:Rr_obs.Obs.t ->
   Rr_wdm.Network.t ->
   source:int ->
   target:int ->
@@ -33,6 +36,7 @@ val first_fit :
 
 val most_used_fit :
   ?workspace:Rr_util.Workspace.t ->
+  ?obs:Rr_obs.Obs.t ->
   Rr_wdm.Network.t ->
   source:int ->
   target:int ->
@@ -43,6 +47,7 @@ val most_used_fit :
 
 val least_used_fit :
   ?workspace:Rr_util.Workspace.t ->
+  ?obs:Rr_obs.Obs.t ->
   Rr_wdm.Network.t ->
   source:int ->
   target:int ->

@@ -1,4 +1,5 @@
 module Net = Rr_wdm.Network
+module Obs = Rr_obs.Obs
 
 type order =
   | Fifo
@@ -70,14 +71,15 @@ let valid net req =
   req.Types.src >= 0 && req.Types.src < n && req.Types.dst >= 0
   && req.Types.dst < n && req.Types.src <> req.Types.dst
 
-let process ?(order = Fifo) net policy requests =
+let process ?(order = Fifo) ?obs net policy requests =
   let ordered = arrange net order requests in
   let outcomes =
     List.map
       (fun req ->
         let solution =
           if valid net req then
-            Router.admit net policy ~source:req.Types.src ~target:req.Types.dst
+            Router.admit ?obs net policy ~source:req.Types.src
+              ~target:req.Types.dst
           else None
         in
         { request = req; solution })
@@ -116,13 +118,13 @@ let process ?(order = Fifo) net policy requests =
    Phase B never depends on how Phase A was executed, so [route] and
    [route_parallel] produce identical results by construction. *)
 
-let speculate_one snapshot ws policy req =
+let speculate_one ?obs snapshot ws policy req =
   if valid snapshot req then
-    Router.route ~workspace:ws snapshot policy ~source:req.Types.src
+    Router.route ~workspace:ws ?obs snapshot policy ~source:req.Types.src
       ~target:req.Types.dst
   else None
 
-let apply net policy ordered speculative =
+let apply ?obs net policy ordered speculative =
   let ws = Rr_util.Workspace.create () in
   let outcomes =
     List.map2
@@ -139,8 +141,8 @@ let apply net policy ordered speculative =
             | Error _ ->
               (* An earlier admission consumed a wavelength this solution
                  needs: recompute against the live network. *)
-              Router.admit ~workspace:ws net policy ~source:req.Types.src
-                ~target:req.Types.dst)
+              Router.admit ~workspace:ws ?obs net policy
+                ~source:req.Types.src ~target:req.Types.dst)
         in
         { request = req; solution })
       ordered speculative
@@ -162,16 +164,17 @@ let apply net policy ordered speculative =
     final_load = Net.network_load net;
   }
 
-let route ?(order = Fifo) net policy requests =
+let route ?(order = Fifo) ?obs net policy requests =
   let ordered = arrange net order requests in
   let snapshot = Net.copy net in
   let ws = Rr_util.Workspace.create () in
   let speculative =
-    List.map (fun req -> speculate_one snapshot ws policy req) ordered
+    List.map (fun req -> speculate_one ?obs snapshot ws policy req) ordered
   in
-  apply net policy ordered speculative
+  apply ?obs net policy ordered speculative
 
-let route_parallel ?(order = Fifo) ?pool ?jobs net policy requests =
+let route_parallel ?(order = Fifo) ?pool ?jobs ?(obs = Obs.null) net policy
+    requests =
   let ordered = arrange net order requests in
   let jobs =
     match (pool, jobs) with
@@ -181,10 +184,21 @@ let route_parallel ?(order = Fifo) ?pool ?jobs net policy requests =
   in
   if jobs < 1 then invalid_arg "Batch.route_parallel: jobs must be at least 1";
   let reqs = Array.of_list ordered in
+  (* Each worker records into a private fork (tid = worker index + 1, the
+     parent keeping tid 0); the forks are merged back in worker order after
+     the join, so the combined registry is independent of how the atomic
+     counter interleaved requests across workers.  All metric merges are
+     integer sums/maxes, so merged totals equal a sequential run's. *)
+  let forks =
+    if Obs.enabled obs then
+      Array.init jobs (fun i -> Obs.fork obs ~tid:(i + 1))
+    else Array.make jobs Obs.null
+  in
   let phase_a p =
     Parallel.map p
-      ~worker:(fun _ -> (Net.copy net, Rr_util.Workspace.create ()))
-      ~f:(fun (snapshot, ws) req -> speculate_one snapshot ws policy req)
+      ~worker:(fun i -> (Net.copy net, Rr_util.Workspace.create (), forks.(i)))
+      ~f:(fun (snapshot, ws, fork) req ->
+        speculate_one ~obs:fork snapshot ws policy req)
       reqs
   in
   let speculative =
@@ -192,4 +206,5 @@ let route_parallel ?(order = Fifo) ?pool ?jobs net policy requests =
     | Some p -> phase_a p
     | None -> Parallel.with_pool ~jobs phase_a
   in
-  apply net policy ordered (Array.to_list speculative)
+  if Obs.enabled obs then Array.iter (fun f -> Obs.merge ~into:obs f) forks;
+  apply ~obs net policy ordered (Array.to_list speculative)

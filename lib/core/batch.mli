@@ -32,6 +32,7 @@ type result = {
 
 val process :
   ?order:order ->
+  ?obs:Rr_obs.Obs.t ->
   Rr_wdm.Network.t ->
   Router.policy ->
   Types.request list ->
@@ -50,6 +51,7 @@ val arrange :
 
 val route :
   ?order:order ->
+  ?obs:Rr_obs.Obs.t ->
   Rr_wdm.Network.t ->
   Router.policy ->
   Types.request list ->
@@ -69,6 +71,7 @@ val route_parallel :
   ?order:order ->
   ?pool:Parallel.t ->
   ?jobs:int ->
+  ?obs:Rr_obs.Obs.t ->
   Rr_wdm.Network.t ->
   Router.policy ->
   Types.request list ->
@@ -78,4 +81,10 @@ val route_parallel :
     phase B is unchanged, so the result is identical to {!route} for every
     [jobs].  Pass [pool] to reuse long-lived workers across batches
     ([jobs] is then ignored); otherwise a pool of [jobs] (default
-    {!Parallel.default_jobs}) is created for the call. *)
+    {!Parallel.default_jobs}) is created for the call.
+
+    With [?obs], each phase-A worker records into a private fork of the
+    context ([tid] = worker index + 1) and the forks are merged back in
+    worker order at the join — all merges are integer sums/maxes, so
+    counter totals are deterministic and equal to a sequential {!route}
+    run's regardless of [jobs]. *)

@@ -1,6 +1,8 @@
 module Aux = Rr_wdm.Auxiliary
 module Net = Rr_wdm.Network
 module Layered = Rr_wdm.Layered
+module Slp = Rr_wdm.Semilightpath
+module Obs = Rr_obs.Obs
 
 type result = {
   theta : float;
@@ -21,30 +23,44 @@ let theta_bounds net =
   done;
   if !lo = infinity then (1.0, 1.0) else (!lo, !hi)
 
-let refine net ?workspace ~source ~target links =
-  match workspace with
-  | Some ws ->
-    Rr_util.Workspace.mark_reset ws (Net.n_links net);
-    List.iter (Rr_util.Workspace.mark ws) links;
-    Layered.optimal net
-      ~link_enabled:(Rr_util.Workspace.marked ws)
-      ~workspace:ws ~source ~target
-  | None ->
-    let set = Hashtbl.create 16 in
-    List.iter (fun e -> Hashtbl.replace set e ()) links;
-    Layered.optimal net ~link_enabled:(Hashtbl.mem set) ~source ~target
+(* Same screening as {!Approx_cost.refine}: a layered walk that revisits a
+   physical link is not a semilightpath and cannot be admitted. *)
+let refine net ?workspace ?(obs = Obs.null) ~source ~target links =
+  let result =
+    match workspace with
+    | Some ws ->
+      Rr_util.Workspace.mark_reset ws (Net.n_links net);
+      List.iter (Rr_util.Workspace.mark ws) links;
+      Layered.optimal net
+        ~link_enabled:(Rr_util.Workspace.marked ws)
+        ~obs ~workspace:ws ~source ~target
+    | None ->
+      let set = Hashtbl.create 16 in
+      List.iter (fun e -> Hashtbl.replace set e ()) links;
+      Layered.optimal net ~link_enabled:(Hashtbl.mem set) ~obs ~source ~target
+  in
+  match result with
+  | Some (p, _) when not (Slp.link_simple p) ->
+    Obs.add obs "refine.nonsimple" 1;
+    None
+  | r -> r
 
 (* Try one threshold: build G_c, Suurballe, refine both paths. *)
-let attempt ?workspace net ~theta ~base ~source ~target =
+let attempt ?workspace ?(obs = Obs.null) net ~theta ~base ~source ~target =
+  let t0 = Obs.start obs in
   let aux = Aux.gc net ~theta ~base ~source ~target () in
-  match Aux.disjoint_pair ?workspace aux with
+  Obs.stop obs "stage.aux_graph" t0;
+  let t0 = Obs.start obs in
+  let pair = Aux.disjoint_pair ~obs ?workspace aux in
+  Obs.stop obs "stage.disjoint_pair" t0;
+  match pair with
   | None -> None
   | Some ((p1, p2), _) ->
     let links1 = Aux.links_of_path aux p1 in
     let links2 = Aux.links_of_path aux p2 in
     (match
-       ( refine net ?workspace ~source ~target links1,
-         refine net ?workspace ~source ~target links2 )
+       ( refine net ?workspace ~obs ~source ~target links1,
+         refine net ?workspace ~obs ~source ~target links2 )
      with
      | Some (sl1, c1), Some (sl2, c2) ->
        let primary, backup = if c1 <= c2 then (sl1, sl2) else (sl2, sl1) in
@@ -56,7 +72,8 @@ let attempt ?workspace net ~theta ~base ~source ~target =
        Some { theta; bottleneck; solution = { Types.primary; backup = Some backup } }
      | _ -> None)
 
-let route ?(base = 16.0) ?(resolution = 10) ?workspace net ~source ~target =
+let route ?(base = 16.0) ?(resolution = 10) ?workspace ?(obs = Obs.null) net
+    ~source ~target =
   let theta_min, theta_max = theta_bounds net in
   let delta = theta_max -. theta_min in
   (* Thresholds in increasing order: ϑ_min, then geometrically growing
@@ -72,11 +89,15 @@ let route ?(base = 16.0) ?(resolution = 10) ?workspace net ~source ~target =
   let rec try_all = function
     | [] -> None
     | theta :: rest -> (
-      match attempt ?workspace net ~theta ~base ~source ~target with
+      match attempt ?workspace ~obs net ~theta ~base ~source ~target with
       | Some r -> Some r
       | None -> try_all rest)
   in
-  try_all candidates
+  match try_all candidates with
+  | None ->
+    Obs.add obs "route.block.no_disjoint_pair" 1;
+    None
+  | r -> r
 
 let min_bottleneck ?workspace net ~source ~target =
   (* Distinct realised load levels, ascending; feasibility (existence of an

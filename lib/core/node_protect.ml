@@ -2,35 +2,55 @@ module Aux = Rr_wdm.Auxiliary
 module Net = Rr_wdm.Network
 module Layered = Rr_wdm.Layered
 module Slp = Rr_wdm.Semilightpath
+module Obs = Rr_obs.Obs
 
-let refine net ?workspace ~source ~target links =
-  match workspace with
-  | Some ws ->
-    Rr_util.Workspace.mark_reset ws (Net.n_links net);
-    List.iter (Rr_util.Workspace.mark ws) links;
-    Layered.optimal net
-      ~link_enabled:(Rr_util.Workspace.marked ws)
-      ~workspace:ws ~source ~target
-  | None ->
-    let set = Hashtbl.create 16 in
-    List.iter (fun e -> Hashtbl.replace set e ()) links;
-    Layered.optimal net ~link_enabled:(Hashtbl.mem set) ~source ~target
+(* Same screening as {!Approx_cost.refine}: a layered walk that revisits a
+   physical link is not a semilightpath and cannot be admitted. *)
+let refine net ?workspace ?(obs = Obs.null) ~source ~target links =
+  let result =
+    match workspace with
+    | Some ws ->
+      Rr_util.Workspace.mark_reset ws (Net.n_links net);
+      List.iter (Rr_util.Workspace.mark ws) links;
+      Layered.optimal net
+        ~link_enabled:(Rr_util.Workspace.marked ws)
+        ~obs ~workspace:ws ~source ~target
+    | None ->
+      let set = Hashtbl.create 16 in
+      List.iter (fun e -> Hashtbl.replace set e ()) links;
+      Layered.optimal net ~link_enabled:(Hashtbl.mem set) ~obs ~source ~target
+  in
+  match result with
+  | Some (p, _) when not (Slp.link_simple p) ->
+    Obs.add obs "refine.nonsimple" 1;
+    None
+  | r -> r
 
-let route ?workspace net ~source ~target =
+let route ?workspace ?(obs = Obs.null) net ~source ~target =
+  let t0 = Obs.start obs in
   let aux = Aux.gprime_gated net ~source ~target in
-  match Aux.disjoint_pair ?workspace aux with
-  | None -> None
+  Obs.stop obs "stage.aux_graph" t0;
+  let t0 = Obs.start obs in
+  let pair = Aux.disjoint_pair ~obs ?workspace aux in
+  Obs.stop obs "stage.disjoint_pair" t0;
+  match pair with
+  | None ->
+    Obs.add obs "route.block.no_disjoint_pair" 1;
+    None
   | Some ((p1, p2), _) ->
     let links1 = Aux.links_of_path aux p1 in
     let links2 = Aux.links_of_path aux p2 in
-    (match
-       ( refine net ?workspace ~source ~target links1,
-         refine net ?workspace ~source ~target links2 )
-     with
+    let t0 = Obs.start obs in
+    let r1 = refine net ?workspace ~obs ~source ~target links1
+    and r2 = refine net ?workspace ~obs ~source ~target links2 in
+    Obs.stop obs "stage.refine" t0;
+    (match (r1, r2) with
      | Some (sl1, c1), Some (sl2, c2) ->
        let primary, backup = if c1 <= c2 then (sl1, sl2) else (sl2, sl1) in
        Some { Types.primary; backup = Some backup }
-     | _ -> None)
+     | _ ->
+       Obs.add obs "route.block.no_wavelength" 1;
+       None)
 
 let internal_nodes net p =
   match Slp.links p with

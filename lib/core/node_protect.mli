@@ -9,6 +9,7 @@
 
 val route :
   ?workspace:Rr_util.Workspace.t ->
+  ?obs:Rr_obs.Obs.t ->
   Rr_wdm.Network.t ->
   source:int ->
   target:int ->

@@ -31,37 +31,64 @@ let policy_name = function
 let policy_of_string s =
   List.find_opt (fun p -> policy_name p = s) all_policies
 
-let route ?workspace net policy ~source ~target =
-  match policy with
-  | Cost_approx -> Approx_cost.route ?workspace net ~source ~target
-  | Load_aware ->
-    Option.map
-      (fun r -> r.Mincog.solution)
-      (Mincog.route ?workspace net ~source ~target)
-  | Load_cost ->
-    Option.map
-      (fun r -> r.Approx_load_cost.solution)
-      (Approx_load_cost.route ?workspace net ~source ~target)
-  | Two_step -> Baselines.two_step ?workspace net ~source ~target
-  | First_fit -> Baselines.first_fit ?workspace net ~source ~target
-  | Most_used -> Baselines.most_used_fit ?workspace net ~source ~target
-  | Least_used -> Baselines.least_used_fit ?workspace net ~source ~target
-  | Unprotected -> Baselines.unprotected ?workspace net ~source ~target
-  | Node_protect -> Node_protect.route ?workspace net ~source ~target
-  | Exact ->
-    (* The exact enumerative solver has no Dijkstra-shaped scratch state. *)
-    ignore workspace;
-    Option.map fst (Exact.route net ~source ~target)
+module Obs = Rr_obs.Obs
 
-let admit ?workspace net policy ~source ~target =
-  match route ?workspace net policy ~source ~target with
-  | None -> None
+let route ?workspace ?(obs = Obs.null) net policy ~source ~target =
+  let result =
+    match policy with
+    | Cost_approx -> Approx_cost.route ?workspace ~obs net ~source ~target
+    | Load_aware ->
+      Option.map
+        (fun r -> r.Mincog.solution)
+        (Mincog.route ?workspace ~obs net ~source ~target)
+    | Load_cost ->
+      Option.map
+        (fun r -> r.Approx_load_cost.solution)
+        (Approx_load_cost.route ?workspace ~obs net ~source ~target)
+    | Two_step -> Baselines.two_step ?workspace ~obs net ~source ~target
+    | First_fit -> Baselines.first_fit ?workspace ~obs net ~source ~target
+    | Most_used -> Baselines.most_used_fit ?workspace ~obs net ~source ~target
+    | Least_used -> Baselines.least_used_fit ?workspace ~obs net ~source ~target
+    | Unprotected -> Baselines.unprotected ?workspace ~obs net ~source ~target
+    | Node_protect -> Node_protect.route ?workspace ~obs net ~source ~target
+    | Exact ->
+      (* The exact enumerative solver has no Dijkstra-shaped scratch state. *)
+      ignore workspace;
+      Option.map fst (Exact.route net ~source ~target)
+  in
+  (* The pipeline policies count their own blocking causes above; the
+     baselines and the exact solver block as one opaque step. *)
+  (match (result, policy) with
+   | None, (Two_step | First_fit | Most_used | Least_used | Unprotected | Exact)
+     ->
+     Obs.add obs "route.block.no_route" 1
+   | _ -> ());
+  result
+
+let admit ?workspace ?(obs = Obs.null) net policy ~source ~target =
+  match route ?workspace ~obs net policy ~source ~target with
+  | None ->
+    Obs.add obs "admit.blocked" 1;
+    None
   | Some sol -> (
-    match Types.validate net { Types.src = source; dst = target } sol with
+    let t0 = Obs.start obs in
+    let verdict = Types.validate net { Types.src = source; dst = target } sol in
+    Obs.stop obs "stage.validate" t0;
+    match verdict with
     | Error e ->
-      failwith
-        (Printf.sprintf "Router.admit: policy %s produced invalid solution: %s"
-           (policy_name policy) e)
+      (* A policy handed us a path the model rejects.  Historically this
+         was a [failwith]; counting it as a blocked request keeps the
+         simulator alive and makes the defect observable as a non-zero
+         [admit.reject.validator] (zero under the shipped policies — the
+         layered arrival/departure split plus the link-simplicity screens
+         close the known classes). *)
+      ignore e;
+      Obs.add obs "admit.reject.validator" 1;
+      Obs.add obs "admit.blocked" 1;
+      None
     | Ok () ->
+      let t0 = Obs.start obs in
       Types.allocate net sol;
+      Obs.stop obs "stage.allocate" t0;
+      Obs.add obs "admit.ok" 1;
       Some sol)

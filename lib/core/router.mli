@@ -19,6 +19,7 @@ val policy_of_string : string -> policy option
 
 val route :
   ?workspace:Rr_util.Workspace.t ->
+  ?obs:Rr_obs.Obs.t ->
   Rr_wdm.Network.t ->
   policy ->
   source:int ->
@@ -26,15 +27,24 @@ val route :
   Types.solution option
 (** Compute a robust route on the residual network; no allocation.
     [workspace] supplies reusable scratch arrays to every search the policy
-    runs (ignored by [Exact]); see {!Rr_util.Workspace}. *)
+    runs (ignored by [Exact]); see {!Rr_util.Workspace}.  [obs] is threaded
+    through the policy pipeline, recording per-stage spans ([stage.*]),
+    kernel spans and counters ([kernel.*], [heap.*], [conv.expansions],
+    [workspace.*]) and blocking causes ([route.block.*]). *)
 
 val admit :
   ?workspace:Rr_util.Workspace.t ->
+  ?obs:Rr_obs.Obs.t ->
   Rr_wdm.Network.t ->
   policy ->
   source:int ->
   target:int ->
   Types.solution option
 (** {!route}, then validate against the residual network and allocate all
-    wavelengths of both paths.  Raises [Failure] if a policy ever returns
-    an invalid solution (an algorithm bug, not an operational condition). *)
+    wavelengths of both paths ([stage.validate] / [stage.allocate] spans).
+    An admitted request increments [admit.ok]; a refusal increments
+    [admit.blocked].  A solution the validator rejects — an algorithm
+    defect, not an operational condition — is additionally counted under
+    [admit.reject.validator] and refused rather than raised, so long
+    simulations survive and the defect shows up in exported metrics (the
+    shipped policies keep this counter at zero). *)

@@ -1,4 +1,5 @@
 module Workspace = Rr_util.Workspace
+module Obs = Rr_obs.Obs
 
 (* The tree aliases the workspace that ran the search; [gen] detects reuse
    of the workspace by a later search so stale reads raise instead of
@@ -30,25 +31,32 @@ let dists t =
   check t;
   Array.init t.n (Workspace.dist t.ws)
 
-let run ?enabled ?workspace g ~weight ~source ~target =
+let run ?enabled ?(obs = Obs.null) ?workspace g ~weight ~source ~target =
   let n = Digraph.n_nodes g in
   if source < 0 || source >= n then invalid_arg "Dijkstra: source out of range";
+  let t0 = Obs.start obs in
   let ws =
     match workspace with
-    | Some ws -> ws
-    | None -> Workspace.create ~capacity:n ()
+    | Some ws ->
+      Obs.add obs "workspace.hit" 1;
+      ws
+    | None ->
+      Obs.add obs "workspace.miss" 1;
+      Workspace.create ~capacity:n ()
   in
   Workspace.reset ws n;
   let heap = Workspace.heap ws n in
   let enabled = match enabled with None -> fun _ -> true | Some f -> f in
   Workspace.set ws source 0.0 (-1);
   Rr_util.Indexed_heap.insert heap source 0.0;
+  let pops = ref 0 and inserts = ref 1 in
   let exception Done in
   (try
      let rec loop () =
        match Rr_util.Indexed_heap.pop_min heap with
        | None -> ()
        | Some (u, du) ->
+         incr pops;
          if (match target with Some t -> u = t | None -> false) then raise Done;
          let edges = Digraph.out_edges g u in
          for i = 0 to Array.length edges - 1 do
@@ -60,7 +68,8 @@ let run ?enabled ?workspace g ~weight ~source ~target =
              let dv = du +. w in
              if dv < Workspace.dist ws v then begin
                Workspace.set ws v dv e;
-               Rr_util.Indexed_heap.insert_or_decrease heap v dv
+               Rr_util.Indexed_heap.insert_or_decrease heap v dv;
+               incr inserts
              end
            end
          done;
@@ -68,10 +77,13 @@ let run ?enabled ?workspace g ~weight ~source ~target =
      in
      loop ()
    with Done -> ());
+  Obs.add obs "heap.pop" !pops;
+  Obs.add obs "heap.insert" !inserts;
+  Obs.stop obs "kernel.dijkstra" t0;
   { ws; gen = Workspace.generation ws; n; source }
 
-let tree ?enabled ?workspace g ~weight ~source =
-  run ?enabled ?workspace g ~weight ~source ~target:None
+let tree ?enabled ?obs ?workspace g ~weight ~source =
+  run ?enabled ?obs ?workspace g ~weight ~source ~target:None
 
 let path_to g t node =
   if dist t node = infinity then None
@@ -89,8 +101,8 @@ let path_to g t node =
 let path_cost ~weight path =
   List.fold_left (fun acc e -> acc +. weight e) 0.0 path
 
-let shortest_path ?enabled ?workspace g ~weight ~source ~target =
-  let t = run ?enabled ?workspace g ~weight ~source ~target:(Some target) in
+let shortest_path ?enabled ?obs ?workspace g ~weight ~source ~target =
+  let t = run ?enabled ?obs ?workspace g ~weight ~source ~target:(Some target) in
   match path_to g t target with
   | None -> None
   | Some p -> Some (p, dist t target)

@@ -13,12 +13,18 @@
     readable only until the workspace's next search, after which its
     accessors raise [Invalid_argument] (staleness is detected, never
     silent).  Without a workspace a private one is allocated and the tree
-    remains valid indefinitely. *)
+    remains valid indefinitely.
+
+    With [?obs] each search records a [kernel.dijkstra] latency span,
+    [heap.pop]/[heap.insert] operation counters and a
+    [workspace.hit]/[workspace.miss] counter (hit = caller-supplied
+    workspace reused). *)
 
 type tree
 
 val run :
   ?enabled:(int -> bool) ->
+  ?obs:Rr_obs.Obs.t ->
   ?workspace:Rr_util.Workspace.t ->
   Digraph.t ->
   weight:(int -> float) ->
@@ -32,6 +38,7 @@ val run :
 
 val tree :
   ?enabled:(int -> bool) ->
+  ?obs:Rr_obs.Obs.t ->
   ?workspace:Rr_util.Workspace.t ->
   Digraph.t ->
   weight:(int -> float) ->
@@ -53,6 +60,7 @@ val dists : tree -> float array
 
 val shortest_path :
   ?enabled:(int -> bool) ->
+  ?obs:Rr_obs.Obs.t ->
   ?workspace:Rr_util.Workspace.t ->
   Digraph.t ->
   weight:(int -> float) ->

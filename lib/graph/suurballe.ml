@@ -3,13 +3,21 @@
    zero-cost reversal of a first-path edge. *)
 type arc = Orig of int | Rev of int
 
-let edge_disjoint_pair ?enabled ?workspace g ~weight ~source ~target =
+module Obs = Rr_obs.Obs
+
+let edge_disjoint_pair ?enabled ?(obs = Obs.null) ?workspace g ~weight ~source
+    ~target =
   if source = target then invalid_arg "Suurballe: source = target";
+  let t0 = Obs.start obs in
+  let finish r =
+    Obs.stop obs "kernel.suurballe" t0;
+    r
+  in
   let n = Digraph.n_nodes g in
   let enabled = match enabled with None -> fun _ -> true | Some f -> f in
-  let t1 = Dijkstra.tree ~enabled ?workspace g ~weight ~source in
+  let t1 = Dijkstra.tree ~enabled ~obs ?workspace g ~weight ~source in
   match Dijkstra.path_to g t1 target with
-  | None -> None
+  | None -> finish None
   | Some p1 ->
     let on_p1 = Hashtbl.create 16 in
     List.iter (fun e -> Hashtbl.replace on_p1 e ()) p1;
@@ -42,11 +50,11 @@ let edge_disjoint_pair ?enabled ?workspace g ~weight ~source ~target =
     let arc_tag = Array.of_list (List.rev !arcs) in
     let arc_cost = Array.of_list (List.rev !costs) in
     (match
-       Dijkstra.shortest_path h ?workspace
+       Dijkstra.shortest_path h ~obs ?workspace
          ~weight:(fun e -> arc_cost.(e))
          ~source ~target
      with
-     | None -> None
+     | None -> finish None
      | Some (p2', _) ->
        (* Cancel opposite pairs, keep the union as an arc multiset. *)
        let kept = Hashtbl.copy on_p1 in
@@ -86,7 +94,7 @@ let edge_disjoint_pair ?enabled ?workspace g ~weight ~source ~target =
        let q1 = extract () in
        let q2 = extract () in
        let total = Path.cost ~weight q1 +. Path.cost ~weight q2 in
-       Some ((q1, q2), total))
+       finish (Some ((q1, q2), total)))
 
 (* Shared with [edge_disjoint_pair]: decompose the cancelled union of two
    paths into two simple s-t paths. *)
@@ -120,11 +128,11 @@ let decompose g ~weight ~source ~target kept =
   let total = Path.cost ~weight q1 +. Path.cost ~weight q2 in
   ((q1, q2), total)
 
-let edge_disjoint_pair_paper ?enabled ?workspace g ~weight ~source ~target =
+let edge_disjoint_pair_paper ?enabled ?obs ?workspace g ~weight ~source ~target =
   if source = target then invalid_arg "Suurballe: source = target";
   let n = Digraph.n_nodes g in
   let enabled = match enabled with None -> fun _ -> true | Some f -> f in
-  match Dijkstra.shortest_path ~enabled ?workspace g ~weight ~source ~target with
+  match Dijkstra.shortest_path ~enabled ?obs ?workspace g ~weight ~source ~target with
   | None -> None
   | Some (p1, _) ->
     let on_p1 = Hashtbl.create 16 in
@@ -162,7 +170,7 @@ let edge_disjoint_pair_paper ?enabled ?workspace g ~weight ~source ~target =
          p2';
        Some (decompose g ~weight ~source ~target kept))
 
-let node_disjoint_pair ?enabled ?workspace g ~weight ~source ~target =
+let node_disjoint_pair ?enabled ?obs ?workspace g ~weight ~source ~target =
   if source = target then invalid_arg "Suurballe: source = target";
   let enabled = match enabled with None -> fun _ -> true | Some f -> f in
   let n = Digraph.n_nodes g in
@@ -185,7 +193,9 @@ let node_disjoint_pair ?enabled ?workspace g ~weight ~source ~target =
   let w e = if e < n then 0.0 else weight orig_of.(e) in
   (* Route from s_out to t_in so the endpoints' internal arcs are not
      (incorrectly) required to be disjoint. *)
-  match edge_disjoint_pair h ?workspace ~weight:w ~source:(source + n) ~target with
+  match
+    edge_disjoint_pair h ?obs ?workspace ~weight:w ~source:(source + n) ~target
+  with
   | None -> None
   | Some ((p1, p2), _) ->
     let strip p = List.filter_map (fun e -> if e < n then None else Some orig_of.(e)) p in

@@ -13,10 +13,13 @@
 
     All entry points accept an optional {!Rr_util.Workspace.t}, passed
     through to the underlying Dijkstra passes so a long-lived caller reuses
-    one set of scratch arrays. *)
+    one set of scratch arrays.  [?obs] records a [kernel.suurballe] span
+    around {!edge_disjoint_pair} and is forwarded to the Dijkstra
+    passes. *)
 
 val edge_disjoint_pair :
   ?enabled:(int -> bool) ->
+  ?obs:Rr_obs.Obs.t ->
   ?workspace:Rr_util.Workspace.t ->
   Digraph.t ->
   weight:(int -> float) ->
@@ -27,6 +30,7 @@ val edge_disjoint_pair :
 
 val edge_disjoint_pair_paper :
   ?enabled:(int -> bool) ->
+  ?obs:Rr_obs.Obs.t ->
   ?workspace:Rr_util.Workspace.t ->
   Digraph.t ->
   weight:(int -> float) ->
@@ -43,6 +47,7 @@ val edge_disjoint_pair_paper :
 
 val node_disjoint_pair :
   ?enabled:(int -> bool) ->
+  ?obs:Rr_obs.Obs.t ->
   ?workspace:Rr_util.Workspace.t ->
   Digraph.t ->
   weight:(int -> float) ->

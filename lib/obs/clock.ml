@@ -1,0 +1,1 @@
+external now_ns : unit -> int = "rr_obs_clock_ns" [@@noalloc]

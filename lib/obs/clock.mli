@@ -1,0 +1,10 @@
+(** Monotonic wall clock, nanosecond resolution.
+
+    Backed by [clock_gettime(CLOCK_MONOTONIC)] through a [@@noalloc] C
+    stub returning a tagged int, so reading the clock never allocates and
+    is safe from any domain.  Differences of two readings are span
+    durations; absolute values are only meaningful relative to an
+    unspecified epoch (boot time on Linux). *)
+
+val now_ns : unit -> int
+(** Current monotonic time in nanoseconds. *)

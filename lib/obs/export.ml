@@ -1,0 +1,92 @@
+(* Exporters: Prometheus exposition text, a JSON dump of the registry and
+   Chrome trace_event JSON for span timelines.  All pure string builders —
+   file handling stays with the caller. *)
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_')
+    name
+
+let hist_buckets_nonempty (h : Metrics.hist_view) =
+  (* Highest non-empty bucket; emitting the 63-bucket tail of zeros helps
+     nobody. *)
+  let hi = ref (-1) in
+  Array.iteri (fun i c -> if c > 0 then hi := i) h.buckets;
+  !hi
+
+let prometheus ?(prefix = "rr") m =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun (name, v) ->
+      let n = prefix ^ "_" ^ sanitize name in
+      match v with
+      | Metrics.Counter c ->
+        Printf.bprintf b "# TYPE %s counter\n" n;
+        Printf.bprintf b "%s_total %d\n" n c
+      | Metrics.Gauge g ->
+        Printf.bprintf b "# TYPE %s gauge\n" n;
+        Printf.bprintf b "%s %g\n" n g
+      | Metrics.Histogram h ->
+        (* Latency histograms are recorded in nanoseconds; the unit is part
+           of the metric name, cumulative buckets as Prometheus expects. *)
+        let n = n ^ "_ns" in
+        Printf.bprintf b "# TYPE %s histogram\n" n;
+        let cum = ref 0 in
+        let hi = hist_buckets_nonempty h in
+        for i = 0 to hi do
+          cum := !cum + h.buckets.(i);
+          Printf.bprintf b "%s_bucket{le=\"%d\"} %d\n" n
+            (Metrics.bucket_upper_ns i) !cum
+        done;
+        Printf.bprintf b "%s_bucket{le=\"+Inf\"} %d\n" n h.count;
+        Printf.bprintf b "%s_sum %d\n" n h.sum_ns;
+        Printf.bprintf b "%s_count %d\n" n h.count)
+    (Metrics.items m);
+  Buffer.contents b
+
+let json m =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n";
+  let first = ref true in
+  List.iter
+    (fun (name, v) ->
+      if not !first then Buffer.add_string b ",\n";
+      first := false;
+      Printf.bprintf b "  %S: " name;
+      match v with
+      | Metrics.Counter c -> Printf.bprintf b "{\"type\": \"counter\", \"value\": %d}" c
+      | Metrics.Gauge g -> Printf.bprintf b "{\"type\": \"gauge\", \"value\": %g}" g
+      | Metrics.Histogram h ->
+        Printf.bprintf b
+          "{\"type\": \"histogram\", \"count\": %d, \"sum_ns\": %d, \
+           \"min_ns\": %d, \"max_ns\": %d, \"buckets\": ["
+          h.count h.sum_ns h.min_ns h.max_ns;
+        let hi = hist_buckets_nonempty h in
+        for i = 0 to hi do
+          if i > 0 then Buffer.add_string b ", ";
+          Printf.bprintf b "[%d, %d]" (Metrics.bucket_upper_ns i) h.buckets.(i)
+        done;
+        Buffer.add_string b "]}")
+    (Metrics.items m);
+  Buffer.add_string b "\n}\n";
+  Buffer.contents b
+
+let chrome_trace spans =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "[";
+  List.iteri
+    (fun i (s : Tracer.span) ->
+      if i > 0 then Buffer.add_string b ",";
+      (* trace_event timestamps are microseconds; complete events (ph X)
+         need ts + dur + pid/tid. *)
+      Printf.bprintf b
+        "\n{\"name\": %S, \"cat\": \"rr\", \"ph\": \"X\", \"ts\": %.3f, \
+         \"dur\": %.3f, \"pid\": 1, \"tid\": %d}"
+        s.Tracer.name
+        (float_of_int s.Tracer.start_ns /. 1e3)
+        (float_of_int s.Tracer.dur_ns /. 1e3)
+        s.Tracer.tid)
+    spans;
+  Buffer.add_string b "\n]\n";
+  Buffer.contents b

@@ -1,0 +1,20 @@
+(** Exporters for the metrics registry and span tracer.
+
+    All three return the serialised document as a string; writing files
+    (or stdout) is the caller's business. *)
+
+val prometheus : ?prefix:string -> Metrics.t -> string
+(** Prometheus exposition text.  Counters become [<p>_<name>_total],
+    histograms [<p>_<name>_ns{_bucket,_sum,_count}] with cumulative
+    power-of-two nanosecond buckets.  Default prefix ["rr"]. *)
+
+val json : Metrics.t -> string
+(** JSON object keyed by metric name; histograms carry
+    [[upper_bound_ns, count]] pairs for their non-empty prefix. *)
+
+val chrome_trace : Tracer.span list -> string
+(** Chrome [trace_event] JSON array of complete ("ph": "X") events —
+    load it in [chrome://tracing] or Perfetto. *)
+
+val sanitize : string -> string
+(** Replace every character outside [[A-Za-z0-9_]] with ['_']. *)

@@ -1,0 +1,178 @@
+(* All mergeable state is integral (counters, histogram bucket counts and
+   nanosecond sums), so merging is commutative and associative: per-domain
+   registries folded together at a batch join produce the same totals
+   regardless of worker scheduling.  Gauges merge by max (they record
+   high-water marks, the only gauge semantics that stays deterministic
+   under reordering). *)
+
+type hist = {
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_min : int;
+  mutable h_max : int;
+  h_buckets : int array;
+}
+
+type metric =
+  | M_counter of int ref
+  | M_gauge of float ref
+  | M_hist of hist
+
+type t = { tbl : (string, metric) Hashtbl.t }
+
+let n_buckets = 63
+
+let create () = { tbl = Hashtbl.create 64 }
+
+(* Bucket i holds values v with 2^(i-1) <= v < 2^i (bucket 0: v <= 0);
+   equivalently the number of significant bits of v.  max_int has 62 bits,
+   so indices stay within [0, 62]. *)
+let bucket_of ns =
+  let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in
+  if ns <= 0 then 0 else bits 0 ns
+
+let bucket_upper_ns i = if i >= n_buckets - 1 then max_int else 1 lsl i
+
+let kind_error name = invalid_arg ("Metrics: " ^ name ^ " used with two kinds")
+
+let find_counter t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (M_counter r) -> r
+  | Some _ -> kind_error name
+  | None ->
+    let r = ref 0 in
+    Hashtbl.add t.tbl name (M_counter r);
+    r
+
+let find_gauge t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (M_gauge r) -> r
+  | Some _ -> kind_error name
+  | None ->
+    let r = ref neg_infinity in
+    Hashtbl.add t.tbl name (M_gauge r);
+    r
+
+let fresh_hist () =
+  { h_count = 0; h_sum = 0; h_min = max_int; h_max = 0; h_buckets = Array.make n_buckets 0 }
+
+let find_hist t name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (M_hist h) -> h
+  | Some _ -> kind_error name
+  | None ->
+    let h = fresh_hist () in
+    Hashtbl.add t.tbl name (M_hist h);
+    h
+
+let add t name n =
+  let r = find_counter t name in
+  r := !r + n
+
+let counter t name =
+  match Hashtbl.find_opt t.tbl name with Some (M_counter r) -> !r | _ -> 0
+
+let set_gauge t name v =
+  let r = find_gauge t name in
+  r := v
+
+let observe_ns t name ns =
+  let ns = if ns < 0 then 0 else ns in
+  let h = find_hist t name in
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum + ns;
+  if ns < h.h_min then h.h_min <- ns;
+  if ns > h.h_max then h.h_max <- ns;
+  let b = bucket_of ns in
+  h.h_buckets.(b) <- h.h_buckets.(b) + 1
+
+(* Float entry point used by callers measuring in float ns: clamps
+   non-finite and out-of-range values instead of hitting the undefined
+   int_of_float behaviour (0, negatives and nan land in bucket 0;
+   max_float and infinity in the top bucket). *)
+let observe t name v =
+  let ns =
+    if Float.is_nan v || v <= 0.0 then 0
+    else if v >= float_of_int max_int then max_int
+    else int_of_float v
+  in
+  observe_ns t name ns
+
+let merge_into ~into src =
+  Hashtbl.iter
+    (fun name m ->
+      match m with
+      | M_counter r -> if !r <> 0 then add into name !r
+      | M_gauge r ->
+        let g = find_gauge into name in
+        if !r > !g then g := !r
+      | M_hist h ->
+        let d = find_hist into name in
+        d.h_count <- d.h_count + h.h_count;
+        d.h_sum <- d.h_sum + h.h_sum;
+        if h.h_min < d.h_min then d.h_min <- h.h_min;
+        if h.h_max > d.h_max then d.h_max <- h.h_max;
+        for i = 0 to n_buckets - 1 do
+          d.h_buckets.(i) <- d.h_buckets.(i) + h.h_buckets.(i)
+        done)
+    src.tbl
+
+type hist_view = {
+  count : int;
+  sum_ns : int;
+  min_ns : int;
+  max_ns : int;
+  buckets : int array;
+}
+
+type view =
+  | Counter of int
+  | Gauge of float
+  | Histogram of hist_view
+
+let items t =
+  Hashtbl.fold
+    (fun name m acc ->
+      let v =
+        match m with
+        | M_counter r -> Counter !r
+        | M_gauge r -> Gauge !r
+        | M_hist h ->
+          Histogram
+            {
+              count = h.h_count;
+              sum_ns = h.h_sum;
+              min_ns = (if h.h_count = 0 then 0 else h.h_min);
+              max_ns = h.h_max;
+              buckets = Array.copy h.h_buckets;
+            }
+      in
+      (name, v) :: acc)
+    t.tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counters t =
+  List.filter_map
+    (fun (name, v) -> match v with Counter c -> Some (name, c) | _ -> None)
+    (items t)
+
+let mean_ns h =
+  if h.count = 0 then 0.0 else float_of_int h.sum_ns /. float_of_int h.count
+
+(* Upper bound of the bucket where the cumulative count first reaches
+   q * count — a log2-resolution quantile estimate. *)
+let quantile_ns h q =
+  if h.count = 0 then 0
+  else begin
+    let want =
+      int_of_float (ceil (q *. float_of_int h.count)) |> max 1 |> min h.count
+    in
+    let rec go i cum =
+      if i >= n_buckets then h.max_ns
+      else begin
+        let cum = cum + h.buckets.(i) in
+        if cum >= want then min (bucket_upper_ns i) h.max_ns else go (i + 1) cum
+      end
+    in
+    go 0 0
+  end

@@ -1,0 +1,67 @@
+(** Metrics registry: counters, high-water-mark gauges and log-scale
+    latency histograms, keyed by name.
+
+    Every mergeable quantity is an integer (counter values, histogram
+    bucket counts and nanosecond sums), so {!merge_into} is commutative
+    and associative — per-domain registries collected from parallel batch
+    workers fold to the same totals no matter how the work was scheduled.
+    Metrics are created implicitly on first use; using one name with two
+    different kinds raises [Invalid_argument]. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> string -> int -> unit
+(** Increment a counter. *)
+
+val counter : t -> string -> int
+(** Current counter value; 0 when never incremented. *)
+
+val set_gauge : t -> string -> float -> unit
+
+val observe_ns : t -> string -> int -> unit
+(** Record one histogram sample in integer nanoseconds (negatives clamp
+    to 0). *)
+
+val observe : t -> string -> float -> unit
+(** Float variant: nan and non-positive values land in the zero bucket,
+    [max_float]/[infinity] in the top bucket — never undefined
+    [int_of_float] behaviour. *)
+
+val merge_into : into:t -> t -> unit
+(** Fold [src] into [into]: counters add, gauges max, histograms add
+    field-wise.  Deterministic under any merge order. *)
+
+(** {2 Read-out} *)
+
+type hist_view = {
+  count : int;
+  sum_ns : int;
+  min_ns : int;
+  max_ns : int;
+  buckets : int array;  (** bucket [i] counts samples in [[2^(i-1), 2^i)[;
+                            bucket 0 counts non-positive samples *)
+}
+
+type view =
+  | Counter of int
+  | Gauge of float
+  | Histogram of hist_view
+
+val items : t -> (string * view) list
+(** Snapshot of every metric, sorted by name (deterministic). *)
+
+val counters : t -> (string * int) list
+(** Just the counters, sorted by name. *)
+
+val n_buckets : int
+
+val bucket_upper_ns : int -> int
+(** Exclusive upper bound of bucket [i] in ns ([max_int] for the last). *)
+
+val mean_ns : hist_view -> float
+
+val quantile_ns : hist_view -> float -> int
+(** [quantile_ns h q] — upper bound of the bucket holding the [q]-quantile
+    sample (log2 resolution), clamped to the observed max. *)

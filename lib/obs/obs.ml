@@ -1,0 +1,78 @@
+type t = {
+  mutable enabled : bool;
+  metrics : Metrics.t;
+  tracer : Tracer.t;
+  tid : int;
+}
+
+(* The shared disabled context every instrumented function defaults to.
+   It must never be enabled (it is global mutable state reachable from
+   every call site), so [set_enabled] refuses it. *)
+let null =
+  { enabled = false; metrics = Metrics.create (); tracer = Tracer.create ~capacity:1 (); tid = 0 }
+
+let create ?(tid = 0) ?trace_capacity () =
+  {
+    enabled = true;
+    metrics = Metrics.create ();
+    tracer = Tracer.create ?capacity:trace_capacity ();
+    tid;
+  }
+
+let enabled t = t.enabled
+
+let set_enabled t v =
+  if t == null then invalid_arg "Obs.set_enabled: the null context stays disabled";
+  t.enabled <- v
+
+let metrics t = t.metrics
+let tracer t = t.tracer
+let tid t = t.tid
+let now_ns = Clock.now_ns
+
+(* Probe pair for hot paths: no closure, no allocation.  Disabled cost is
+   one load and branch per call ([start] additionally returns the
+   immediate 0). *)
+let start t = if t.enabled then Clock.now_ns () else 0
+
+let stop t name t0 =
+  if t.enabled then begin
+    let dur = Clock.now_ns () - t0 in
+    Tracer.record t.tracer ~tid:t.tid name ~start_ns:t0 ~dur_ns:dur;
+    Metrics.observe_ns t.metrics name dur
+  end
+
+let span t name f =
+  if not t.enabled then f ()
+  else begin
+    let t0 = Clock.now_ns () in
+    match f () with
+    | x ->
+      stop t name t0;
+      x
+    | exception e ->
+      stop t name t0;
+      raise e
+  end
+
+let add t name n = if t.enabled then Metrics.add t.metrics name n
+let gauge t name v = if t.enabled then Metrics.set_gauge t.metrics name v
+let observe_ns t name ns = if t.enabled then Metrics.observe_ns t.metrics name ns
+
+let fork t ~tid =
+  {
+    enabled = t.enabled;
+    metrics = Metrics.create ();
+    tracer = Tracer.create ~capacity:(Tracer.capacity t.tracer) ();
+    tid;
+  }
+
+let merge ~into child =
+  if into != null then begin
+    Metrics.merge_into ~into:into.metrics child.metrics;
+    List.iter
+      (fun s ->
+        Tracer.record into.tracer ~tid:s.Tracer.tid s.Tracer.name
+          ~start_ns:s.Tracer.start_ns ~dur_ns:s.Tracer.dur_ns)
+      (Tracer.spans child.tracer)
+  end

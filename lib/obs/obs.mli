@@ -1,0 +1,75 @@
+(** Observability context: one {!Metrics} registry plus one {!Tracer},
+    behind an on/off switch.
+
+    Instrumented functions take [?obs:Obs.t] defaulting to {!null}, the
+    shared permanently-disabled context, so un-instrumented callers pay
+    one pointer load and branch per probe — no closures, no allocation
+    (see the disabled-mode test and the bench overhead gate).
+
+    Contexts are single-domain.  For parallel sections, {!fork} a child
+    per worker (fresh registry and tracer, same switch) and {!merge} the
+    children back in worker order at the join; totals are deterministic
+    because {!Metrics.merge_into} commutes.
+
+    Naming conventions used across the repository:
+    - [stage.*]    per-stage latency histograms of the Section 3.3
+                   pipeline (aux_graph, disjoint_pair, induce, refine,
+                   validate, allocate)
+    - [kernel.*]   latency histograms of the search kernels (dijkstra,
+                   suurballe, layered, layered_bounded)
+    - [sim.*]      simulator event-loop spans (arrival, epoch, departure,
+                   fail_link, fail_node, repair)
+    - [admit.*]    admission counters: [admit.ok], [admit.blocked],
+                   [admit.reject.validator]
+    - [route.block.*]  blocking causes: [no_disjoint_pair],
+                   [no_wavelength], [no_route]
+    - [workspace.hit] / [workspace.miss]  scratch-state pooling counters
+    - [heap.pop] / [heap.insert] / [conv.expansions]  kernel op counters *)
+
+type t
+
+val null : t
+(** Shared disabled context; the default for every [?obs] argument.
+    Cannot be enabled. *)
+
+val create : ?tid:int -> ?trace_capacity:int -> unit -> t
+(** Fresh enabled context. [tid] labels its spans in trace exports. *)
+
+val enabled : t -> bool
+
+val set_enabled : t -> bool -> unit
+(** Raises [Invalid_argument] on {!null}. *)
+
+val metrics : t -> Metrics.t
+val tracer : t -> Tracer.t
+val tid : t -> int
+
+val now_ns : unit -> int
+
+val start : t -> int
+(** Begin a span: the start timestamp when enabled, 0 when disabled. *)
+
+val stop : t -> string -> int -> unit
+(** [stop t name t0] completes the span opened by {!start}: records it in
+    the tracer and feeds its duration into the [name] latency histogram.
+    No-op when disabled.  [name] should be a static string literal. *)
+
+val span : t -> string -> (unit -> 'a) -> 'a
+(** Closure convenience for cold paths (allocates the closure even when
+    disabled — use {!start}/{!stop} in hot loops). *)
+
+val add : t -> string -> int -> unit
+(** Counter increment; no-op when disabled. *)
+
+val gauge : t -> string -> float -> unit
+
+val observe_ns : t -> string -> int -> unit
+(** Histogram sample without a tracer span. *)
+
+val fork : t -> tid:int -> t
+(** Child context for a parallel worker: fresh registry and tracer, the
+    parent's switch state. *)
+
+val merge : into:t -> t -> unit
+(** Fold a child's metrics and spans into [into].  No-op when [into] is
+    {!null}. *)

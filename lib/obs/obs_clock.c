@@ -1,0 +1,17 @@
+/* Monotonic clock for the observability layer.
+
+   Returns CLOCK_MONOTONIC as a tagged OCaml int of nanoseconds.  63 bits
+   of nanoseconds cover ~146 years of uptime, so Val_long never truncates
+   in practice, and the [@@noalloc] external costs a plain C call — no
+   boxing, no GC interaction, safe to call from any domain. */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value rr_obs_clock_ns(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

@@ -1,0 +1,29 @@
+(** Span tracer: a fixed-capacity ring buffer of completed spans.
+
+    Spans carry a static string name, a monotonic start timestamp, a
+    duration (both integer nanoseconds, see {!Clock}) and a thread id for
+    the trace timeline.  Recording writes four array slots and allocates
+    nothing; when the ring is full the oldest spans are overwritten and
+    {!dropped} reports how many. *)
+
+type t
+
+type span = { name : string; start_ns : int; dur_ns : int; tid : int }
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] (default 65536) is rounded up to a power of two. *)
+
+val record : t -> tid:int -> string -> start_ns:int -> dur_ns:int -> unit
+
+val capacity : t -> int
+
+val total : t -> int
+(** Spans ever recorded, including overwritten ones. *)
+
+val retained : t -> int
+val dropped : t -> int
+
+val spans : t -> span list
+(** Retained spans, oldest first. *)
+
+val clear : t -> unit

@@ -1,5 +1,6 @@
 module Net = Rr_wdm.Network
 module Slp = Rr_wdm.Semilightpath
+module Obs = Rr_obs.Obs
 module Router = Robust_routing.Router
 module Types = Robust_routing.Types
 module Rng = Rr_util.Rng
@@ -88,7 +89,7 @@ type event =
 let path_intact net p =
   List.for_all (fun e -> not (Net.is_failed net e)) (Slp.links p)
 
-let run net0 config =
+let run ?(obs = Obs.null) net0 config =
   if config.duration <= 0.0 then invalid_arg "Simulator.run: duration must be positive";
   let net = Net.copy net0 in
   let rng = Rng.create config.seed in
@@ -144,19 +145,20 @@ let run net0 config =
       List.iter (fun e -> Hashtbl.replace active_links e ()) (Slp.links conn.active);
       let link_enabled e = not (Hashtbl.mem active_links e) in
       match
-        Rr_wdm.Layered.optimal net ~link_enabled ~source:conn.src ~target:conn.dst
+        Rr_wdm.Layered.optimal net ~link_enabled ~obs ~source:conn.src
+          ~target:conn.dst
       with
-      | Some (b, _) ->
+      | Some (b, _) when Slp.link_simple b ->
         Slp.allocate net b;
         conn.backup <- Some b;
         incr backups_reprovisioned
-      | None -> ()
+      | Some _ | None -> ()
     end
   in
   (* Re-route a failure-affected connection from scratch (passive
      restoration).  Its resources must already be released. *)
   let passive_reroute time conn =
-    match Router.admit net config.policy ~source:conn.src ~target:conn.dst with
+    match Router.admit ~obs net config.policy ~source:conn.src ~target:conn.dst with
     | Some sol ->
       conn.active <- sol.Types.primary;
       conn.backup <- sol.Types.backup;
@@ -264,7 +266,7 @@ let run net0 config =
         None
       | victim :: rest -> (
         Slp.release net victim.active;
-        match Router.route net (policy_for Premium) ~source:src ~target:dst with
+        match Router.route ~obs net (policy_for Premium) ~source:src ~target:dst with
         | Some sol -> Some (sol, victim :: evicted)
         | None -> evict (victim :: evicted) rest)
     in
@@ -278,7 +280,8 @@ let run net0 config =
       (fun victim ->
         incr preemptions;
         match
-          Router.route net Router.Unprotected ~source:victim.src ~target:victim.dst
+          Router.route ~obs net Router.Unprotected ~source:victim.src
+            ~target:victim.dst
         with
         | Some s
           when Types.validate net { Types.src = victim.src; dst = victim.dst } s = Ok () ->
@@ -304,7 +307,7 @@ let run net0 config =
       counters.offered <- counters.offered + 1;
       bump cls_offered klass
     end;
-    match Router.admit net (policy_for klass) ~source:src ~target:dst with
+    match Router.admit ~obs net (policy_for klass) ~source:src ~target:dst with
     | Some sol ->
       Log.debug (fun m ->
           m "t=%.2f admit %s %d->%d cost %.1f" time (class_name klass) src dst
@@ -346,14 +349,17 @@ let run net0 config =
     | Some (time, ev) -> (
       match ev with
       | Arrival ->
+        let t0 = Obs.start obs in
         let src, dst = pick_pair () in
         (match config.batching with
          | Some _ -> pending_batch := (src, dst) :: !pending_batch
          | None -> admit_request time src dst);
         Event_queue.schedule q
           (time +. Workload.interarrival rng config.workload)
-          Arrival
+          Arrival;
+        Obs.stop obs "sim.arrival" t0
       | Epoch ->
+        let t0 = Obs.start obs in
         (match config.batching with
          | None -> ()
          | Some (interval, order) ->
@@ -371,8 +377,10 @@ let run net0 config =
                admit_request time r.Robust_routing.Types.src
                  r.Robust_routing.Types.dst)
              ordered;
-           Event_queue.schedule q (time +. interval) Epoch)
+           Event_queue.schedule q (time +. interval) Epoch);
+        Obs.stop obs "sim.epoch" t0
       | Departure id -> (
+        let t0 = Obs.start obs in
         match Hashtbl.find_opt connections id with
         | None -> () (* dropped earlier by a failure *)
         | Some conn ->
@@ -381,15 +389,19 @@ let run net0 config =
           Hashtbl.remove connections id;
           incr completed;
           prev_load := Net.network_load net;
-          ignore (observe_load time))
+          ignore (observe_load time);
+          Obs.stop obs "sim.departure" t0)
       | Fail_link ->
+        let t0 = Obs.start obs in
         (match live_links () with
          | [] -> ()
          | live ->
            counters.failures_injected <- counters.failures_injected + 1;
            handle_failure time [ Rng.pick rng (Array.of_list live) ]);
-        reschedule time config.failure_rate Fail_link
+        reschedule time config.failure_rate Fail_link;
+        Obs.stop obs "sim.fail_link" t0
       | Fail_node ->
+        let t0 = Obs.start obs in
         (* A node outage takes down every incident fibre at once; only a
            node-disjoint backup survives it. *)
         let v = Rng.int rng (Net.n_nodes net) in
@@ -406,10 +418,13 @@ let run net0 config =
            incr node_failures;
            counters.failures_injected <- counters.failures_injected + 1;
            handle_failure time ~failed_node:v incident);
-        reschedule time config.node_failure_rate Fail_node
+        reschedule time config.node_failure_rate Fail_node;
+        Obs.stop obs "sim.fail_node" t0
       | Repair_links links ->
+        let t0 = Obs.start obs in
         List.iter (fun link -> Net.repair_link net link) links;
-        ignore (observe_load time))
+        ignore (observe_load time);
+        Obs.stop obs "sim.repair" t0)
   done;
   Metrics.finish load_trace ~time:config.duration;
   {

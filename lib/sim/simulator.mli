@@ -80,5 +80,15 @@ type report = {
   preempted_lost : int;     (** evictions that could not re-route *)
 }
 
-val run : Rr_wdm.Network.t -> config -> report
-(** Runs on a private copy of the network (the argument is not mutated). *)
+val run : ?obs:Rr_obs.Obs.t -> Rr_wdm.Network.t -> config -> report
+(** Runs on a private copy of the network (the argument is not mutated).
+
+    With [?obs] every event handler records a span ([sim.arrival],
+    [sim.epoch], [sim.departure], [sim.fail_link], [sim.fail_node],
+    [sim.repair]) and the context is threaded through every routing and
+    admission call.  In a failure-free run without service classes, the
+    books balance exactly: [admit.ok] equals the report's
+    [counters.admitted] and [admit.blocked] equals [counters.blocked]
+    (with failures or preemption, restoration re-routes and preemption
+    retries also pass through admission, so [admit.*] additionally counts
+    those). *)

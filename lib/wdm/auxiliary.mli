@@ -62,10 +62,13 @@ val links_of_path : t -> int list -> int list
     path order. *)
 
 val disjoint_pair :
-  ?workspace:Rr_util.Workspace.t -> t -> ((int list * int list) * float) option
+  ?obs:Rr_obs.Obs.t ->
+  ?workspace:Rr_util.Workspace.t ->
+  t ->
+  ((int list * int list) * float) option
 (** Suurballe on the auxiliary graph from [s'] to [t'']
-    ([Find_Two_Paths], Section 3.3.2).  [workspace] is passed through to the
-    Dijkstra passes. *)
+    ([Find_Two_Paths], Section 3.3.2).  [workspace] and [obs] are passed
+    through to the Suurballe/Dijkstra passes. *)
 
 val stats : t -> int * int * int
 (** (edge-nodes incl. s'/t'', traversal arcs, conversion arcs) — used by the

@@ -8,20 +8,26 @@
     source gives the minimum-cost semilightpath — this is the
     [O(nW² + nW log (nW))] subroutine of Theorems 1 and 3.
 
-    Note: chained conversions at one node are possible in this graph; with
-    metric conversion-cost tables (all generators in {!Rr_topo} produce
-    metric tables) they never beat a direct conversion, matching the
-    paper's model.  {!assign_on_path} is the direct-conversion-only DP used
-    to cross-check.
+    Each layer point is split into an arrival and a departure state, so a
+    search permits AT MOST ONE conversion per node visit — exactly the
+    path model {!Semilightpath.validate} checks.  (The naive single-state
+    graph admits chained conversion arcs at one node; with range-limited
+    converters such a chain reconstructs into a single out-of-range
+    wavelength change and the validator rejects the path.)
+    {!assign_on_path} is the direct-conversion-only DP used to
+    cross-check.
 
     The searches accept an optional {!Rr_util.Workspace.t} holding the
     [O(nW)] (or [O(nWK)]) distance/predecessor/heap scratch state; a
     long-lived router passes one workspace so repeated queries allocate
     nothing of that size.  Results are materialised before return and do
-    not alias the workspace. *)
+    not alias the workspace.  With [?obs] they record a [kernel.layered]
+    (or [kernel.layered_bounded]) span plus heap-operation,
+    conversion-arc-expansion and workspace hit/miss counters. *)
 
 val optimal :
   ?link_enabled:(int -> bool) ->
+  ?obs:Rr_obs.Obs.t ->
   ?workspace:Rr_util.Workspace.t ->
   Network.t ->
   source:int ->
@@ -33,6 +39,7 @@ val optimal :
 
 val optimal_cost :
   ?link_enabled:(int -> bool) ->
+  ?obs:Rr_obs.Obs.t ->
   ?workspace:Rr_util.Workspace.t ->
   Network.t ->
   source:int ->
@@ -41,6 +48,7 @@ val optimal_cost :
 
 val optimal_bounded :
   ?link_enabled:(int -> bool) ->
+  ?obs:Rr_obs.Obs.t ->
   ?workspace:Rr_util.Workspace.t ->
   Network.t ->
   max_conversions:int ->

@@ -108,6 +108,17 @@ let release net p = List.iter (fun h -> Network.release net h.edge h.lambda) p.h
 
 let uses_link p e = List.exists (fun h -> h.edge = e) p.hops
 
+let link_simple p =
+  let seen = Hashtbl.create 16 in
+  List.for_all
+    (fun h ->
+      if Hashtbl.mem seen h.edge then false
+      else begin
+        Hashtbl.replace seen h.edge ();
+        true
+      end)
+    p.hops
+
 let pp net fmt p =
   match p.hops with
   | [] -> Format.fprintf fmt "<empty>"

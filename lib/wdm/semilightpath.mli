@@ -53,4 +53,12 @@ val release : Network.t -> t -> unit
 
 val uses_link : t -> int -> bool
 
+val link_simple : t -> bool
+(** No physical link appears twice.  The layered search ({!Layered})
+    minimises over walks in the wavelength graph, and with range-limited
+    converters the optimum walk can revisit a link on a second wavelength
+    (bouncing between two adjacent converter nodes to emulate a multi-step
+    conversion); such walks are not semilightpaths and {!validate} rejects
+    them, so routing policies screen candidates with this predicate. *)
+
 val pp : Network.t -> Format.formatter -> t -> unit

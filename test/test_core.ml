@@ -351,8 +351,8 @@ let test_rwa_variants_valid () =
             true
             (Types.validate net { src = 0; dst = target } sol = Ok ()))
       [
-        ("most-used", RR.Baselines.most_used_fit ?workspace:None);
-        ("least-used", RR.Baselines.least_used_fit ?workspace:None);
+        ("most-used", RR.Baselines.most_used_fit ?workspace:None ?obs:None);
+        ("least-used", RR.Baselines.least_used_fit ?workspace:None ?obs:None);
       ]
   done
 

@@ -1,0 +1,319 @@
+(* Tests for the lib/obs observability subsystem: histogram bucketing
+   edge cases, exporter formats, the zero-cost disabled mode, the
+   deterministic parallel metric merge, and the admission-validity
+   regression the admit/reject counters were built to pin down. *)
+
+module Net = Rr_wdm.Network
+module Conv = Rr_wdm.Conversion
+module RR = Robust_routing
+module Types = RR.Types
+module Router = RR.Router
+module Rng = Rr_util.Rng
+module Obs = Rr_obs.Obs
+module Metrics = Rr_obs.Metrics
+module Tracer = Rr_obs.Tracer
+module Export = Rr_obs.Export
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let hist m name =
+  match List.assoc name (Metrics.items m) with
+  | Metrics.Histogram h -> h
+  | _ -> Alcotest.fail (name ^ " is not a histogram")
+
+(* ------------------------------------------------------------------ *)
+(* Histogram bucketing                                                  *)
+
+let test_hist_edges () =
+  let m = Metrics.create () in
+  (* Zero, negative, nan and -inf all land in bucket 0 (non-positive). *)
+  Metrics.observe m "h" 0.0;
+  Metrics.observe m "h" (-5.0);
+  Metrics.observe m "h" Float.nan;
+  Metrics.observe m "h" Float.neg_infinity;
+  Metrics.observe_ns m "h" 0;
+  let h = hist m "h" in
+  checki "non-positive samples" 5 h.Metrics.buckets.(0);
+  checki "count" 5 h.Metrics.count;
+  checki "sum" 0 h.Metrics.sum_ns;
+  (* max_float and +inf clamp to the top bucket, no undefined
+     int_of_float. *)
+  Metrics.observe m "h" Float.max_float;
+  Metrics.observe m "h" Float.infinity;
+  let h = hist m "h" in
+  checki "top bucket" 2 h.Metrics.buckets.(Metrics.n_buckets - 1);
+  checki "max is max_int" max_int h.Metrics.max_ns;
+  (* 1 ns is the first positive bucket; bucket bounds are powers of two. *)
+  Metrics.observe_ns m "h" 1;
+  let h = hist m "h" in
+  checki "1ns bucket" 1 h.Metrics.buckets.(1);
+  checkb "upper bounds double" true
+    (Metrics.bucket_upper_ns 4 = 2 * Metrics.bucket_upper_ns 3);
+  checki "last bound is max_int" max_int
+    (Metrics.bucket_upper_ns (Metrics.n_buckets - 1))
+
+let test_hist_mean_quantile () =
+  let m = Metrics.create () in
+  for _ = 1 to 10 do
+    Metrics.observe_ns m "h" 1000
+  done;
+  let h = hist m "h" in
+  Alcotest.(check (float 1e-9)) "mean" 1000.0 (Metrics.mean_ns h);
+  (* log2 resolution: the quantile reports its bucket's bound, clamped to
+     the observed max. *)
+  checkb "median within [1000, 1024]" true
+    (let q = Metrics.quantile_ns h 0.5 in
+     q >= 1000 && q <= 1024)
+
+let test_metrics_kind_clash () =
+  let m = Metrics.create () in
+  Metrics.add m "x" 1;
+  checkb "kind clash raises" true
+    (try
+       Metrics.observe_ns m "x" 5;
+       false
+     with Invalid_argument _ -> true)
+
+let test_merge () =
+  let a = Metrics.create () and b = Metrics.create () in
+  Metrics.add a "c" 2;
+  Metrics.add b "c" 3;
+  Metrics.set_gauge a "g" 1.5;
+  Metrics.set_gauge b "g" 0.5;
+  Metrics.observe_ns a "h" 100;
+  Metrics.observe_ns b "h" 200;
+  Metrics.merge_into ~into:a b;
+  checki "counters add" 5 (Metrics.counter a "c");
+  (match List.assoc "g" (Metrics.items a) with
+   | Metrics.Gauge g -> Alcotest.(check (float 1e-9)) "gauges max" 1.5 g
+   | _ -> Alcotest.fail "gauge expected");
+  let h = hist a "h" in
+  checki "hist count adds" 2 h.Metrics.count;
+  checki "hist sum adds" 300 h.Metrics.sum_ns
+
+(* ------------------------------------------------------------------ *)
+(* Tracer ring                                                          *)
+
+let test_tracer_ring () =
+  let t = Tracer.create ~capacity:8 () in
+  for i = 1 to 11 do
+    Tracer.record t ~tid:0 "s" ~start_ns:i ~dur_ns:1
+  done;
+  checki "total" 11 (Tracer.total t);
+  checki "retained" 8 (Tracer.retained t);
+  checki "dropped" 3 (Tracer.dropped t);
+  (* Oldest-first, and the oldest retained span is number 4. *)
+  (match Tracer.spans t with
+   | first :: _ -> checki "oldest retained" 4 first.Tracer.start_ns
+   | [] -> Alcotest.fail "spans expected");
+  Tracer.clear t;
+  checki "cleared" 0 (Tracer.total t)
+
+(* ------------------------------------------------------------------ *)
+(* Disabled mode                                                        *)
+
+let test_disabled_mode () =
+  let before = Gc.minor_words () in
+  for _ = 1 to 1000 do
+    let t0 = Obs.start Obs.null in
+    Obs.add Obs.null "c" 1;
+    Obs.observe_ns Obs.null "h" 5;
+    Obs.stop Obs.null "s" t0
+  done;
+  let words = Gc.minor_words () -. before in
+  (* 4000 probes: no spans, no metrics, and no allocation in the probe
+     path (the small slack absorbs instrumentation of the loop itself). *)
+  checkb
+    (Printf.sprintf "no allocation on disabled probes (%.0f words)" words)
+    true (words < 100.0);
+  checki "no spans recorded" 0 (Tracer.total (Obs.tracer Obs.null));
+  checki "no counters recorded" 0
+    (List.length (Metrics.counters (Obs.metrics Obs.null)));
+  checkb "null cannot be enabled" true
+    (try
+       Obs.set_enabled Obs.null true;
+       false
+     with Invalid_argument _ -> true)
+
+(* ------------------------------------------------------------------ *)
+(* Exporters                                                            *)
+
+let test_exporters () =
+  let obs = Obs.create () in
+  Obs.add obs "admit.ok" 7;
+  Obs.gauge obs "load" 0.25;
+  let t0 = Obs.start obs in
+  Obs.stop obs "stage.refine" t0;
+  let m = Obs.metrics obs in
+  let prom = Export.prometheus m in
+  let has needle hay =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  checkb "prometheus counter" true (has "rr_admit_ok_total 7" prom);
+  checkb "prometheus gauge" true (has "rr_load 0.25" prom);
+  checkb "prometheus histogram" true (has "rr_stage_refine_ns_count 1" prom);
+  checkb "prometheus +Inf bucket" true (has "le=\"+Inf\"" prom);
+  let js = Export.json m in
+  checkb "json counter" true (has "\"admit.ok\": {\"type\": \"counter\", \"value\": 7}" js);
+  checkb "json histogram" true (has "\"type\": \"histogram\"" js);
+  let tr = Export.chrome_trace (Tracer.spans (Obs.tracer obs)) in
+  checkb "trace is a json array" true
+    (String.length tr > 0 && tr.[0] = '[');
+  checkb "trace complete event" true (has "\"ph\": \"X\"" tr);
+  checkb "trace names span" true (has "\"name\": \"stage.refine\"" tr);
+  Alcotest.(check string) "sanitize" "stage_refine" (Export.sanitize "stage.refine")
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic metric merge across the parallel batch engine          *)
+
+let batch_fixture () =
+  let rng = Rng.create 1234 in
+  let topo = Rr_topo.Random_topo.degree_bounded ~rng ~n:10 ~degree:3 in
+  let net = Rr_topo.Fitout.fit_out ~rng ~n_wavelengths:4 topo in
+  let reqs =
+    List.init 30 (fun _ ->
+        let s, d = Rr_sim.Workload.random_pair rng ~n_nodes:(Net.n_nodes net) in
+        { Types.src = s; dst = d })
+  in
+  (net, reqs)
+
+let test_parallel_merge_deterministic () =
+  let net, reqs = batch_fixture () in
+  let run jobs =
+    let obs = Obs.create () in
+    let r =
+      match jobs with
+      | None -> RR.Batch.route ~obs (Net.copy net) Router.Cost_approx reqs
+      | Some j ->
+        RR.Batch.route_parallel ~jobs:j ~obs (Net.copy net) Router.Cost_approx
+          reqs
+    in
+    (r.RR.Batch.admitted, Metrics.counters (Obs.metrics obs))
+  in
+  let seq_admitted, seq_counters = run None in
+  checkb "sequential run counted work" true (List.length seq_counters > 0);
+  List.iter
+    (fun jobs ->
+      let admitted, counters = run (Some jobs) in
+      checki (Printf.sprintf "admitted (jobs=%d)" jobs) seq_admitted admitted;
+      Alcotest.(check (list (pair string int)))
+        (Printf.sprintf "counter totals (jobs=%d)" jobs)
+        seq_counters counters)
+    [ 1; 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Admission-validity regression (EXPERIMENTS.md PERF-ROUTING)          *)
+
+(* The perf-routing workload that exposed the bug: NSFNET, W=16, range-1
+   converters, heavy preload.  Under the single-state layered graph,
+   Approx_cost.route emitted backup semilightpaths with chained (and,
+   after the first fix, link-repeating) conversions that Router.admit
+   rejected — seed 47 is the scenario recorded in EXPERIMENTS.md, 48 the
+   one the sweep found for the second failure class. *)
+let perf_net ~preload seed =
+  let rng = Rng.create seed in
+  let net =
+    Rr_topo.Fitout.fit_out ~rng ~n_wavelengths:16
+      ~converter:(fun _ -> Conv.Range (1, 200.0))
+      Rr_topo.Reference.nsfnet
+  in
+  for e = 0 to Net.n_links net - 1 do
+    Rr_util.Bitset.iter
+      (fun l -> if Rng.uniform rng < preload then Net.allocate net e l)
+      (Net.lambdas net e)
+  done;
+  net
+
+let test_no_validator_rejects () =
+  List.iter
+    (fun (seed, preload) ->
+      let net = perf_net ~preload seed in
+      let rng = Rng.create (seed * 7 + 1) in
+      let obs = Obs.create () in
+      let ws = Rr_util.Workspace.create () in
+      for _ = 1 to 200 do
+        let s, d =
+          Rr_sim.Workload.random_pair rng ~n_nodes:(Net.n_nodes net)
+        in
+        ignore (Router.admit ~workspace:ws ~obs net Router.Cost_approx ~source:s ~target:d)
+      done;
+      let m = Obs.metrics obs in
+      checki
+        (Printf.sprintf "validator rejections (seed %d, preload %.2f)" seed
+           preload)
+        0
+        (Metrics.counter m "admit.reject.validator");
+      checki
+        (Printf.sprintf "books balance (seed %d)" seed)
+        200
+        (Metrics.counter m "admit.ok" + Metrics.counter m "admit.blocked"))
+    [ (47, 0.5); (47, 0.4); (48, 0.4); (48, 0.5); (53, 0.5) ]
+
+(* ------------------------------------------------------------------ *)
+(* Simulator books balance                                              *)
+
+let test_sim_books_balance () =
+  let rng = Rng.create 7 in
+  let net =
+    Rr_topo.Fitout.fit_out ~rng ~n_wavelengths:8 Rr_topo.Reference.nsfnet
+  in
+  let workload = Rr_sim.Workload.make ~arrival_rate:2.0 ~mean_holding:10.0 in
+  let cfg =
+    {
+      (Rr_sim.Simulator.default_config Router.Cost_approx workload) with
+      duration = 200.0;
+      seed = 11;
+    }
+  in
+  let obs = Obs.create () in
+  let r = Rr_sim.Simulator.run ~obs net cfg in
+  let c = r.Rr_sim.Simulator.counters in
+  let m = Obs.metrics obs in
+  (* Failure-free, class-free run: every offered request is exactly one
+     Router.admit call, so the report's counters and the obs registry must
+     agree to the unit. *)
+  checkb "some traffic offered" true (c.Rr_sim.Metrics.offered > 100);
+  checki "admit.ok = admitted" c.Rr_sim.Metrics.admitted
+    (Metrics.counter m "admit.ok");
+  checki "admit.blocked = blocked" c.Rr_sim.Metrics.blocked
+    (Metrics.counter m "admit.blocked");
+  checki "blocking causes partition the blocked count"
+    c.Rr_sim.Metrics.blocked
+    (Metrics.counter m "route.block.no_disjoint_pair"
+    + Metrics.counter m "route.block.no_wavelength"
+    + Metrics.counter m "route.block.no_route"
+    + Metrics.counter m "admit.reject.validator");
+  checkb "sim spans recorded" true
+    (Tracer.total (Obs.tracer obs) > 0)
+
+let suite =
+  [
+    ( "obs.metrics",
+      [
+        Alcotest.test_case "histogram edge cases" `Quick test_hist_edges;
+        Alcotest.test_case "mean and quantile" `Quick test_hist_mean_quantile;
+        Alcotest.test_case "kind clash" `Quick test_metrics_kind_clash;
+        Alcotest.test_case "merge semantics" `Quick test_merge;
+      ] );
+    ( "obs.tracer",
+      [ Alcotest.test_case "ring retention" `Quick test_tracer_ring ] );
+    ( "obs.disabled",
+      [ Alcotest.test_case "no spans, no allocation" `Quick test_disabled_mode ] );
+    ( "obs.export",
+      [ Alcotest.test_case "prometheus/json/chrome" `Quick test_exporters ] );
+    ( "obs.parallel",
+      [
+        Alcotest.test_case "deterministic merge across jobs" `Slow
+          test_parallel_merge_deterministic;
+      ] );
+    ( "obs.regression",
+      [
+        Alcotest.test_case "no validator rejects at high preload" `Slow
+          test_no_validator_rejects;
+        Alcotest.test_case "simulator books balance" `Slow
+          test_sim_books_balance;
+      ] );
+  ]
