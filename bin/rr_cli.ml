@@ -428,6 +428,118 @@ let provision_cmd =
       $ demands $ improve)
 
 (* ------------------------------------------------------------------ *)
+(* check — property-based differential fuzzing                          *)
+
+(* The flags are taken as raw strings and validated by hand so that every
+   misuse (non-integer seed, --trials 0, unknown case) exits with code 2
+   and one usage line — cmdliner's own conversion errors use a different
+   exit code and a much noisier rendering. *)
+let check_cmd =
+  let seed_arg =
+    Arg.(value & opt string "1" & info [ "seed" ] ~docv:"INT" ~doc:"Root PRNG seed.")
+  in
+  let trials_arg =
+    Arg.(value & opt string "100" & info [ "trials" ] ~docv:"INT" ~doc:"Trials per case (>= 1).")
+  in
+  let max_n_arg =
+    Arg.(
+      value
+      & opt string "9"
+      & info [ "max-n" ] ~docv:"INT" ~doc:"Largest generated node count (>= 3).")
+  in
+  let only_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "only" ] ~docv:"CASES"
+          ~doc:"Comma-separated case names to run (default: all).")
+  in
+  let replay_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Replay a stored counterexample (repro text produced on a \
+             property failure, or a test/corpus entry) instead of fuzzing. \
+             Repeatable.")
+  in
+  let run seed trials max_n only replay =
+    let usage msg =
+      Printf.eprintf "rr_cli check: %s\n" msg;
+      Printf.eprintf
+        "usage: rr check [--seed INT] [--trials INT>=1] [--max-n INT>=3] \
+         [--only CASE[,CASE...]]  (cases: %s)\n"
+        (String.concat ", " Rr_check.Harness.case_names);
+      exit 2
+    in
+    let int_flag name v =
+      match int_of_string_opt v with
+      | Some i -> i
+      | None -> usage (Printf.sprintf "--%s expects an integer, got %S" name v)
+    in
+    let seed = int_flag "seed" seed in
+    let trials = int_flag "trials" trials in
+    if trials < 1 then usage (Printf.sprintf "--trials must be >= 1 (got %d)" trials);
+    let max_n = int_flag "max-n" max_n in
+    if max_n < 3 then usage (Printf.sprintf "--max-n must be >= 3 (got %d)" max_n);
+    let only =
+      match only with
+      | None -> []
+      | Some s ->
+        let names =
+          String.split_on_char ',' s |> List.map String.trim
+          |> List.filter (fun x -> x <> "")
+        in
+        if names = [] then usage "--only expects at least one case name";
+        List.iter
+          (fun n ->
+            if not (Rr_check.Harness.is_case n) then
+              usage (Printf.sprintf "unknown case %S" n))
+          names;
+        names
+    in
+    if replay <> [] then begin
+      let failed = ref false in
+      List.iter
+        (fun file ->
+          let text =
+            try
+              let ic = open_in file in
+              let len = in_channel_length ic in
+              let s = really_input_string ic len in
+              close_in ic;
+              s
+            with Sys_error m -> usage m
+          in
+          match Rr_check.Harness.replay text with
+          | Ok () -> Printf.printf "rr-check: %s ok\n" file
+          | Error m ->
+            Printf.printf "rr-check: %s FAILED: %s\n" file m;
+            failed := true)
+        replay;
+      exit (if !failed then 1 else 0)
+    end;
+    let reports =
+      Rr_check.Harness.run ~log:print_endline ~seed ~trials ~max_n ~only ()
+    in
+    let failures =
+      List.filter_map (fun r -> r.Rr_check.Harness.failure) reports
+    in
+    List.iter (fun f -> Format.printf "%a" Rr_check.Harness.pp_failure f) failures;
+    if failures <> [] then exit 1;
+    Printf.printf "rr-check: %d cases x %d trials, all properties hold (seed %d)\n"
+      (List.length reports) trials seed
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Property-based differential fuzzing: generated scenarios against \
+          invariants, exact/ILP oracles and metamorphic properties, with \
+          counterexample shrinking.")
+    Term.(const run $ seed_arg $ trials_arg $ max_n_arg $ only_arg $ replay_arg)
+
+(* ------------------------------------------------------------------ *)
 (* dot                                                                  *)
 
 let dot_cmd =
@@ -478,5 +590,5 @@ let () =
        (Cmd.group info
           [
             topo_cmd; route_cmd; simulate_cmd; audit_cmd; analyze_cmd;
-            batch_cmd; provision_cmd; dot_cmd;
+            batch_cmd; provision_cmd; dot_cmd; check_cmd;
           ]))

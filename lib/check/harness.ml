@@ -1,0 +1,209 @@
+module Rng = Rr_util.Rng
+
+type failure = {
+  f_case : string;
+  f_seed : int;
+  f_trial : int;
+  f_message : string;
+  f_repro : string option;
+}
+
+type report = {
+  case : string;
+  trials : int;
+  failure : failure option;
+}
+
+type kind =
+  | Net of {
+      gen : Rng.t -> max_n:int -> Instance.t;
+      prop : Instance.t -> string option;
+    }
+  | Raw of (Rng.t -> string option)
+
+type case = { id : int; name : string; doc : string; kind : kind }
+
+(* A property that *crashes* is as much a counterexample as one that
+   returns a violation — shrink on it too. *)
+let protect prop inst =
+  try prop inst
+  with e -> Some (Printf.sprintf "exception: %s" (Printexc.to_string e))
+
+let cases =
+  [
+    {
+      id = 1;
+      name = "route";
+      doc = "routed-pair invariant suite (validity, Eq.1/Eq.2 re-accounting)";
+      kind = Net { gen = (fun rng ~max_n -> Gen.instance rng ~max_n); prop = Invariants.check_routed_pair };
+    };
+    {
+      id = 2;
+      name = "thm2";
+      doc = "Exact-enumeration oracle: Theorem 2 bound and feasibility";
+      kind = Net { gen = (fun rng ~max_n -> Gen.small_instance rng ~max_n); prop = Invariants.check_oracles };
+    };
+    {
+      id = 3;
+      name = "ilp";
+      doc = "ILP second opinion vs the exact enumeration";
+      kind = Net { gen = (fun rng ~max_n:_ -> Gen.tiny_instance rng); prop = Invariants.check_ilp };
+    };
+    {
+      id = 4;
+      name = "scale";
+      doc = "metamorphic: uniform weight scaling scales costs";
+      kind = Net { gen = (fun rng ~max_n -> Gen.instance rng ~max_n); prop = Invariants.check_weight_scale };
+    };
+    {
+      id = 5;
+      name = "permute";
+      doc = "metamorphic: batch arrangement and permutation stability";
+      kind = Net { gen = (fun rng ~max_n -> Gen.instance rng ~max_n); prop = Invariants.check_permutation };
+    };
+    {
+      id = 6;
+      name = "obs";
+      doc = "metamorphic: ?obs on/off and jobs 1/2/4 byte-identical";
+      kind = Net { gen = (fun rng ~max_n -> Gen.instance rng ~max_n); prop = Invariants.check_obs_jobs };
+    };
+    {
+      id = 7;
+      name = "io";
+      doc = "Network_io print/parse round-trip on generated networks";
+      kind = Net { gen = (fun rng ~max_n -> Gen.instance rng ~max_n); prop = Invariants.check_io_roundtrip };
+    };
+    {
+      id = 8;
+      name = "bitset";
+      doc = "Bitset vs naive set model";
+      kind = Raw Model_props.check_bitset;
+    };
+    {
+      id = 9;
+      name = "iheap";
+      doc = "Indexed_heap vs sorted reference (incl. decrease-key)";
+      kind = Raw Model_props.check_indexed_heap;
+    };
+    {
+      id = 10;
+      name = "pheap";
+      doc = "Pairing_heap vs sorted reference (incl. decrease-key)";
+      kind = Raw Model_props.check_pairing_heap;
+    };
+    {
+      id = 11;
+      name = "ufind";
+      doc = "Union_find vs naive partition model";
+      kind = Raw Model_props.check_union_find;
+    };
+  ]
+
+let case_names = List.map (fun c -> c.name) cases
+
+let is_case n = List.exists (fun c -> c.name = n) cases
+
+let find_case n = List.find_opt (fun c -> c.name = n) cases
+
+(* Per-trial RNG derivation: mix seed, case id and trial through splitmix
+   creation so trials are independent and (case, seed, trial) is a complete
+   replay coordinate. *)
+let trial_rng ~seed ~case_id ~trial =
+  Rng.create ((seed * 0x3779FB9) lxor (case_id * 7_919_003) lxor (trial * 104_729))
+
+let run_case ~seed ~trials ~max_n c =
+  let rec go t =
+    if t >= trials then None
+    else begin
+      let rng = trial_rng ~seed ~case_id:c.id ~trial:t in
+      let failure =
+        match c.kind with
+        | Raw f -> (
+          match (try f rng with e -> Some (Printf.sprintf "exception: %s" (Printexc.to_string e))) with
+          | None -> None
+          | Some msg ->
+            Some { f_case = c.name; f_seed = seed; f_trial = t; f_message = msg; f_repro = None })
+        | Net { gen; prop } -> (
+          let inst = gen rng ~max_n in
+          match protect prop inst with
+          | None -> None
+          | Some _ ->
+            let inst', msg = Shrink.minimize (protect prop) inst in
+            Some
+              {
+                f_case = c.name;
+                f_seed = seed;
+                f_trial = t;
+                f_message = msg;
+                f_repro = Some (Instance.to_repro ~case:c.name inst');
+              })
+      in
+      match failure with None -> go (t + 1) | Some _ -> failure
+    end
+  in
+  go 0
+
+let run ?(log = fun _ -> ()) ~seed ~trials ~max_n ~only () =
+  let selected =
+    match only with
+    | [] -> cases
+    | names ->
+      List.map
+        (fun n ->
+          match find_case n with
+          | Some c -> c
+          | None -> invalid_arg (Printf.sprintf "unknown case %S" n))
+        names
+  in
+  List.map
+    (fun c ->
+      let failure = run_case ~seed ~trials ~max_n c in
+      (match failure with
+       | None -> log (Printf.sprintf "case %-8s %4d trials ok" c.name trials)
+       | Some f ->
+         log (Printf.sprintf "case %-8s FAILED at trial %d" c.name f.f_trial));
+      { case = c.name; trials; failure })
+    selected
+
+let pp_failure fmt f =
+  Format.fprintf fmt "rr-check: FAIL case=%s seed=%d trial=%d: %s@." f.f_case
+    f.f_seed f.f_trial f.f_message;
+  match f.f_repro with
+  | None ->
+    Format.fprintf fmt
+      "rr-check: container case — replay with: rr check --only %s --seed %d --trials %d@."
+      f.f_case f.f_seed (f.f_trial + 1)
+  | Some repro ->
+    Format.fprintf fmt "rr-check: shrunken repro (loadable .wdm, see EXPERIMENTS.md):@.%s" repro
+
+(* ------------------------------------------------------------------ *)
+(* Corpus replay                                                        *)
+
+let replay text =
+  match Instance.of_repro text with
+  | Error m -> Error m
+  | Ok { r_case; r_instance; r_all_pairs } -> (
+    match find_case r_case with
+    | None -> Error (Printf.sprintf "unknown case %S in repro" r_case)
+    | Some { kind = Raw _; _ } ->
+      Error (Printf.sprintf "case %S takes no instance" r_case)
+    | Some { kind = Net { prop; _ }; _ } ->
+      if not r_all_pairs then (
+        match protect prop r_instance with
+        | None -> Ok ()
+        | Some msg -> Error msg)
+      else begin
+        let n = r_instance.Instance.n_nodes in
+        let err = ref None in
+        for s = 0 to n - 1 do
+          for d = 0 to n - 1 do
+            if s <> d && !err = None then
+              match
+                protect prop { r_instance with Instance.source = s; target = d }
+              with
+              | None -> ()
+              | Some msg -> err := Some (Printf.sprintf "request %d->%d: %s" s d msg)
+          done
+        done;
+        match !err with None -> Ok () | Some m -> Error m
+      end)

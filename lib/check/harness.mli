@@ -1,0 +1,48 @@
+(** Case registry and trial runner for the differential fuzzer.
+
+    Every case is a named, deterministic property: trial [t] of case [c]
+    under root seed [s] derives its own RNG, so a printed failure line
+    (case, seed, trial) pins the scenario exactly.  Network-level cases
+    additionally shrink their counterexample and archive it as repro text
+    (see {!Instance.to_repro}); container cases are replayed from the seed
+    line alone. *)
+
+type failure = {
+  f_case : string;
+  f_seed : int;
+  f_trial : int;
+  f_message : string;
+  f_repro : string option;  (** shrunken {!Instance} repro text *)
+}
+
+type report = {
+  case : string;
+  trials : int;
+  failure : failure option;
+}
+
+val case_names : string list
+(** Valid [--only] arguments, in registry order. *)
+
+val is_case : string -> bool
+
+val run :
+  ?log:(string -> unit) ->
+  seed:int ->
+  trials:int ->
+  max_n:int ->
+  only:string list ->
+  unit ->
+  report list
+(** Run [trials] trials of each selected case ([only = []] means all),
+    stopping a case at its first (shrunken) failure.  [log] receives
+    progress lines.  Raises [Invalid_argument] on an unknown case name. *)
+
+val pp_failure : Format.formatter -> failure -> unit
+(** The deterministic one-line repro header plus the shrunken instance. *)
+
+val replay : string -> (unit, string) result
+(** Replay a repro / corpus text produced by {!Instance.to_repro}: run the
+    named case's property against the pinned instance ([request=all]
+    corpus entries run every ordered node pair).  [Ok ()] means the
+    property holds. *)

@@ -1,0 +1,180 @@
+module Net = Rr_wdm.Network
+module Conv = Rr_wdm.Conversion
+module Bitset = Rr_util.Bitset
+module Router = Robust_routing.Router
+
+type link = {
+  l_src : int;
+  l_dst : int;
+  l_weight : float;
+  l_lambdas : int list;
+}
+
+type t = {
+  n_nodes : int;
+  n_wavelengths : int;
+  converters : Conv.spec array;
+  links : link array;
+  source : int;
+  target : int;
+  policy : Router.policy;
+}
+
+let network t =
+  Net.create ~n_nodes:t.n_nodes ~n_wavelengths:t.n_wavelengths
+    ~links:
+      (Array.to_list
+         (Array.map
+            (fun l ->
+              {
+                Net.ls_src = l.l_src;
+                ls_dst = l.l_dst;
+                ls_lambdas = l.l_lambdas;
+                ls_weight = (fun _ -> l.l_weight);
+              })
+            t.links))
+    ~converters:(fun v -> t.converters.(v))
+
+let of_network net ~source ~target ~policy =
+  let links = ref [] in
+  for e = Net.n_links net - 1 downto 0 do
+    if not (Net.is_failed net e) then begin
+      let avail = Bitset.to_list (Net.available net e) in
+      match avail with
+      | [] -> ()
+      | first :: _ ->
+        let w0 = Net.weight net e first in
+        List.iter
+          (fun l ->
+            if Net.weight net e l <> w0 then
+              invalid_arg
+                "Instance.of_network: per-wavelength weights are not \
+                 serialisable")
+          avail;
+        links :=
+          {
+            l_src = Net.link_src net e;
+            l_dst = Net.link_dst net e;
+            l_weight = w0;
+            l_lambdas = avail;
+          }
+          :: !links
+    end
+  done;
+  let converters =
+    Array.init (Net.n_nodes net) (fun v ->
+        match Net.converter net v with
+        | Conv.Table _ ->
+          invalid_arg "Instance.of_network: Table converters are not serialisable"
+        | spec -> spec)
+  in
+  {
+    n_nodes = Net.n_nodes net;
+    n_wavelengths = Net.n_wavelengths net;
+    converters;
+    links = Array.of_list !links;
+    source;
+    target;
+    policy;
+  }
+
+let equal a b =
+  a.n_nodes = b.n_nodes
+  && a.n_wavelengths = b.n_wavelengths
+  && a.converters = b.converters
+  && a.links = b.links
+  && a.source = b.source
+  && a.target = b.target
+  && a.policy = b.policy
+
+(* Shrink metric: every move of {!Shrink} strictly reduces this, which is
+   what guarantees termination of the greedy loop. *)
+let conv_score = function
+  | Conv.No_conversion -> 0
+  | Conv.Full c -> if c = 0.0 then 1 else 2
+  | Conv.Range (r, c) -> 3 + (2 * r) + if c = 0.0 then 0 else 1
+  | Conv.Table _ -> 100
+
+let size t =
+  let link_score l =
+    (8 * List.length l.l_lambdas) + if l.l_weight = 1.0 then 0 else 1
+  in
+  (1000 * t.n_nodes)
+  + (50 * Array.length t.links)
+  + (20 * t.n_wavelengths)
+  + Array.fold_left (fun acc l -> acc + link_score l) 0 t.links
+  + Array.fold_left (fun acc c -> acc + conv_score c) 0 t.converters
+
+(* ------------------------------------------------------------------ *)
+(* Repro text                                                           *)
+
+let to_repro ~case t =
+  Printf.sprintf "# rr-check case=%s\n# rr-check policy=%s\n# rr-check request=%d,%d\n%s"
+    case
+    (Router.policy_name t.policy)
+    t.source t.target
+    (Rr_wdm.Network_io.print (network t))
+
+type repro = { r_case : string; r_instance : t; r_all_pairs : bool }
+
+let directive line =
+  let prefix = "# rr-check " in
+  let n = String.length prefix in
+  let line = String.trim line in
+  if String.length line > n && String.sub line 0 n = prefix then
+    let rest = String.sub line n (String.length line - n) in
+    match String.index_opt rest '=' with
+    | Some i ->
+      Some (String.sub rest 0 i, String.sub rest (i + 1) (String.length rest - i - 1))
+    | None -> None
+  else None
+
+let of_repro text =
+  let ( let* ) = Result.bind in
+  let case = ref None and policy = ref None and request = ref None in
+  List.iter
+    (fun line ->
+      match directive line with
+      | Some ("case", v) -> case := Some v
+      | Some ("policy", v) -> policy := Some v
+      | Some ("request", v) -> request := Some v
+      | _ -> ())
+    (String.split_on_char '\n' text);
+  let* case =
+    Option.to_result ~none:"missing '# rr-check case=...' directive" !case
+  in
+  let* policy =
+    match !policy with
+    | None -> Ok Router.Cost_approx
+    | Some name -> (
+      match Router.policy_of_string name with
+      | Some p -> Ok p
+      | None -> Error (Printf.sprintf "unknown policy %S in repro" name))
+  in
+  let* net = Rr_wdm.Network_io.parse text in
+  let n = Net.n_nodes net in
+  let* source, target, all_pairs =
+    match !request with
+    | None -> Error "missing '# rr-check request=...' directive"
+    | Some "all" -> Ok (0, (if n > 1 then 1 else 0), true)
+    | Some v -> (
+      match String.split_on_char ',' v with
+      | [ s; d ] -> (
+        match (int_of_string_opt (String.trim s), int_of_string_opt (String.trim d)) with
+        | Some s, Some d when s >= 0 && s < n && d >= 0 && d < n && s <> d ->
+          Ok (s, d, false)
+        | _ -> Error (Printf.sprintf "invalid request %S" v))
+      | _ -> Error (Printf.sprintf "invalid request %S" v))
+  in
+  Ok
+    {
+      r_case = case;
+      r_instance = of_network net ~source ~target ~policy;
+      r_all_pairs = all_pairs;
+    }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>instance: %d nodes, %d links, W=%d, %d -> %d, policy %s@]" t.n_nodes
+    (Array.length t.links) t.n_wavelengths t.source t.target
+    (Router.policy_name t.policy)

@@ -1,0 +1,71 @@
+(** Self-contained fuzzing scenarios.
+
+    An instance is everything one differential-testing trial needs — a
+    serialisable network description (nodes, wavelengths, links, converters),
+    one request and the policy under test — in a form the shrinker can edit
+    structurally and the repro printer can archive as {!Rr_wdm.Network_io}
+    text.  Usage (preload) is always *baked into structure*: a preloaded
+    network is represented by its residual network (used wavelengths dropped
+    from the link's set, saturated links dropped entirely), which routing
+    cannot distinguish from the original and which the textual format can
+    carry. *)
+
+type link = {
+  l_src : int;
+  l_dst : int;
+  l_weight : float;                (** one weight for every wavelength *)
+  l_lambdas : int list;            (** sorted, non-empty *)
+}
+
+type t = {
+  n_nodes : int;
+  n_wavelengths : int;
+  converters : Rr_wdm.Conversion.spec array;  (** never [Table] *)
+  links : link array;
+  source : int;
+  target : int;
+  policy : Robust_routing.Router.policy;
+}
+
+val network : t -> Rr_wdm.Network.t
+(** Build the (idle) network.  Raises [Invalid_argument] on a malformed
+    instance — generator and shrinker only produce well-formed ones. *)
+
+val of_network :
+  Rr_wdm.Network.t ->
+  source:int ->
+  target:int ->
+  policy:Robust_routing.Router.policy ->
+  t
+(** Capture the *residual* network: per link, only the currently available
+    wavelengths; links with none (or failed) are dropped.  Raises
+    [Invalid_argument] on [Table] converters or per-wavelength weights —
+    neither is serialisable. *)
+
+val equal : t -> t -> bool
+(** Structural equality (exact float comparison — repro round-trips are
+    expected to be bit-faithful). *)
+
+val size : t -> int
+(** Strictly-decreasing shrink metric: nodes, links, wavelengths, converter
+    complexity and non-unit weights all contribute. *)
+
+(** {1 Repro text}
+
+    The archive format is a {!Rr_wdm.Network_io} description prefixed with
+    [# rr-check] directive comments, so any repro file is *also* loadable by
+    the plain network parser and the CLI's [--file]. *)
+
+val to_repro : case:string -> t -> string
+
+type repro = {
+  r_case : string;
+  r_instance : t;
+  r_all_pairs : bool;
+      (** [request=all]: replay the property for every ordered node pair
+          (corpus entries covering a whole preloaded topology). *)
+}
+
+val of_repro : string -> (repro, string) result
+
+val pp : Format.formatter -> t -> unit

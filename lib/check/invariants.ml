@@ -1,0 +1,455 @@
+module Net = Rr_wdm.Network
+module Conv = Rr_wdm.Conversion
+module Slp = Rr_wdm.Semilightpath
+module Bitset = Rr_util.Bitset
+module Rng = Rr_util.Rng
+module RR = Robust_routing
+module Router = RR.Router
+module Types = RR.Types
+module Batch = RR.Batch
+
+let eps = 1e-6
+
+let close a b = Float.abs (a -. b) <= eps *. (1.0 +. Float.abs a +. Float.abs b)
+
+let fail fmt = Printf.ksprintf (fun m -> Some m) fmt
+
+let ( let* ) o k = match o with Some _ as s -> s | None -> k ()
+
+(* ------------------------------------------------------------------ *)
+(* Building blocks                                                      *)
+
+let min_incident_weight net =
+  let n = Net.n_nodes net in
+  let best = Array.make n infinity in
+  for e = 0 to Net.n_links net - 1 do
+    let w =
+      Bitset.fold (fun l acc -> Float.min acc (Net.weight net e l)) (Net.lambdas net e)
+        infinity
+    in
+    let touch v = if w < best.(v) then best.(v) <- w in
+    touch (Net.link_src net e);
+    touch (Net.link_dst net e)
+  done;
+  best
+
+let premise_theorem2 net =
+  let best = min_incident_weight net in
+  let ok = ref true in
+  let w = Net.n_wavelengths net in
+  for v = 0 to Net.n_nodes net - 1 do
+    if best.(v) < infinity then
+      if Conv.max_cost (Net.converter net v) ~n_wavelengths:w > best.(v) +. 1e-9 then
+        ok := false
+  done;
+  !ok
+
+let node_simple net (p : Slp.t) =
+  match p.hops with
+  | [] -> true
+  | first :: _ ->
+    let seen = Hashtbl.create 8 in
+    let ok = ref true in
+    Hashtbl.replace seen (Net.link_src net first.Slp.edge) ();
+    List.iter
+      (fun h ->
+        let v = Net.link_dst net h.Slp.edge in
+        if Hashtbl.mem seen v then ok := false else Hashtbl.replace seen v ())
+      p.hops;
+    !ok
+
+(* Independent Eq. (1) re-accounting: weights plus conversion costs, summed
+   by hand off the raw converter specs. *)
+let manual_cost net (p : Slp.t) =
+  let rec go = function
+    | [] -> Ok 0.0
+    | [ h ] -> Ok (Net.weight net h.Slp.edge h.Slp.lambda)
+    | h1 :: (h2 :: _ as rest) -> (
+      let v = Net.link_dst net h1.Slp.edge in
+      match Conv.cost (Net.converter net v) h1.Slp.lambda h2.Slp.lambda with
+      | None ->
+        Error
+          (Printf.sprintf "disallowed conversion %d->%d at node %d" h1.Slp.lambda
+             h2.Slp.lambda v)
+      | Some c -> (
+        match go rest with
+        | Ok tail -> Ok (Net.weight net h1.Slp.edge h1.Slp.lambda +. c +. tail)
+        | Error _ as e -> e))
+  in
+  go p.hops
+
+let protected_policy = function Router.Unprotected -> false | _ -> true
+
+let paths_of sol =
+  sol.Types.primary :: (match sol.Types.backup with Some b -> [ b ] | None -> [])
+
+(* ------------------------------------------------------------------ *)
+(* Routed-pair invariant suite                                          *)
+
+let check_path_invariants net (p : Slp.t) =
+  let* () = (if p.hops = [] then fail "empty semilightpath" else None) in
+  let* () =
+     if not (Slp.link_simple p) then fail "path repeats a physical link" else None
+  in
+  (* Switch settings: every conversion the path implies must be allowed and
+     priced at the node where it happens. *)
+  let* () =
+     List.fold_left
+       (fun acc (v, li, lo) ->
+         match acc with
+         | Some _ -> acc
+         | None ->
+           let spec = Net.converter net v in
+           if not (Conv.allowed spec li lo) then
+             fail "switch setting %d: %d->%d not allowed by converter" v li lo
+           else if Conv.cost spec li lo = None then
+             fail "switch setting %d: %d->%d has no cost" v li lo
+           else None)
+       None
+       (Slp.conversions net p)
+  in
+  (* Eq. (1): library accounting vs independent recomputation. *)
+  match manual_cost net p with
+  | Error m -> Some m
+  | Ok expected ->
+    let c = try Ok (Slp.cost net p) with Invalid_argument m -> Error m in
+    (match c with
+     | Error m -> fail "Semilightpath.cost raised: %s" m
+     | Ok c ->
+       let* () =
+          if not (close c expected) then
+            fail "Eq.1 mismatch: cost %.9g, recomputed %.9g" c expected
+          else None
+       in
+       let parts = Slp.traversal_cost net p +. Slp.conversion_cost net p in
+       if not (close c parts) then
+         fail "Eq.1 split mismatch: cost %.9g, traversal+conversion %.9g" c parts
+       else None)
+
+let check_load_accounting net sol =
+  let net = Net.copy net in
+  let m = Net.n_links net in
+  let before = Array.init m (fun e -> Bitset.cardinal (Net.used net e)) in
+  let before_total = Net.total_in_use net in
+  match (try Ok (Types.allocate net sol) with Invalid_argument msg -> Error msg) with
+  | Error msg -> fail "allocate rejected routed solution: %s" msg
+  | Ok () ->
+    let hops = List.concat_map (fun p -> p.Slp.hops) (paths_of sol) in
+    let per_link = Array.make m 0 in
+    List.iter (fun h -> per_link.(h.Slp.edge) <- per_link.(h.Slp.edge) + 1) hops;
+    let err = ref None in
+    let expected_rho = ref 0.0 in
+    for e = 0 to m - 1 do
+      let used = Bitset.cardinal (Net.used net e) in
+      if used <> before.(e) + per_link.(e) && !err = None then
+        err :=
+          fail "Eq.2 usage mismatch on link %d: %d used, expected %d" e used
+            (before.(e) + per_link.(e));
+      let rho_e =
+        float_of_int used /. float_of_int (Bitset.cardinal (Net.lambdas net e))
+      in
+      expected_rho := Float.max !expected_rho rho_e;
+      if (not (close (Net.link_load net e) rho_e)) && !err = None then
+        err := fail "Eq.2 link load mismatch on %d: %.9g vs %.9g" e (Net.link_load net e) rho_e
+    done;
+    let* () = !err in
+    let* () =
+       if not (close (Net.network_load net) !expected_rho) then
+         fail "Eq.2 network load mismatch: %.9g vs recomputed %.9g"
+           (Net.network_load net) !expected_rho
+       else None
+    in
+    let* () =
+       if Net.total_in_use net <> before_total + List.length hops then
+         fail "Eq.2 total_in_use mismatch after allocate"
+       else None
+    in
+    Types.release net sol;
+    if Net.total_in_use net <> before_total then
+      fail "allocate/release cycle leaks usage (%d vs %d)" (Net.total_in_use net)
+        before_total
+    else None
+
+let check_solution net ~policy ~source ~target sol =
+  let req = { Types.src = source; dst = target } in
+  let* () =
+     match Types.validate net req sol with
+     | Ok () -> None
+     | Error m -> fail "validate: %s" m
+  in
+  let* () =
+     if protected_policy policy && sol.Types.backup = None then
+       fail "protected policy %s returned no backup" (Router.policy_name policy)
+     else None
+  in
+  let* () =
+     match sol.Types.backup with
+     | Some b when not (Slp.edge_disjoint sol.Types.primary b) ->
+       fail "primary and backup share a physical link"
+     | _ -> None
+  in
+  let* () =
+     List.fold_left
+       (fun acc p -> match acc with Some _ -> acc | None -> check_path_invariants net p)
+       None (paths_of sol)
+  in
+  check_load_accounting net sol
+
+let check_routed_pair inst =
+  let net = Instance.network inst in
+  let policy = inst.Instance.policy in
+  match Router.route net policy ~source:inst.source ~target:inst.target with
+  | None -> None (* feasibility is the oracles' business *)
+  | Some sol -> check_solution net ~policy ~source:inst.source ~target:inst.target sol
+
+(* ------------------------------------------------------------------ *)
+(* Oracle cross-checks                                                  *)
+
+let all_full net =
+  let ok = ref true in
+  for v = 0 to Net.n_nodes net - 1 do
+    match Net.converter net v with Conv.Full _ -> () | _ -> ok := false
+  done;
+  !ok
+
+let check_oracles inst =
+  let net = Instance.network inst in
+  if Net.n_nodes net > 8 || Net.n_links net > 26 then None
+  else begin
+    let source = inst.Instance.source and target = inst.Instance.target in
+    let approx = Router.route net Router.Cost_approx ~source ~target in
+    match RR.Exact.route ~max_paths:8_000 net ~source ~target with
+    | exception RR.Exact.Budget_exceeded -> None
+    | None -> (
+      match approx with
+      | None -> None
+      | Some sol ->
+        (* The exact solver enumerates node-simple pairs; the approximation
+           may legitimately return a non-node-simple pair that has no
+           node-simple counterpart under restricted converters. *)
+        if
+          node_simple net sol.Types.primary
+          && (match sol.Types.backup with Some b -> node_simple net b | None -> false)
+        then fail "Exact found no pair but approximation's pair is node-simple"
+        else None)
+    | Some (exact_sol, opt) -> (
+      let* () =
+         match Types.validate net { Types.src = source; dst = target } exact_sol with
+         | Ok () -> None
+         | Error m -> fail "Exact oracle emitted invalid solution: %s" m
+      in
+      let* () =
+         if not (close (Types.total_cost net exact_sol) opt) then
+           fail "Exact cost %.9g disagrees with its own solution %.9g" opt
+             (Types.total_cost net exact_sol)
+         else None
+      in
+      match approx with
+      | None ->
+        if all_full net then
+          fail "approximation found nothing but Exact found cost %.9g under full conversion" opt
+        else None
+      | Some sol ->
+        let cost = Types.total_cost net sol in
+        let* () =
+           if premise_theorem2 net && cost > (2.0 *. opt) +. eps *. (1.0 +. opt) then
+             fail "Theorem 2 violated: approx %.9g > 2 x optimal %.9g" cost opt
+           else None
+        in
+        if
+          node_simple net sol.Types.primary
+          && (match sol.Types.backup with Some b -> node_simple net b | None -> true)
+          && opt > cost +. (eps *. (1.0 +. cost))
+        then fail "Exact %.9g worse than a node-simple approximation %.9g" opt cost
+        else None)
+  end
+
+let check_ilp inst =
+  let net = Instance.network inst in
+  if Net.n_nodes net > 5 || Net.n_links net > 12 || Net.n_wavelengths net > 2 then None
+  else begin
+    let source = inst.Instance.source and target = inst.Instance.target in
+    let vars, _ = RR.Ilp_exact.model_size net ~source ~target in
+    if vars > 90 then None
+    else
+      match RR.Exact.route ~max_paths:4_000 net ~source ~target with
+      | exception RR.Exact.Budget_exceeded -> None
+      | exact -> (
+        match RR.Ilp_exact.route ~node_limit:600 net ~source ~target with
+        | exception Failure _ -> None (* node budget exhausted *)
+        | ilp -> (
+          match (exact, ilp) with
+          | None, None -> None
+          | Some (_, opt), None ->
+            fail "ILP infeasible but Exact found cost %.9g" opt
+          | None, Some (_, obj) ->
+            fail "Exact infeasible but ILP found cost %.9g" obj
+          | Some (_, opt), Some (ilp_sol, obj) ->
+            let* () =
+               match
+                 Types.validate net { Types.src = source; dst = target } ilp_sol
+               with
+               | Ok () -> None
+               | Error m -> fail "ILP oracle emitted invalid solution: %s" m
+            in
+            if not (close opt obj) then
+              fail "oracle disagreement: Exact %.9g vs ILP %.9g" opt obj
+            else None))
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Metamorphic properties                                               *)
+
+let scale_spec k = function
+  | Conv.No_conversion -> Conv.No_conversion
+  | Conv.Full c -> Conv.Full (k *. c)
+  | Conv.Range (r, c) -> Conv.Range (r, k *. c)
+  | Conv.Table _ -> assert false
+
+let check_weight_scale inst =
+  let k = 2.0 in
+  let scaled =
+    {
+      inst with
+      Instance.links =
+        Array.map
+          (fun l -> { l with Instance.l_weight = k *. l.Instance.l_weight })
+          inst.Instance.links;
+      converters = Array.map (scale_spec k) inst.Instance.converters;
+    }
+  in
+  let net1 = Instance.network inst and net2 = Instance.network scaled in
+  let policy = inst.Instance.policy in
+  let r1 = Router.route net1 policy ~source:inst.source ~target:inst.target in
+  let r2 = Router.route net2 policy ~source:inst.source ~target:inst.target in
+  match (r1, r2) with
+  | None, None -> None
+  | Some _, None -> fail "route vanished after uniform x%g weight scaling" k
+  | None, Some _ -> fail "route appeared after uniform x%g weight scaling" k
+  | Some s1, Some s2 ->
+    let hops p = List.map (fun h -> (h.Slp.edge, h.Slp.lambda)) p.Slp.hops in
+    let shape s =
+      (hops s.Types.primary, Option.map hops s.Types.backup)
+    in
+    let* () =
+       if shape s1 <> shape s2 then
+         fail "routed hops changed under uniform x%g weight scaling" k
+       else None
+    in
+    let c1 = Types.total_cost net1 s1 and c2 = Types.total_cost net2 s2 in
+    if Float.abs (c2 -. (k *. c1)) > 1e-9 *. (1.0 +. c2) then
+      fail "cost does not scale: %.12g vs %g x %.12g" c2 k c1
+    else None
+
+(* Deterministic per-instance request list, so batch properties stay pure
+   functions of the instance (which the shrinker edits freely). *)
+let derived_requests inst k =
+  let seed =
+    (inst.Instance.n_nodes * 1_000_003)
+    + (Array.length inst.Instance.links * 8191)
+    + (inst.Instance.n_wavelengths * 131)
+    + (inst.Instance.source * 17)
+    + inst.Instance.target
+  in
+  let rng = Rng.create seed in
+  let n = inst.Instance.n_nodes in
+  if n < 2 then []
+  else Gen.requests rng ~n_nodes:n k
+
+let batch_result_equal (a : Batch.result) (b : Batch.result) =
+  a.Batch.outcomes = b.Batch.outcomes
+  && a.admitted = b.admitted
+  && a.dropped = b.dropped
+  && a.total_cost = b.total_cost
+  && a.final_load = b.final_load
+
+let check_permutation inst =
+  let net = Instance.network inst in
+  let n = inst.Instance.n_nodes in
+  let reqs = derived_requests inst (min 8 (n * (n - 1))) in
+  if reqs = [] then None
+  else begin
+    let policy = inst.Instance.policy in
+    let sorted l =
+      List.sort compare (List.map (fun r -> (r.Types.src, r.Types.dst)) l)
+    in
+    let* () =
+       if Batch.arrange net Batch.Fifo reqs <> reqs then
+         fail "Fifo arrangement reorders the batch"
+       else None
+    in
+    let a1 = Batch.arrange net Batch.Shortest_first reqs in
+    let perm = List.rev reqs in
+    let a2 = Batch.arrange net Batch.Shortest_first perm in
+    let* () =
+       if sorted a1 <> sorted reqs then
+         fail "Shortest_first arrangement is not a permutation of the batch"
+       else None
+    in
+    if a1 = a2 then begin
+      let r1 =
+        Batch.route_parallel ~order:Batch.Shortest_first ~jobs:1 (Net.copy net) policy reqs
+      in
+      let r2 =
+        Batch.route_parallel ~order:Batch.Shortest_first ~jobs:1 (Net.copy net) policy perm
+      in
+      if not (batch_result_equal r1 r2) then
+        fail "equal arrangements gave different batch results under permutation"
+      else None
+    end
+    else None
+  end
+
+let check_obs_jobs inst =
+  let net = Instance.network inst in
+  let policy = inst.Instance.policy in
+  let plain = Router.route net policy ~source:inst.source ~target:inst.target in
+  let with_obs =
+    Router.route ~obs:(Rr_obs.Obs.create ()) net policy ~source:inst.source
+      ~target:inst.target
+  in
+  let* () =
+     if plain <> with_obs then fail "enabling observability changed the route" else None
+  in
+  let n = inst.Instance.n_nodes in
+  let reqs = derived_requests inst (min 6 (n * (n - 1))) in
+  if reqs = [] then None
+  else begin
+    let reference = Batch.route ~order:Batch.Fifo (Net.copy net) policy reqs in
+    let obs_run =
+      Batch.route ~order:Batch.Fifo ~obs:(Rr_obs.Obs.create ()) (Net.copy net) policy reqs
+    in
+    let* () =
+       if not (batch_result_equal reference obs_run) then
+         fail "enabling observability changed the batch result"
+       else None
+    in
+    List.fold_left
+      (fun acc jobs ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          let r =
+            Batch.route_parallel ~order:Batch.Fifo ~jobs (Net.copy net) policy reqs
+          in
+          if not (batch_result_equal reference r) then
+            fail "route_parallel with jobs=%d differs from sequential two-phase" jobs
+          else None)
+      None [ 1; 2; 4 ]
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Network_io round-trip                                                *)
+
+let check_io_roundtrip inst =
+  let text = Rr_wdm.Network_io.print (Instance.network inst) in
+  match Rr_wdm.Network_io.parse text with
+  | Error m -> fail "printed network does not re-parse: %s" m
+  | Ok net2 ->
+    let inst2 =
+      Instance.of_network net2 ~source:inst.Instance.source
+        ~target:inst.Instance.target ~policy:inst.Instance.policy
+    in
+    if not (Instance.equal inst inst2) then
+      fail "print/parse round-trip changed the network"
+    else None

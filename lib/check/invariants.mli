@@ -1,0 +1,57 @@
+(** The property suite a fuzzing trial runs against an instance.
+
+    Every check takes an {!Instance.t} and returns [None] (holds, or not
+    applicable) or [Some message] (violated).  All checks are deterministic
+    functions of the instance alone — the shrinker relies on this to replay
+    a property while it edits the instance. *)
+
+val check_routed_pair : Instance.t -> string option
+(** Route the instance's request under its policy and verify the solution:
+    {!Robust_routing.Types.validate} (chaining, residual availability,
+    mutual edge-disjointness), {!Rr_wdm.Semilightpath.link_simple} on both
+    paths, a backup present for every protected policy, switch-setting /
+    wavelength consistency of every conversion, Eq. (1) cost re-accounting
+    against an independent recomputation, and Eq. (2) load re-accounting
+    through an allocate / release cycle. *)
+
+val check_oracles : Instance.t -> string option
+(** Differential check against {!Robust_routing.Exact} on small instances
+    (n <= 8): Theorem 2's bound [approx <= 2 x optimal] gated on the
+    conversion-cost <= adjacent-link-cost premise, optimality sanity
+    ([optimal <= approx] whenever the approximation's pair is node-simple),
+    and feasibility agreement under full conversion.  Skips (returns
+    [None]) when the enumeration budget is exceeded. *)
+
+val check_ilp : Instance.t -> string option
+(** Second opinion: {!Robust_routing.Ilp_exact} agrees with
+    {!Robust_routing.Exact} on feasibility and optimal cost (tiny
+    instances; skips when the model is too large or the node budget is
+    exhausted). *)
+
+val check_weight_scale : Instance.t -> string option
+(** Metamorphic: doubling every link weight and conversion cost leaves the
+    routed hops identical and exactly doubles the cost (power-of-two
+    scaling is float-exact, so the search's comparisons are unchanged). *)
+
+val check_permutation : Instance.t -> string option
+(** Metamorphic: {!Robust_routing.Batch.arrange} returns a permutation of
+    its input, [Fifo] preserves order, and whenever two input orders
+    arrange identically under [Shortest_first] the full
+    [Batch.route_parallel] results coincide. *)
+
+val check_obs_jobs : Instance.t -> string option
+(** Metamorphic: enabling observability does not change routing results,
+    and [Batch.route_parallel] is identical for [jobs] 1 / 2 / 4 and equal
+    to the sequential two-phase [Batch.route]. *)
+
+val check_io_roundtrip : Instance.t -> string option
+(** [network -> print -> parse -> of_network] is the identity on instances
+    — the guarantee that makes every shrunken repro loadable. *)
+
+(** {1 Building blocks shared with the corpus runner} *)
+
+val premise_theorem2 : Rr_wdm.Network.t -> bool
+(** Every node's worst-case conversion cost is bounded by the cheapest
+    incident link traversal (the Theorem 2 precondition). *)
+
+val node_simple : Rr_wdm.Network.t -> Rr_wdm.Semilightpath.t -> bool

@@ -1,0 +1,147 @@
+module Conv = Rr_wdm.Conversion
+
+(* Candidate edits, coarsest first: structural deletions shrink the search
+   space fastest, cosmetic simplifications (weights, costs) run last. *)
+
+let drop_link t i =
+  let links = Array.of_list (List.filteri (fun j _ -> j <> i) (Array.to_list t.Instance.links)) in
+  { t with Instance.links }
+
+let drop_node t v =
+  let renum x = if x > v then x - 1 else x in
+  let links =
+    Array.of_list
+      (List.filter_map
+         (fun l ->
+           if l.Instance.l_src = v || l.Instance.l_dst = v then None
+           else Some { l with Instance.l_src = renum l.l_src; l_dst = renum l.l_dst })
+         (Array.to_list t.Instance.links))
+  in
+  let converters =
+    Array.of_list
+      (List.filteri (fun i _ -> i <> v) (Array.to_list t.Instance.converters))
+  in
+  {
+    t with
+    Instance.n_nodes = t.Instance.n_nodes - 1;
+    links;
+    converters;
+    source = renum t.Instance.source;
+    target = renum t.Instance.target;
+  }
+
+let drop_lambda t i l =
+  let links =
+    Array.mapi
+      (fun j lk ->
+        if j = i then
+          { lk with Instance.l_lambdas = List.filter (fun x -> x <> l) lk.Instance.l_lambdas }
+        else lk)
+      t.Instance.links
+  in
+  { t with Instance.links }
+
+(* Remap wavelength ids onto a dense prefix when some are unused anywhere;
+   shrinks [n_wavelengths] and therefore every layered state space.  (Range
+   converter semantics shift under the remap — irrelevant, the predicate
+   decides what survives.) *)
+let compress_wavelengths t =
+  let used = Hashtbl.create 8 in
+  Array.iter
+    (fun l -> List.iter (fun x -> Hashtbl.replace used x ()) l.Instance.l_lambdas)
+    t.Instance.links;
+  let ids = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) used []) in
+  let w' = List.length ids in
+  if w' = 0 || w' = t.Instance.n_wavelengths then None
+  else begin
+    let map = Hashtbl.create 8 in
+    List.iteri (fun i x -> Hashtbl.replace map x i) ids;
+    let links =
+      Array.map
+        (fun l ->
+          {
+            l with
+            Instance.l_lambdas =
+              List.sort compare (List.map (Hashtbl.find map) l.Instance.l_lambdas);
+          })
+        t.Instance.links
+    in
+    Some { t with Instance.n_wavelengths = w'; links }
+  end
+
+let simplify_converter t v =
+  let step = function
+    | Conv.No_conversion -> []
+    | Conv.Full c -> if c = 0.0 then [ Conv.No_conversion ] else [ Conv.Full 0.0; Conv.No_conversion ]
+    | Conv.Range (r, c) ->
+      (if r > 1 then [ Conv.Range (r - 1, c) ] else [])
+      @ (if c <> 0.0 then [ Conv.Range (r, 0.0) ] else [])
+      @ [ Conv.No_conversion ]
+    | Conv.Table _ -> []
+  in
+  List.map
+    (fun spec ->
+      let converters = Array.copy t.Instance.converters in
+      converters.(v) <- spec;
+      { t with Instance.converters })
+    (step t.Instance.converters.(v))
+
+let flatten_weight t i =
+  if t.Instance.links.(i).Instance.l_weight = 1.0 then []
+  else
+    [
+      {
+        t with
+        Instance.links =
+          Array.mapi
+            (fun j l -> if j = i then { l with Instance.l_weight = 1.0 } else l)
+            t.Instance.links;
+      };
+    ]
+
+let candidates t =
+  let n_links = Array.length t.Instance.links in
+  List.concat
+    [
+      List.init n_links (fun i -> [ drop_link t i ]) |> List.concat;
+      List.concat
+        (List.init t.Instance.n_nodes (fun v ->
+             if v = t.Instance.source || v = t.Instance.target || t.Instance.n_nodes <= 2
+             then []
+             else [ drop_node t v ]));
+      List.concat
+        (List.init n_links (fun i ->
+             let ls = t.Instance.links.(i).Instance.l_lambdas in
+             if List.length ls <= 1 then []
+             else List.map (fun l -> drop_lambda t i l) ls));
+      (match compress_wavelengths t with Some t' -> [ t' ] | None -> []);
+      List.concat (List.init t.Instance.n_nodes (fun v -> simplify_converter t v));
+      List.concat (List.init n_links (fun i -> flatten_weight t i));
+    ]
+
+let minimize ?(max_evals = 4_000) prop inst =
+  let msg0 =
+    match prop inst with
+    | Some m -> m
+    | None -> invalid_arg "Shrink.minimize: instance does not fail the property"
+  in
+  let evals = ref 0 in
+  let rec loop inst msg =
+    let rec try_moves = function
+      | [] -> (inst, msg)
+      | cand :: rest ->
+        if !evals >= max_evals then (inst, msg)
+        else begin
+          incr evals;
+          (* A move can only be accepted if it strictly shrinks — guards
+             against a buggy move looping forever. *)
+          if Instance.size cand >= Instance.size inst then try_moves rest
+          else
+            match prop cand with
+            | Some m -> loop cand m
+            | None -> try_moves rest
+        end
+    in
+    if !evals >= max_evals then (inst, msg) else try_moves (candidates inst)
+  in
+  loop inst msg0

@@ -1,0 +1,17 @@
+(** Greedy counterexample minimisation.
+
+    Given a failing predicate and an instance that fails it, repeatedly try
+    structural reductions — drop a link, drop a node (renumbering), drop a
+    wavelength from a link, compress unused wavelength ids, simplify a
+    converter, flatten a weight to 1 — keeping any edit under which the
+    predicate still fails.  Every accepted edit strictly reduces
+    {!Instance.size}, so the loop terminates; [max_evals] additionally
+    bounds the number of predicate evaluations for expensive properties. *)
+
+val minimize :
+  ?max_evals:int ->
+  (Instance.t -> string option) ->
+  Instance.t ->
+  Instance.t * string
+(** [minimize prop inst] requires [prop inst = Some _] and returns the
+    minimised instance together with its failure message. *)

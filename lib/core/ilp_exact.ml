@@ -53,9 +53,19 @@ let add_path_constraints ilp net fam ~source ~target =
       let neg = List.map (fun (x, c) -> (x, -.c)) ins in
       if outs <> [] || ins <> [] then Rr_ilp.Ilp.add_eq ilp (outs @ neg) 0.0
     end;
-    (* (8)/(9): unit flow out of s and into t *)
-    if v = source then Rr_ilp.Ilp.add_eq ilp outs 1.0;
-    if v = target then Rr_ilp.Ilp.add_eq ilp ins 1.0
+    (* (8)/(9): unit *net* flow out of s and into t.  Constraining the
+       gross flow (out(s) = 1, in(t) = 1) admits spurious solutions made
+       of a cycle through s plus a disjoint cycle through t with no s->t
+       path at all; the net form kills both cycles.  Combined with
+       (5)/(6) it also pins in(s) = out(t) = 0, keeping paths simple. *)
+    if v = source then begin
+      let neg = List.map (fun (x, c) -> (x, -.c)) ins in
+      Rr_ilp.Ilp.add_eq ilp (outs @ neg) 1.0
+    end;
+    if v = target then begin
+      let neg = List.map (fun (x, c) -> (x, -.c)) outs in
+      Rr_ilp.Ilp.add_eq ilp (ins @ neg) 1.0
+    end
   done
 
 (* Conversion-cost linearisation (17)/(18) + disallowed-pair cuts for one
@@ -140,14 +150,18 @@ let decode net fam values ~source ~target =
       (Digraph.out_edges g v);
     !found
   in
-  let rec walk v acc =
+  (* A node-simple path has at most [n_nodes - 1] hops; anything longer
+     means the incidence vector contains a cycle and must not be chased. *)
+  let rec walk v acc steps =
     if v = target then Some { Slp.hops = List.rev acc }
+    else if steps >= Net.n_nodes net then
+      failwith "Ilp_exact.decode: incidence vector contains a cycle"
     else
       match hop_from v with
       | None -> None
-      | Some h -> walk (Net.link_dst net h.edge) (h :: acc)
+      | Some h -> walk (Net.link_dst net h.edge) (h :: acc) (steps + 1)
   in
-  walk source []
+  walk source [] 0
 
 let route ?node_limit net ~source ~target =
   let ilp, x, y = build net ~source ~target in

@@ -1,0 +1,127 @@
+(* Tests for the rr_check fuzzing harness itself: corpus replay, a bounded
+   fixed-seed fuzz pass, generator/shrinker sanity, and the check
+   subcommand's exit-code contract (exercised as a subprocess). *)
+
+module Harness = Rr_check.Harness
+module Instance = Rr_check.Instance
+module Gen = Rr_check.Gen
+module Shrink = Rr_check.Shrink
+module Rng = Rr_util.Rng
+
+let corpus_dir = "corpus"
+
+let corpus_files () =
+  Sys.readdir corpus_dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".wdm")
+  |> List.sort compare
+
+let read_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  s
+
+let test_corpus_replays () =
+  let files = corpus_files () in
+  Alcotest.(check bool) "corpus is non-empty" true (List.length files >= 7);
+  List.iter
+    (fun f ->
+      match Harness.replay (read_file (Filename.concat corpus_dir f)) with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "corpus %s violates its property: %s" f m)
+    files
+
+let test_corpus_texts_are_plain_networks () =
+  (* Directive comments must not get in the way of a plain parse. *)
+  List.iter
+    (fun f ->
+      match Rr_wdm.Network_io.parse (read_file (Filename.concat corpus_dir f)) with
+      | Ok _ -> ()
+      | Error m -> Alcotest.failf "corpus %s does not parse as .wdm: %s" f m)
+    (corpus_files ())
+
+let test_bounded_fuzz () =
+  let reports = Harness.run ~seed:7 ~trials:40 ~max_n:8 ~only:[] () in
+  Alcotest.(check int) "all cases ran" (List.length Harness.case_names)
+    (List.length reports);
+  List.iter
+    (fun r ->
+      match r.Harness.failure with
+      | None -> ()
+      | Some f ->
+        Alcotest.failf "case %s failed at trial %d: %s" r.Harness.case
+          f.Harness.f_trial f.Harness.f_message)
+    reports
+
+let test_shrinker_minimises () =
+  (* A property that rejects any instance with >= 3 links must shrink to
+     exactly 3 links — and the shrunken instance must still be a valid,
+     strictly smaller counterexample. *)
+  let prop inst =
+    if Array.length inst.Instance.links >= 3 then Some "too many links" else None
+  in
+  let rng = Rng.create 11 in
+  let inst = Gen.instance rng ~max_n:9 in
+  if prop inst = None then Alcotest.fail "generated instance too small for test";
+  let shrunk, msg = Shrink.minimize prop inst in
+  Alcotest.(check string) "failure message preserved" "too many links" msg;
+  Alcotest.(check int) "minimal link count" 3 (Array.length shrunk.Instance.links);
+  Alcotest.(check bool) "strictly smaller" true
+    (Instance.size shrunk < Instance.size inst)
+
+let test_repro_round_trip () =
+  let rng = Rng.create 23 in
+  for _ = 1 to 25 do
+    let inst = Gen.instance rng ~max_n:8 in
+    let text = Instance.to_repro ~case:"route" inst in
+    match Instance.of_repro text with
+    | Error m -> Alcotest.failf "repro text did not parse: %s" m
+    | Ok r ->
+      Alcotest.(check string) "case" "route" r.Instance.r_case;
+      if not (Instance.equal inst r.Instance.r_instance) then
+        Alcotest.failf "repro round-trip changed the instance:@.%s" text
+  done
+
+(* ------------------------------------------------------------------ *)
+(* CLI exit-code contract                                               *)
+
+let cli = Filename.concat (Filename.concat ".." "bin") "rr_cli.exe"
+
+let run_cli args =
+  Sys.command (Filename.quote_command cli args ~stdout:Filename.null ~stderr:Filename.null)
+
+let test_cli_rejects_bad_flags () =
+  Alcotest.(check int) "--trials 0" 2 (run_cli [ "check"; "--trials"; "0" ]);
+  Alcotest.(check int) "--trials=-4" 2 (run_cli [ "check"; "--trials=-4" ]);
+  Alcotest.(check int) "--seed junk" 2 (run_cli [ "check"; "--seed"; "junk" ]);
+  Alcotest.(check int) "--max-n 2" 2 (run_cli [ "check"; "--max-n"; "2" ]);
+  Alcotest.(check int) "--only nonsense" 2
+    (run_cli [ "check"; "--only"; "nonsense" ]);
+  Alcotest.(check int) "--only route,bogus" 2
+    (run_cli [ "check"; "--only"; "route,bogus" ])
+
+let test_cli_fuzz_and_replay_succeed () =
+  Alcotest.(check int) "small fuzz run" 0
+    (run_cli [ "check"; "--trials"; "5"; "--seed"; "3"; "--only"; "route,bitset" ]);
+  Alcotest.(check int) "corpus replay" 0
+    (run_cli
+       [ "check"; "--replay"; Filename.concat corpus_dir "ilp_subtour_5ring.wdm" ])
+
+let suite =
+  [
+    ( "check",
+      [
+        Alcotest.test_case "corpus entries replay clean" `Quick test_corpus_replays;
+        Alcotest.test_case "corpus entries parse as plain .wdm" `Quick
+          test_corpus_texts_are_plain_networks;
+        Alcotest.test_case "bounded fuzz pass holds" `Quick test_bounded_fuzz;
+        Alcotest.test_case "shrinker reaches the minimal counterexample" `Quick
+          test_shrinker_minimises;
+        Alcotest.test_case "repro text round-trips" `Quick test_repro_round_trip;
+        Alcotest.test_case "cli rejects bad flags with exit 2" `Quick
+          test_cli_rejects_bad_flags;
+        Alcotest.test_case "cli fuzz and replay exit 0" `Quick
+          test_cli_fuzz_and_replay_succeed;
+      ] );
+  ]

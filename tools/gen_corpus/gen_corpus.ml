@@ -1,0 +1,58 @@
+(* Regenerates the NSFNET corpus entries under test/corpus/.
+
+   The PERF-ROUTING scenarios (NSFNET, W = 16, range-1 converters at cost
+   200, random preload) are the workloads that historically exposed the
+   chained-conversion and link-repeating admission bugs.  The preload is
+   baked into the instance here — saturated wavelengths simply disappear
+   from the link's lambda set — so each corpus file is a plain,
+   self-contained Network_io text that the fuzzer replays against every
+   ordered node pair (request=all).
+
+   Usage: dune exec tools/gen_corpus/gen_corpus.exe [DIR]   (default
+   test/corpus). *)
+
+module Rng = Rr_util.Rng
+module Net = Rr_wdm.Network
+module Conv = Rr_wdm.Conversion
+
+let perf_net ~preload seed =
+  let rng = Rng.create seed in
+  let net =
+    Rr_topo.Fitout.fit_out ~rng ~n_wavelengths:16
+      ~converter:(fun _ -> Conv.Range (1, 200.0))
+      Rr_topo.Reference.nsfnet
+  in
+  for e = 0 to Net.n_links net - 1 do
+    Rr_util.Bitset.iter
+      (fun l -> if Rng.uniform rng < preload then Net.allocate net e l)
+      (Net.lambdas net e)
+  done;
+  net
+
+let all_pairs_repro ~case inst =
+  Rr_check.Instance.to_repro ~case inst
+  |> String.split_on_char '\n'
+  |> List.map (fun line ->
+         if String.starts_with ~prefix:"# rr-check request=" line then
+           "# rr-check request=all"
+         else line)
+  |> String.concat "\n"
+
+let () =
+  let dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "test/corpus" in
+  List.iter
+    (fun (seed, preload) ->
+      let net = perf_net ~preload seed in
+      let inst =
+        Rr_check.Instance.of_network net ~source:0 ~target:1
+          ~policy:Robust_routing.Router.Cost_approx
+      in
+      let file =
+        Printf.sprintf "%s/nsfnet_seed%d_p%02.0f.wdm" dir seed (100.0 *. preload)
+      in
+      let oc = open_out file in
+      output_string oc (all_pairs_repro ~case:"route" inst);
+      close_out oc;
+      Printf.printf "wrote %s (%d links usable)\n%!" file
+        (Array.length inst.Rr_check.Instance.links))
+    [ (47, 0.4); (47, 0.5); (48, 0.4); (48, 0.5); (53, 0.5) ]
