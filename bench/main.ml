@@ -38,6 +38,13 @@ let only = ref None
 let csv_dir = ref None
 let json_path = ref None
 
+(* Theorem-bound gate: sections that validate a proved bound record a
+   violation here instead of merely printing "VIOLATED"; the process then
+   exits 1 so CI fails when an approximation guarantee regresses. *)
+let bound_violations = ref []
+let record_violation fmt =
+  Printf.ksprintf (fun m -> bound_violations := m :: !bound_violations) fmt
+
 (* With --csv <dir>, every table is also written as <dir>/<slug>.csv. *)
 let csv_tables : (string * string list * string list list) list ref = ref []
 
@@ -216,7 +223,11 @@ let run_thm2 () =
             Printf.sprintf "%.4f" s.mean;
             Printf.sprintf "%.4f" s.p90;
             Printf.sprintf "%.4f" s.max;
-            (if s.max <= 2.0 +. 1e-9 then "yes" else "VIOLATED");
+            (if s.max <= 2.0 +. 1e-9 then "yes"
+             else begin
+               record_violation "THM-2: ratio %.4f > 2 (n=%d W=%d)" s.max n w;
+               "VIOLATED"
+             end);
           ])
     (ratio_instances ());
   Table.print t
@@ -310,7 +321,12 @@ let run_thm3 () =
             string_of_int s.n;
             Printf.sprintf "%.4f" s.mean;
             Printf.sprintf "%.4f" s.max;
-            (if s.max < 3.0 then "yes" else "VIOLATED");
+            (if s.max < 3.0 then "yes"
+             else begin
+               record_violation "THM-3: load ratio %.4f >= 3 (n=%d W=%d)" s.max
+                 n w;
+               "VIOLATED"
+             end);
           ])
     specs;
   Table.print t
@@ -1252,6 +1268,56 @@ let run_perf_routing () =
                  Router.Cost_approx batch_reqs)))
   in
   let speedup a b = if b > 0.0 then a /. b else nan in
+  (* Incremental auxiliary-graph engine: replay one seeded dynamic
+     admit/release stream twice — rebuilding G' per request vs syncing a
+     persistent Aux_cache — and demand byte-identical decisions.  The
+     stream is a function of the rng and of the decisions themselves, so
+     equal decision lists certify the two engines walked the same ops. *)
+  let aux_ops = if !fast then 60 else 200 in
+  let aux_base = perf_net ~w ~preload:0.5 53 in
+  let aux_replay ~cached base =
+    let net = Net.copy base in
+    let cache =
+      if cached then Some (Rr_wdm.Aux_cache.create net) else None
+    in
+    let rng = Rng.create 71 in
+    let active = ref [] in
+    let decisions = ref [] in
+    let touched = ref [] in
+    for _ = 1 to aux_ops do
+      if Rng.uniform rng < 0.65 || !active = [] then begin
+        let s, d =
+          Rr_sim.Workload.random_pair rng ~n_nodes:(Net.n_nodes net)
+        in
+        let sol =
+          Router.admit ?aux_cache:cache net Router.Cost_approx ~source:s
+            ~target:d
+        in
+        (match sol with Some x -> active := x :: !active | None -> ());
+        decisions := sol :: !decisions;
+        match cache with
+        | Some c -> touched := (Rr_wdm.Aux_cache.last_stats c).touched :: !touched
+        | None -> ()
+      end
+      else begin
+        let i = Rng.int rng (List.length !active) in
+        Types.release net (List.nth !active i);
+        active := List.filteri (fun j _ -> j <> i) !active
+      end
+    done;
+    (!decisions, !touched)
+  in
+  let rebuild_decisions, _ = aux_replay ~cached:false aux_base in
+  let cached_decisions, aux_touched = aux_replay ~cached:true aux_base in
+  let aux_identical = rebuild_decisions = cached_decisions in
+  let aux_rebuild_ns =
+    measure_ns (fun () -> ignore (aux_replay ~cached:false aux_base))
+  in
+  let aux_cached_ns =
+    measure_ns (fun () -> ignore (aux_replay ~cached:true aux_base))
+  in
+  let aux_speedup = speedup aux_rebuild_ns aux_cached_ns in
+  let aux_ok = aux_identical && aux_speedup >= 3.0 in
   let t =
     Table.create
       ~title:
@@ -1278,13 +1344,52 @@ let run_perf_routing () =
       ns_cell seq_ns; ns_cell par_ns;
       Printf.sprintf "%.2fx" (speedup seq_ns par_ns);
     ];
+  Table.add_row t
+    [
+      Printf.sprintf "aux engine x%d ops" aux_ops;
+      ns_cell aux_rebuild_ns; ns_cell aux_cached_ns;
+      Printf.sprintf "%.2fx" aux_speedup;
+    ];
   Table.print t;
   Printf.printf
     "  (pooling reuses one set of O(nW) scratch arrays across requests;\n\
     \   the parallel row compares Batch.route against route_parallel on\n\
-    \   %d worker domain%s)\n"
+    \   %d worker domain%s; the aux row replays one dynamic admit/release\n\
+    \   stream rebuilding G' per request vs syncing a persistent cache)\n"
     jobs
     (if jobs = 1 then "" else "s");
+  (* Links-touched histogram: how local a dynamic operation really is. *)
+  let aux_buckets = [ (0, 0); (1, 2); (3, 4); (5, 8); (9, 16); (17, max_int) ] in
+  let bucket_label (lo, hi) =
+    if hi = max_int then Printf.sprintf "%d+" lo
+    else if lo = hi then string_of_int lo
+    else Printf.sprintf "%d-%d" lo hi
+  in
+  let ht =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "aux engine: links touched per sync (%d admissions, m=%d links)"
+           (List.length aux_touched)
+           (Net.n_links aux_base))
+      ~header:[ "links touched"; "syncs"; "share" ]
+  in
+  List.iter
+    (fun (lo, hi) ->
+      let c = List.length (List.filter (fun x -> x >= lo && x <= hi) aux_touched) in
+      Table.add_row ht
+        [
+          bucket_label (lo, hi);
+          string_of_int c;
+          Table.cell_pct
+            (float_of_int c /. float_of_int (max 1 (List.length aux_touched)));
+        ])
+    aux_buckets;
+  Table.print ht;
+  Printf.printf "  aux engine: decisions %s, speedup %.2fx (floor 3.0x)  [%s]\n"
+    (if aux_identical then "byte-identical to rebuild" else "DIVERGED")
+    aux_speedup
+    (if aux_ok then "OK" else "FAIL");
   (* ---- observability: per-stage breakdown ---------------------------- *)
   let module Obs = Rr_obs.Obs in
   let module OM = Rr_obs.Metrics in
@@ -1443,6 +1548,22 @@ let run_perf_routing () =
       jobs seq_ns par_ns (speedup seq_ns par_ns)
       (speedup layered_unpooled layered_pooled)
       (speedup layered_unpooled layered_pooled >= 1.3);
+    Printf.fprintf oc
+      "  \"aux_cache\": { \"ops\": %d, \"rebuild_ns\": %.1f, \
+       \"cached_ns\": %.1f, \"speedup\": %.3f, \"speedup_floor\": 3.0, \
+       \"identical_decisions\": %b, \"ok\": %b,\n\
+      \    \"links_touched\": {"
+      aux_ops aux_rebuild_ns aux_cached_ns aux_speedup aux_identical aux_ok;
+    List.iteri
+      (fun i b ->
+        let lo, hi = b in
+        let c =
+          List.length (List.filter (fun x -> x >= lo && x <= hi) aux_touched)
+        in
+        Printf.fprintf oc "%s %S: %d" (if i > 0 then "," else "")
+          (bucket_label b) c)
+      aux_buckets;
+    Printf.fprintf oc " } },\n";
     Printf.fprintf oc "  \"stages\": {";
     List.iteri
       (fun i (name, h) ->
@@ -1471,7 +1592,12 @@ let run_perf_routing () =
       enabled_ratio obs_gate_ok;
     close_out oc;
     Printf.printf "json: wrote %s\n" path);
-  if not obs_gate_ok then exit 1
+  if not aux_ok then
+    Printf.printf
+      "  AUX GATE FAILED: decisions %s, speedup %.3f (floor 3.0)\n"
+      (if aux_identical then "identical" else "DIVERGED")
+      aux_speedup;
+  if not (obs_gate_ok && aux_ok) then exit 1
 
 (* ------------------------------------------------------------------ *)
 (* ILP-X                                                                *)
@@ -1539,31 +1665,55 @@ let sections =
     ("perf-routing", run_perf_routing);
   ]
 
+(* Bad usage exits 2 with a usage line, mirroring the `rr check` CLI
+   contract; a failed measurement gate exits 1. *)
+let usage_exit fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf
+        "main.exe: %s\n\
+         usage: main.exe [--fast] [--only SECTION] [--csv DIR] [--json FILE]\n\
+         sections: %s\n"
+        msg
+        (String.concat ", " (List.map fst sections));
+      exit 2)
+    fmt
+
 let () =
-  let args = Array.to_list Sys.argv in
-  List.iteri
-    (fun i a ->
-      if a = "--fast" then fast := true;
-      if a = "--only" && i + 1 < List.length args then
-        only := Some (List.nth args (i + 1));
-      if a = "--csv" && i + 1 < List.length args then
-        csv_dir := Some (List.nth args (i + 1));
-      if a = "--json" && i + 1 < List.length args then
-        json_path := Some (List.nth args (i + 1)))
-    args;
+  let rec parse = function
+    | [] -> ()
+    | "--fast" :: rest ->
+      fast := true;
+      parse rest
+    | "--only" :: v :: rest when String.length v > 0 && v.[0] <> '-' ->
+      only := Some v;
+      parse rest
+    | "--csv" :: v :: rest when String.length v > 0 && v.[0] <> '-' ->
+      csv_dir := Some v;
+      parse rest
+    | "--json" :: v :: rest when String.length v > 0 && v.[0] <> '-' ->
+      json_path := Some v;
+      parse rest
+    | ("--only" | "--csv" | "--json") :: _ as flag_and_rest ->
+      usage_exit "option '%s' requires a value" (List.hd flag_and_rest)
+    | a :: _ -> usage_exit "unknown option '%s'" a
+  in
+  parse (List.tl (Array.to_list Sys.argv));
   let chosen =
     match !only with
     | None -> sections
     | Some id -> List.filter (fun (name, _) -> name = id) sections
   in
-  if chosen = [] then begin
-    Printf.eprintf "unknown section; available: %s\n"
-      (String.concat ", " (List.map fst sections));
-    exit 1
-  end;
+  (match !only with
+   | Some id when chosen = [] -> usage_exit "unknown section '%s'" id
+   | _ -> ());
   List.iter
     (fun (name, f) ->
       Printf.printf "\n######## %s ########\n\n%!" name;
       f ())
     chosen;
-  flush_csv ()
+  flush_csv ();
+  if !bound_violations <> [] then begin
+    List.iter (Printf.eprintf "BOUND VIOLATED: %s\n") (List.rev !bound_violations);
+    exit 1
+  end

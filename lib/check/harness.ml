@@ -97,6 +97,23 @@ let cases =
       doc = "Union_find vs naive partition model";
       kind = Raw Model_props.check_union_find;
     };
+    {
+      id = 12;
+      name = "auxcache";
+      doc =
+        "Incremental Aux_cache vs fresh G' under interleaved admit/release";
+      kind =
+        Net
+          {
+            gen =
+              (fun rng ~max_n ->
+                Gen.instance
+                  ~policies:
+                    Robust_routing.Router.[ Cost_approx; Load_aware; Load_cost ]
+                  rng ~max_n);
+            prop = Invariants.check_aux_cache;
+          };
+    };
   ]
 
 let case_names = List.map (fun c -> c.name) cases

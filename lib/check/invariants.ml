@@ -453,3 +453,122 @@ let check_io_roundtrip inst =
     if not (Instance.equal inst inst2) then
       fail "print/parse round-trip changed the network"
     else None
+
+(* ------------------------------------------------------------------ *)
+(* Incremental auxiliary-graph engine vs fresh construction            *)
+
+let bits = Int64.bits_of_float
+
+(* The arcs an auxiliary graph exposes, in arc-id order, as
+   (src, dst, kind, weight-bits).  For a fresh graph every arc counts; for
+   a cache view only the enabled subsequence does.  Identical lists mean
+   the two graphs present the same search problem bit for bit. *)
+let aux_projection (t : Rr_wdm.Auxiliary.t) en =
+  let g = t.Rr_wdm.Auxiliary.graph in
+  let out = ref [] in
+  for a = Rr_graph.Digraph.n_edges g - 1 downto 0 do
+    if en a then
+      out :=
+        ( Rr_graph.Digraph.src g a,
+          Rr_graph.Digraph.dst g a,
+          t.Rr_wdm.Auxiliary.kind.(a),
+          bits t.Rr_wdm.Auxiliary.weight.(a) )
+        :: !out
+  done;
+  !out
+
+(* Suurballe outcomes compared through physical links (arc ids differ
+   between the superset graph and a fresh graph by construction). *)
+let pair_projection aux = function
+  | None -> None
+  | Some ((p1, p2), w) ->
+    Some
+      ( Rr_wdm.Auxiliary.links_of_path aux p1,
+        Rr_wdm.Auxiliary.links_of_path aux p2,
+        bits w )
+
+let check_aux_cache inst =
+  let module Aux = Rr_wdm.Auxiliary in
+  let module Cache = Rr_wdm.Aux_cache in
+  let net = Instance.network inst in
+  let n = Net.n_nodes net in
+  let m = Net.n_links net in
+  if m = 0 then None
+  else begin
+    let cache = Cache.create net in
+    (* Deterministic function of the instance (the shrinker replays it):
+       the op sequence is derived from the instance's own shape. *)
+    let rng =
+      Rng.create
+        (Hashtbl.hash
+           ( n,
+             inst.Instance.n_wavelengths,
+             m,
+             inst.Instance.source,
+             inst.Instance.target ))
+    in
+    let compare_once s d =
+      let fresh = Aux.gprime net ~source:s ~target:d in
+      ignore (Cache.sync cache : Cache.sync_stats);
+      let view, en = Cache.gprime_view cache ~source:s ~target:d in
+      if aux_projection fresh (fun _ -> true) <> aux_projection view en then
+        fail "cached G' arcs/weights differ from fresh (request %d->%d)" s d
+      else begin
+        let pf = pair_projection fresh (Aux.disjoint_pair fresh) in
+        let pc = pair_projection view (Aux.disjoint_pair ~enabled:en view) in
+        let* () =
+          if pf <> pc then
+            fail "cached Suurballe result differs from fresh (request %d->%d)" s d
+          else None
+        in
+        (* End to end: the full policy decision must be byte-identical. *)
+        let plain = Router.route net inst.Instance.policy ~source:s ~target:d in
+        let cached =
+          Router.route ~aux_cache:cache net inst.Instance.policy ~source:s
+            ~target:d
+        in
+        if plain <> cached then
+          fail "cached routing decision differs from rebuild (request %d->%d)" s d
+        else None
+      end
+    in
+    let random_pair () =
+      let s = Rng.int rng n in
+      let d = Rng.int rng (n - 1) in
+      (s, if d >= s then d + 1 else d)
+    in
+    let admitted = ref [] in
+    let err = ref None in
+    let steps = 14 in
+    let i = ref 0 in
+    while !err = None && !i < steps do
+      incr i;
+      let s, d = random_pair () in
+      match compare_once s d with
+      | Some _ as e -> err := e
+      | None ->
+        (* Interleave a mutation for the next sync to absorb: admit,
+           release, or a failure-state flip. *)
+        let r = Rng.uniform rng in
+        if r < 0.5 then (
+          match
+            Router.admit ~aux_cache:cache net inst.Instance.policy ~source:s
+              ~target:d
+          with
+          | Some sol -> admitted := sol :: !admitted
+          | None -> ())
+        else if r < 0.8 then (
+          match !admitted with
+          | [] -> ()
+          | sols ->
+            let j = Rng.int rng (List.length sols) in
+            Types.release net (List.nth sols j);
+            admitted := List.filteri (fun k _ -> k <> j) sols)
+        else begin
+          let e = Rng.int rng m in
+          if Net.is_failed net e then Net.repair_link net e
+          else Net.fail_link net e
+        end
+    done;
+    !err
+  end

@@ -48,6 +48,12 @@ val check_io_roundtrip : Instance.t -> string option
 (** [network -> print -> parse -> of_network] is the identity on instances
     — the guarantee that makes every shrunken repro loadable. *)
 
+val check_aux_cache : Instance.t -> string option
+(** Differential: an incremental {!Rr_wdm.Aux_cache} driven through an
+    interleaved admit/release/fail/repair sequence stays byte-identical to
+    a fresh [Aux.gprime] after every operation — same arcs and weight bits,
+    same Suurballe pair, same end-to-end routing decision. *)
+
 (** {1 Building blocks shared with the corpus runner} *)
 
 val premise_theorem2 : Rr_wdm.Network.t -> bool

@@ -42,12 +42,23 @@ let refine net ?workspace ?(obs = Obs.null) ~source ~target links =
     None
   | r -> r
 
-let route_detailed ?workspace ?(obs = Obs.null) net ~source ~target =
+let route_detailed ?aux_cache ?workspace ?(obs = Obs.null) net ~source ~target =
+  let aux, enabled =
+    match aux_cache with
+    | Some cache ->
+      if Rr_wdm.Aux_cache.network cache != net then
+        invalid_arg "Approx_cost: aux_cache bound to a different network";
+      ignore (Rr_wdm.Aux_cache.sync ~obs cache : Rr_wdm.Aux_cache.sync_stats);
+      let aux, enabled = Rr_wdm.Aux_cache.gprime_view cache ~source ~target in
+      (aux, Some enabled)
+    | None ->
+      let t0 = Obs.start obs in
+      let aux = Aux.gprime net ~source ~target in
+      Obs.stop obs "stage.aux_graph" t0;
+      (aux, None)
+  in
   let t0 = Obs.start obs in
-  let aux = Aux.gprime net ~source ~target in
-  Obs.stop obs "stage.aux_graph" t0;
-  let t0 = Obs.start obs in
-  let pair = Aux.disjoint_pair ~obs ?workspace aux in
+  let pair = Aux.disjoint_pair ~obs ?workspace ?enabled aux in
   Obs.stop obs "stage.disjoint_pair" t0;
   match pair with
   | None ->
@@ -81,7 +92,7 @@ let route_detailed ?workspace ?(obs = Obs.null) net ~source ~target =
        Obs.add obs "route.block.no_wavelength" 1;
        None)
 
-let route ?workspace ?obs net ~source ~target =
+let route ?aux_cache ?workspace ?obs net ~source ~target =
   Option.map
     (fun d -> d.solution)
-    (route_detailed ?workspace ?obs net ~source ~target)
+    (route_detailed ?aux_cache ?workspace ?obs net ~source ~target)

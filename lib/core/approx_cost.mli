@@ -20,6 +20,7 @@ type detail = {
 }
 
 val route :
+  ?aux_cache:Rr_wdm.Aux_cache.t ->
   ?workspace:Rr_util.Workspace.t ->
   ?obs:Rr_obs.Obs.t ->
   Rr_wdm.Network.t ->
@@ -38,9 +39,15 @@ val route :
     ([route.block.no_disjoint_pair] when Suurballe finds no pair,
     [route.block.no_wavelength] when a refinement fails) and a
     [refine.nonsimple] counter for layered walks screened out for
-    revisiting a physical link (see {!Rr_wdm.Semilightpath.link_simple}). *)
+    revisiting a physical link (see {!Rr_wdm.Semilightpath.link_simple}).
+
+    With [?aux_cache] (an {!Rr_wdm.Aux_cache} bound to [net]) the [G']
+    build is replaced by an incremental sync ([stage.aux_delta] instead of
+    [stage.aux_graph]); results are byte-identical.  Raises
+    [Invalid_argument] if the cache is bound to a different network. *)
 
 val route_detailed :
+  ?aux_cache:Rr_wdm.Aux_cache.t ->
   ?workspace:Rr_util.Workspace.t ->
   ?obs:Rr_obs.Obs.t ->
   Rr_wdm.Network.t ->

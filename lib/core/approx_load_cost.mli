@@ -14,6 +14,7 @@ type result = {
 }
 
 val route :
+  ?aux_cache:Rr_wdm.Aux_cache.t ->
   ?base:float ->
   ?resolution:int ->
   ?workspace:Rr_util.Workspace.t ->

@@ -73,13 +73,17 @@ let valid net req =
 
 let process ?(order = Fifo) ?obs net policy requests =
   let ordered = arrange net order requests in
+  (* One incremental auxiliary-graph engine for the whole sequential
+     sweep: each admission's sync recomputes only the links the previous
+     allocation touched. *)
+  let cache = Rr_wdm.Aux_cache.create net in
   let outcomes =
     List.map
       (fun req ->
         let solution =
           if valid net req then
-            Router.admit ?obs net policy ~source:req.Types.src
-              ~target:req.Types.dst
+            Router.admit ~aux_cache:cache ?obs net policy
+              ~source:req.Types.src ~target:req.Types.dst
           else None
         in
         { request = req; solution })
@@ -118,14 +122,18 @@ let process ?(order = Fifo) ?obs net policy requests =
    Phase B never depends on how Phase A was executed, so [route] and
    [route_parallel] produce identical results by construction. *)
 
-let speculate_one ?obs snapshot ws policy req =
+let speculate_one ?obs snapshot cache ws policy req =
   if valid snapshot req then
-    Router.route ~workspace:ws ?obs snapshot policy ~source:req.Types.src
-      ~target:req.Types.dst
+    Router.route ~aux_cache:cache ~workspace:ws ?obs snapshot policy
+      ~source:req.Types.src ~target:req.Types.dst
   else None
 
 let apply ?obs net policy ordered speculative =
   let ws = Rr_util.Workspace.create () in
+  (* The live-network engine is only needed on the slow path (a
+     speculative solution invalidated by an earlier admission), so build
+     it lazily: batches whose speculations all hold never pay for it. *)
+  let cache = lazy (Rr_wdm.Aux_cache.create net) in
   let outcomes =
     List.map2
       (fun req spec ->
@@ -141,8 +149,8 @@ let apply ?obs net policy ordered speculative =
             | Error _ ->
               (* An earlier admission consumed a wavelength this solution
                  needs: recompute against the live network. *)
-              Router.admit ~workspace:ws ?obs net policy
-                ~source:req.Types.src ~target:req.Types.dst)
+              Router.admit ~aux_cache:(Lazy.force cache) ~workspace:ws ?obs
+                net policy ~source:req.Types.src ~target:req.Types.dst)
         in
         { request = req; solution })
       ordered speculative
@@ -167,9 +175,10 @@ let apply ?obs net policy ordered speculative =
 let route ?(order = Fifo) ?obs net policy requests =
   let ordered = arrange net order requests in
   let snapshot = Net.copy net in
+  let cache = Rr_wdm.Aux_cache.create snapshot in
   let ws = Rr_util.Workspace.create () in
   let speculative =
-    List.map (fun req -> speculate_one ?obs snapshot ws policy req) ordered
+    List.map (fun req -> speculate_one ?obs snapshot cache ws policy req) ordered
   in
   apply ?obs net policy ordered speculative
 
@@ -196,9 +205,18 @@ let route_parallel ?(order = Fifo) ?pool ?jobs ?(obs = Obs.null) net policy
   in
   let phase_a p =
     Parallel.map p
-      ~worker:(fun i -> (Net.copy net, Rr_util.Workspace.create (), forks.(i)))
-      ~f:(fun (snapshot, ws, fork) req ->
-        speculate_one ~obs:fork snapshot ws policy req)
+      ~worker:(fun i ->
+        (* Per-worker snapshot and cache: the cache's epoch stamps are
+           private to the worker's own snapshot, so speculative routing
+           stays read-only with respect to the live network and the merged
+           semantics are unchanged. *)
+        let snapshot = Net.copy net in
+        ( snapshot,
+          Rr_wdm.Aux_cache.create snapshot,
+          Rr_util.Workspace.create (),
+          forks.(i) ))
+      ~f:(fun (snapshot, cache, ws, fork) req ->
+        speculate_one ~obs:fork snapshot cache ws policy req)
       reqs
   in
   let speculative =

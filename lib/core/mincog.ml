@@ -45,13 +45,26 @@ let refine net ?workspace ?(obs = Obs.null) ~source ~target links =
     None
   | r -> r
 
-(* Try one threshold: build G_c, Suurballe, refine both paths. *)
-let attempt ?workspace ?(obs = Obs.null) net ~theta ~base ~source ~target =
+(* Try one threshold: build (or view) G_c, Suurballe, refine both paths.
+   With a cache the caller has already synced it for this request; each
+   threshold probe only swaps the filter predicate. *)
+let attempt ?aux_cache ?workspace ?(obs = Obs.null) net ~theta ~base ~source
+    ~target =
+  let aux, enabled =
+    match aux_cache with
+    | Some cache ->
+      let aux, enabled =
+        Rr_wdm.Aux_cache.gc_view cache ~theta ~base ~source ~target ()
+      in
+      (aux, Some enabled)
+    | None ->
+      let t0 = Obs.start obs in
+      let aux = Aux.gc net ~theta ~base ~source ~target () in
+      Obs.stop obs "stage.aux_graph" t0;
+      (aux, None)
+  in
   let t0 = Obs.start obs in
-  let aux = Aux.gc net ~theta ~base ~source ~target () in
-  Obs.stop obs "stage.aux_graph" t0;
-  let t0 = Obs.start obs in
-  let pair = Aux.disjoint_pair ~obs ?workspace aux in
+  let pair = Aux.disjoint_pair ~obs ?workspace ?enabled aux in
   Obs.stop obs "stage.disjoint_pair" t0;
   match pair with
   | None -> None
@@ -72,8 +85,14 @@ let attempt ?workspace ?(obs = Obs.null) net ~theta ~base ~source ~target =
        Some { theta; bottleneck; solution = { Types.primary; backup = Some backup } }
      | _ -> None)
 
-let route ?(base = 16.0) ?(resolution = 10) ?workspace ?(obs = Obs.null) net
-    ~source ~target =
+let route ?aux_cache ?(base = 16.0) ?(resolution = 10) ?workspace
+    ?(obs = Obs.null) net ~source ~target =
+  (match aux_cache with
+   | Some cache ->
+     if Rr_wdm.Aux_cache.network cache != net then
+       invalid_arg "Mincog: aux_cache bound to a different network";
+     ignore (Rr_wdm.Aux_cache.sync ~obs cache : Rr_wdm.Aux_cache.sync_stats)
+   | None -> ());
   let theta_min, theta_max = theta_bounds net in
   let delta = theta_max -. theta_min in
   (* Thresholds in increasing order: ϑ_min, then geometrically growing
@@ -89,7 +108,7 @@ let route ?(base = 16.0) ?(resolution = 10) ?workspace ?(obs = Obs.null) net
   let rec try_all = function
     | [] -> None
     | theta :: rest -> (
-      match attempt ?workspace ~obs net ~theta ~base ~source ~target with
+      match attempt ?aux_cache ?workspace ~obs net ~theta ~base ~source ~target with
       | Some r -> Some r
       | None -> try_all rest)
   in
@@ -99,7 +118,13 @@ let route ?(base = 16.0) ?(resolution = 10) ?workspace ?(obs = Obs.null) net
     None
   | r -> r
 
-let min_bottleneck ?workspace net ~source ~target =
+let min_bottleneck ?aux_cache ?workspace net ~source ~target =
+  (match aux_cache with
+   | Some cache ->
+     if Rr_wdm.Aux_cache.network cache != net then
+       invalid_arg "Mincog: aux_cache bound to a different network";
+     ignore (Rr_wdm.Aux_cache.sync cache : Rr_wdm.Aux_cache.sync_stats)
+   | None -> ());
   (* Distinct realised load levels, ascending; feasibility (existence of an
      edge-disjoint pair among links of load <= level) is monotone, so the
      smallest feasible level is found by linear scan with early exit (the
@@ -113,7 +138,8 @@ let min_bottleneck ?workspace net ~source ~target =
   in
   let attempt_level level =
     (* ϑ strictly above [level] but below the next level. *)
-    attempt ?workspace net ~theta:(level +. 1e-9) ~base:16.0 ~source ~target
+    attempt ?aux_cache ?workspace net ~theta:(level +. 1e-9) ~base:16.0 ~source
+      ~target
   in
   let rec go = function
     | [] -> None

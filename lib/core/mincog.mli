@@ -20,6 +20,7 @@ type result = {
 }
 
 val route :
+  ?aux_cache:Rr_wdm.Aux_cache.t ->
   ?base:float ->
   ?resolution:int ->
   ?workspace:Rr_util.Workspace.t ->
@@ -30,9 +31,12 @@ val route :
   result option
 (** The paper's algorithm with the exponential congestion weights
     [a^((U+1)/N) − a^(U/N)] ([base] = a, default 16; [resolution] = K,
-    default 10).  [None] when even [ϑ_max] admits no pair. *)
+    default 10).  [None] when even [ϑ_max] admits no pair.  [aux_cache]
+    syncs once per call and serves every threshold probe from the shared
+    superset graph (byte-identical results). *)
 
 val min_bottleneck :
+  ?aux_cache:Rr_wdm.Aux_cache.t ->
   ?workspace:Rr_util.Workspace.t ->
   Rr_wdm.Network.t ->
   source:int ->

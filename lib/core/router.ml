@@ -33,18 +33,19 @@ let policy_of_string s =
 
 module Obs = Rr_obs.Obs
 
-let route ?workspace ?(obs = Obs.null) net policy ~source ~target =
+let route ?aux_cache ?workspace ?(obs = Obs.null) net policy ~source ~target =
   let result =
     match policy with
-    | Cost_approx -> Approx_cost.route ?workspace ~obs net ~source ~target
+    | Cost_approx ->
+      Approx_cost.route ?aux_cache ?workspace ~obs net ~source ~target
     | Load_aware ->
       Option.map
         (fun r -> r.Mincog.solution)
-        (Mincog.route ?workspace ~obs net ~source ~target)
+        (Mincog.route ?aux_cache ?workspace ~obs net ~source ~target)
     | Load_cost ->
       Option.map
         (fun r -> r.Approx_load_cost.solution)
-        (Approx_load_cost.route ?workspace ~obs net ~source ~target)
+        (Approx_load_cost.route ?aux_cache ?workspace ~obs net ~source ~target)
     | Two_step -> Baselines.two_step ?workspace ~obs net ~source ~target
     | First_fit -> Baselines.first_fit ?workspace ~obs net ~source ~target
     | Most_used -> Baselines.most_used_fit ?workspace ~obs net ~source ~target
@@ -65,8 +66,8 @@ let route ?workspace ?(obs = Obs.null) net policy ~source ~target =
    | _ -> ());
   result
 
-let admit ?workspace ?(obs = Obs.null) net policy ~source ~target =
-  match route ?workspace ~obs net policy ~source ~target with
+let admit ?aux_cache ?workspace ?(obs = Obs.null) net policy ~source ~target =
+  match route ?aux_cache ?workspace ~obs net policy ~source ~target with
   | None ->
     Obs.add obs "admit.blocked" 1;
     None

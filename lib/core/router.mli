@@ -18,6 +18,7 @@ val policy_name : policy -> string
 val policy_of_string : string -> policy option
 
 val route :
+  ?aux_cache:Rr_wdm.Aux_cache.t ->
   ?workspace:Rr_util.Workspace.t ->
   ?obs:Rr_obs.Obs.t ->
   Rr_wdm.Network.t ->
@@ -27,12 +28,18 @@ val route :
   Types.solution option
 (** Compute a robust route on the residual network; no allocation.
     [workspace] supplies reusable scratch arrays to every search the policy
-    runs (ignored by [Exact]); see {!Rr_util.Workspace}.  [obs] is threaded
-    through the policy pipeline, recording per-stage spans ([stage.*]),
-    kernel spans and counters ([kernel.*], [heap.*], [conv.expansions],
-    [workspace.*]) and blocking causes ([route.block.*]). *)
+    runs (ignored by [Exact]); see {!Rr_util.Workspace}.  [aux_cache] is an
+    incremental auxiliary-graph engine bound to [net] (see
+    {!Rr_wdm.Aux_cache}): the auxiliary-graph-based policies ([Cost_approx],
+    [Load_aware], [Load_cost]) then sync it and route over its views —
+    byte-identical results, no per-request [G'] rebuild; other policies
+    ignore it.  [obs] is threaded through the policy pipeline, recording
+    per-stage spans ([stage.*]), kernel spans and counters ([kernel.*],
+    [heap.*], [conv.expansions], [workspace.*]) and blocking causes
+    ([route.block.*]). *)
 
 val admit :
+  ?aux_cache:Rr_wdm.Aux_cache.t ->
   ?workspace:Rr_util.Workspace.t ->
   ?obs:Rr_obs.Obs.t ->
   Rr_wdm.Network.t ->

@@ -66,9 +66,17 @@ let edge_disjoint_pair ?enabled ?(obs = Obs.null) ?workspace g ~weight ~source
          p2';
        (* Decompose the balanced arc set into two s-t walks, then simplify.
           A greedy walk from s can only get stuck at t (every intermediate
-          node has equal remaining in/out degree). *)
+          node has equal remaining in/out degree).  Adjacency is built in
+          ascending edge-id order (not Hashtbl.iter order, which depends on
+          the hash of the ids): any order-preserving re-numbering of the
+          edges then decomposes the same arc set into the same two paths —
+          the property the incremental auxiliary-graph cache relies on for
+          byte-identical routing decisions. *)
        let adj = Array.make n [] in
-       Hashtbl.iter (fun e () -> adj.(Digraph.src g e) <- e :: adj.(Digraph.src g e)) kept;
+       for e = Digraph.n_edges g - 1 downto 0 do
+         if Hashtbl.mem kept e then
+           adj.(Digraph.src g e) <- e :: adj.(Digraph.src g e)
+       done;
        let extract () =
          let rec walk u acc =
            if u = target then List.rev acc
@@ -101,7 +109,11 @@ let edge_disjoint_pair ?enabled ?(obs = Obs.null) ?workspace g ~weight ~source
 let decompose g ~weight ~source ~target kept =
   let n = Digraph.n_nodes g in
   let adj = Array.make n [] in
-  Hashtbl.iter (fun e () -> adj.(Digraph.src g e) <- e :: adj.(Digraph.src g e)) kept;
+  (* Ascending edge-id order, as in [edge_disjoint_pair] above. *)
+  for e = Digraph.n_edges g - 1 downto 0 do
+    if Hashtbl.mem kept e then
+      adj.(Digraph.src g e) <- e :: adj.(Digraph.src g e)
+  done;
   let extract () =
     let rec walk u acc =
       if u = target then List.rev acc

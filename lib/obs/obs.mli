@@ -14,7 +14,9 @@
     Naming conventions used across the repository:
     - [stage.*]    per-stage latency histograms of the Section 3.3
                    pipeline (aux_graph, disjoint_pair, induce, refine,
-                   validate, allocate)
+                   validate, allocate; [stage.aux_delta] is the
+                   incremental engine's sync replacing [stage.aux_graph]
+                   when routing through an {!Rr_wdm.Aux_cache})
     - [kernel.*]   latency histograms of the search kernels (dijkstra,
                    suurballe, layered, layered_bounded)
     - [sim.*]      simulator event-loop spans (arrival, epoch, departure,
@@ -24,6 +26,10 @@
     - [route.block.*]  blocking causes: [no_disjoint_pair],
                    [no_wavelength], [no_route]
     - [workspace.hit] / [workspace.miss]  scratch-state pooling counters
+    - [aux.cache.*]  incremental auxiliary-graph engine counters:
+                   [aux.cache.hit] (delta syncs), [aux.cache.rebuild]
+                   (majority-change full recomputes),
+                   [aux.cache.links_touched] (sum of changed links)
     - [heap.pop] / [heap.insert] / [conv.expansions]  kernel op counters *)
 
 type t

@@ -92,6 +92,11 @@ let path_intact net p =
 let run ?(obs = Obs.null) net0 config =
   if config.duration <= 0.0 then invalid_arg "Simulator.run: duration must be positive";
   let net = Net.copy net0 in
+  (* One incremental auxiliary-graph engine for the whole run: arrivals,
+     reroutes and preemption probes all sync it against whatever the
+     event loop (departures, failures, repairs) did to the residual state
+     since the previous routing call. *)
+  let aux_cache = Rr_wdm.Aux_cache.create net in
   let rng = Rng.create config.seed in
   let q = Event_queue.create () in
   let counters = Metrics.counters () in
@@ -158,7 +163,10 @@ let run ?(obs = Obs.null) net0 config =
   (* Re-route a failure-affected connection from scratch (passive
      restoration).  Its resources must already be released. *)
   let passive_reroute time conn =
-    match Router.admit ~obs net config.policy ~source:conn.src ~target:conn.dst with
+    match
+      Router.admit ~aux_cache ~obs net config.policy ~source:conn.src
+        ~target:conn.dst
+    with
     | Some sol ->
       conn.active <- sol.Types.primary;
       conn.backup <- sol.Types.backup;
@@ -266,7 +274,10 @@ let run ?(obs = Obs.null) net0 config =
         None
       | victim :: rest -> (
         Slp.release net victim.active;
-        match Router.route ~obs net (policy_for Premium) ~source:src ~target:dst with
+        match
+          Router.route ~aux_cache ~obs net (policy_for Premium) ~source:src
+            ~target:dst
+        with
         | Some sol -> Some (sol, victim :: evicted)
         | None -> evict (victim :: evicted) rest)
     in
@@ -280,8 +291,8 @@ let run ?(obs = Obs.null) net0 config =
       (fun victim ->
         incr preemptions;
         match
-          Router.route ~obs net Router.Unprotected ~source:victim.src
-            ~target:victim.dst
+          Router.route ~aux_cache ~obs net Router.Unprotected
+            ~source:victim.src ~target:victim.dst
         with
         | Some s
           when Types.validate net { Types.src = victim.src; dst = victim.dst } s = Ok () ->
@@ -307,7 +318,10 @@ let run ?(obs = Obs.null) net0 config =
       counters.offered <- counters.offered + 1;
       bump cls_offered klass
     end;
-    match Router.admit ~obs net (policy_for klass) ~source:src ~target:dst with
+    match
+      Router.admit ~aux_cache ~obs net (policy_for klass) ~source:src
+        ~target:dst
+    with
     | Some sol ->
       Log.debug (fun m ->
           m "t=%.2f admit %s %d->%d cost %.1f" time (class_name klass) src dst

@@ -230,8 +230,8 @@ let links_of_path t path =
     (fun a -> match t.kind.(a) with Traverse e -> Some e | _ -> None)
     path
 
-let disjoint_pair ?obs ?workspace t =
-  Rr_graph.Suurballe.edge_disjoint_pair ?obs ?workspace t.graph
+let disjoint_pair ?obs ?workspace ?enabled t =
+  Rr_graph.Suurballe.edge_disjoint_pair ?enabled ?obs ?workspace t.graph
     ~weight:(fun a -> t.weight.(a))
     ~source:t.source ~target:t.sink
 

@@ -40,6 +40,15 @@ type t = {
   in_node : int -> int;  (** physical link [e] -> aux node [v_in^e] *)
 }
 
+val mean_conversion :
+  Network.t -> int -> Rr_util.Bitset.t -> Rr_util.Bitset.t -> float option
+(** Mean conversion cost at a node over allowed (λ_in, λ_out) pairs drawn
+    from the two given wavelength sets, identity pairs included at cost 0;
+    [None] when no pair is allowed.  Exposed for {!Aux_cache}. *)
+
+val mean_traverse_over_avail : Network.t -> int -> float
+(** Mean of [w(e, λ)] over [Λ_avail(e)] — the [G'] traversal weight. *)
+
 val gprime : Network.t -> source:int -> target:int -> t
 
 val gc : Network.t -> theta:float -> ?base:float -> source:int -> target:int -> unit -> t
@@ -64,11 +73,14 @@ val links_of_path : t -> int list -> int list
 val disjoint_pair :
   ?obs:Rr_obs.Obs.t ->
   ?workspace:Rr_util.Workspace.t ->
+  ?enabled:(int -> bool) ->
   t ->
   ((int list * int list) * float) option
 (** Suurballe on the auxiliary graph from [s'] to [t'']
     ([Find_Two_Paths], Section 3.3.2).  [workspace] and [obs] are passed
-    through to the Suurballe/Dijkstra passes. *)
+    through to the Suurballe/Dijkstra passes.  [enabled] filters arcs —
+    used by {!Aux_cache} views, whose shared superset graph gates arcs by
+    predicate instead of by construction. *)
 
 val stats : t -> int * int * int
 (** (edge-nodes incl. s'/t'', traversal arcs, conversion arcs) — used by the
