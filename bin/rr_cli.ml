@@ -500,6 +500,14 @@ let check_cmd =
         names
     in
     if replay <> [] then begin
+      (* --only alongside --replay re-targets the corpus instances at a
+         single named case instead of the one in their headers. *)
+      let case =
+        match only with
+        | [] -> None
+        | [ c ] -> Some c
+        | _ -> usage "--replay with --only expects exactly one case"
+      in
       let failed = ref false in
       List.iter
         (fun file ->
@@ -512,8 +520,10 @@ let check_cmd =
               s
             with Sys_error m -> usage m
           in
-          match Rr_check.Harness.replay text with
-          | Ok () -> Printf.printf "rr-check: %s ok\n" file
+          match Rr_check.Harness.replay ?case text with
+          | Ok () ->
+            Printf.printf "rr-check: %s ok%s\n" file
+              (match case with None -> "" | Some c -> " [case " ^ c ^ "]")
           | Error m ->
             Printf.printf "rr-check: %s FAILED: %s\n" file m;
             failed := true)

@@ -196,10 +196,11 @@ let pp_failure fmt f =
 (* ------------------------------------------------------------------ *)
 (* Corpus replay                                                        *)
 
-let replay text =
+let replay ?case text =
   match Instance.of_repro text with
   | Error m -> Error m
   | Ok { r_case; r_instance; r_all_pairs } -> (
+    let r_case = Option.value case ~default:r_case in
     match find_case r_case with
     | None -> Error (Printf.sprintf "unknown case %S in repro" r_case)
     | Some { kind = Raw _; _ } ->

@@ -41,8 +41,14 @@ val run :
 val pp_failure : Format.formatter -> failure -> unit
 (** The deterministic one-line repro header plus the shrunken instance. *)
 
-val replay : string -> (unit, string) result
+val replay : ?case:string -> string -> (unit, string) result
 (** Replay a repro / corpus text produced by {!Instance.to_repro}: run the
     named case's property against the pinned instance ([request=all]
     corpus entries run every ordered node pair).  [Ok ()] means the
-    property holds. *)
+    property holds.
+
+    [?case] overrides the case name recorded in the text, replaying the
+    same pinned instance against a different property — e.g. the NSFNET
+    corpus seeds under [auxcache], which pins the cached auxiliary
+    graph's arc order against a fresh rebuild on real topologies.  The
+    override must name a network-level case. *)

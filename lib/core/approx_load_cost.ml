@@ -24,6 +24,7 @@ let refine net ?workspace ?(obs = Obs.null) ~source ~target links =
     | None ->
       let set = Hashtbl.create 16 in
       List.iter (fun e -> Hashtbl.replace set e ()) links;
+      (* lint: no-thread — ?workspace is statically None in this branch *)
       Layered.optimal net ~link_enabled:(Hashtbl.mem set) ~obs ~source ~target
   in
   match result with

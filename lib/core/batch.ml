@@ -89,7 +89,7 @@ let process ?(order = Fifo) ?obs net policy requests =
         { request = req; solution })
       ordered
   in
-  let admitted = List.length (List.filter (fun o -> o.solution <> None) outcomes) in
+  let admitted = List.length (List.filter (fun o -> Option.is_some o.solution) outcomes) in
   let total_cost =
     List.fold_left
       (fun acc o ->
@@ -155,7 +155,7 @@ let apply ?obs net policy ordered speculative =
         { request = req; solution })
       ordered speculative
   in
-  let admitted = List.length (List.filter (fun o -> o.solution <> None) outcomes) in
+  let admitted = List.length (List.filter (fun o -> Option.is_some o.solution) outcomes) in
   let total_cost =
     List.fold_left
       (fun acc o ->

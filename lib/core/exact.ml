@@ -49,10 +49,11 @@ let route ?max_paths net ~source ~target =
   in
   let arr =
     Array.of_list
-      (List.sort (fun (c1, _, _) (c2, _, _) -> compare c1 c2) assigned)
+      (List.sort (fun (c1, _, _) (c2, _, _) -> Float.compare c1 c2) assigned)
   in
   let np = Array.length arr in
   let disjoint (_, _, m1) (_, _, m2) =
+    (* lint: ordered — conjunction over members, order-insensitive *)
     Hashtbl.fold (fun e () acc -> acc && not (Hashtbl.mem m1 e)) m2 true
   in
   (* Paths are cost-sorted, so for a fixed [i] the first disjoint [j > i]

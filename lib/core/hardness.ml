@@ -86,5 +86,5 @@ let brute_force_decide inst =
   in
   let firsts = enumerate `First and seconds = enumerate `Second in
   List.exists
-    (fun p1 -> List.exists (fun p2 -> List.for_all (fun e -> not (List.mem e p1)) p2) seconds)
+    (fun p1 -> List.exists (fun p2 -> List.for_all (fun e -> not (List.exists (Int.equal e) p1)) p2) seconds)
     firsts

@@ -46,12 +46,13 @@ let add_path_constraints ilp net fam ~source ~target =
       |> List.concat_map (fun e -> lambda_terms net fam e 1.0)
     in
     (* (5)/(6): node-simple paths *)
-    if v <> target && outs <> [] then Rr_ilp.Ilp.add_le ilp outs 1.0;
-    if v <> source && ins <> [] then Rr_ilp.Ilp.add_le ilp ins 1.0;
+    if v <> target && not (List.is_empty outs) then Rr_ilp.Ilp.add_le ilp outs 1.0;
+    if v <> source && not (List.is_empty ins) then Rr_ilp.Ilp.add_le ilp ins 1.0;
     (* (7): conservation at intermediate nodes *)
     if v <> source && v <> target then begin
       let neg = List.map (fun (x, c) -> (x, -.c)) ins in
-      if outs <> [] || ins <> [] then Rr_ilp.Ilp.add_eq ilp (outs @ neg) 0.0
+      if not (List.is_empty outs && List.is_empty ins) then
+        Rr_ilp.Ilp.add_eq ilp (outs @ neg) 0.0
     end;
     (* (8)/(9): unit *net* flow out of s and into t.  Constraining the
        gross flow (out(s) = 1, in(t) = 1) admits spurious solutions made

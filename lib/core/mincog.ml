@@ -21,7 +21,7 @@ let theta_bounds net =
       hi := Float.max !hi v
     end
   done;
-  if !lo = infinity then (1.0, 1.0) else (!lo, !hi)
+  if Float.equal !lo infinity then (1.0, 1.0) else (!lo, !hi)
 
 (* Same screening as {!Approx_cost.refine}: a layered walk that revisits a
    physical link is not a semilightpath and cannot be admitted. *)
@@ -37,6 +37,7 @@ let refine net ?workspace ?(obs = Obs.null) ~source ~target links =
     | None ->
       let set = Hashtbl.create 16 in
       List.iter (fun e -> Hashtbl.replace set e ()) links;
+      (* lint: no-thread — ?workspace is statically None in this branch *)
       Layered.optimal net ~link_enabled:(Hashtbl.mem set) ~obs ~source ~target
   in
   match result with
@@ -134,7 +135,8 @@ let min_bottleneck ?aux_cache ?workspace net ~source ~target =
     for e = 0 to Net.n_links net - 1 do
       if Net.has_available net e then Hashtbl.replace tbl (Net.link_load net e) ()
     done;
-    List.sort compare (Hashtbl.fold (fun l () acc -> l :: acc) tbl [])
+    (* lint: ordered — the fold result is sorted before use *)
+    List.sort Float.compare (Hashtbl.fold (fun l () acc -> l :: acc) tbl [])
   in
   let attempt_level level =
     (* ϑ strictly above [level] but below the next level. *)

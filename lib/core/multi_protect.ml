@@ -55,6 +55,6 @@ let route net ~k ~source ~target =
     in
     (try
        let paths = collect k [] in
-       let sorted = List.sort (fun (_, a) (_, b) -> compare a b) paths in
+       let sorted = List.sort (fun (_, a) (_, b) -> Float.compare a b) paths in
        Some (List.map fst sorted)
      with Exit -> None)

@@ -18,6 +18,7 @@ let refine net ?workspace ?(obs = Obs.null) ~source ~target links =
     | None ->
       let set = Hashtbl.create 16 in
       List.iter (fun e -> Hashtbl.replace set e ()) links;
+      (* lint: no-thread — ?workspace is statically None in this branch *)
       Layered.optimal net ~link_enabled:(Hashtbl.mem set) ~obs ~source ~target
   in
   match result with
@@ -69,4 +70,4 @@ let node_disjoint net sol =
   | Some b ->
     let i1 = internal_nodes net sol.Types.primary in
     let i2 = internal_nodes net b in
-    List.for_all (fun v -> not (List.mem v i2)) i1
+    List.for_all (fun v -> not (List.exists (Int.equal v) i2)) i1

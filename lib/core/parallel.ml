@@ -13,7 +13,7 @@ type t = {
 
 let record_error t exn =
   Mutex.lock t.mutex;
-  if t.error = None then t.error <- Some exn;
+  if Option.is_none t.error then t.error <- Some exn;
   Mutex.unlock t.mutex
 
 (* Each spawned worker handles every job generation exactly once; [seen]
@@ -73,7 +73,7 @@ let run t f =
   if t.size = 1 then f 0
   else begin
     Mutex.lock t.mutex;
-    if t.job <> None || t.stopping then begin
+    if Option.is_some t.job || t.stopping then begin
       Mutex.unlock t.mutex;
       invalid_arg "Parallel.run: pool busy or shut down"
     end;
@@ -115,7 +115,7 @@ let map t ~worker ~f arr =
 
 let shutdown t =
   Mutex.lock t.mutex;
-  if t.job <> None then begin
+  if Option.is_some t.job then begin
     Mutex.unlock t.mutex;
     invalid_arg "Parallel.shutdown: pool busy"
   end;

@@ -18,7 +18,7 @@ type plan = {
 }
 
 let plan_of net placements iterations =
-  let served = List.length (List.filter (fun p -> p.solution <> None) placements) in
+  let served = List.length (List.filter (fun p -> Option.is_some p.solution) placements) in
   let total_cost =
     List.fold_left
       (fun acc p ->
@@ -64,7 +64,7 @@ let local_search ?order ?(policy = Router.Cost_approx)
   in
   let score () =
     let served =
-      Array.fold_left (fun a p -> if p.solution <> None then a + 1 else a) 0 placements
+      Array.fold_left (fun a p -> if Option.is_some p.solution then a + 1 else a) 0 placements
     in
     let cost =
       Array.fold_left
@@ -82,7 +82,7 @@ let local_search ?order ?(policy = Router.Cost_approx)
   let route_one i =
     let req = placements.(i).request in
     match Router.route net reroute_policy ~source:req.Types.src ~target:req.Types.dst with
-    | Some s when Types.validate net req s = Ok () -> Some s
+    | Some s when Result.is_ok (Types.validate net req s) -> Some s
     | _ -> None
   in
   let n = Array.length placements in
@@ -150,7 +150,7 @@ let ilp_joint ?node_limit net r1 r2 =
         (prefix, req, fam))
       [ ("x1", r1); ("y1", r1); ("x2", r2); ("y2", r2) ]
   in
-  let fam_of p = List.find (fun (prefix, _, _) -> prefix = p) fams in
+  let fam_of p = List.find (fun (prefix, _, _) -> String.equal prefix p) fams in
   let _, _, x1 = fam_of "x1" and _, _, y1 = fam_of "y1" in
   let _, _, x2 = fam_of "x2" and _, _, y2 = fam_of "y2" in
   (* per-request edge-disjointness (paper's (16)) *)
@@ -164,7 +164,7 @@ let ilp_joint ?node_limit net r1 r2 =
             List.filter_map Fun.id [ t1; t2 ] @ acc)
           (Net.available net e) []
       in
-      if terms <> [] then Rr_ilp.Ilp.add_le ilp terms 1.0
+      if not (List.is_empty terms) then Rr_ilp.Ilp.add_le ilp terms 1.0
     done
   in
   add_link_exclusion x1 y1;

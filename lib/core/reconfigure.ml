@@ -52,16 +52,19 @@ let reduce_load ?(max_moves = 50) net conns0 =
         if Net.link_load net e >= rho -. 1e-12 then Hashtbl.replace hot e ()
       done;
       let candidates =
+        (* lint: ordered — sorted by connection id below *)
         Hashtbl.fold
           (fun id sol acc ->
             if List.exists (Hashtbl.mem hot) (solution_links sol) then
               (id, sol) :: acc
             else acc)
           conns []
-        |> List.sort (fun (a, _) (b, _) -> compare a b)
+        |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
       in
       let current =
+        (* lint: ordered — sorted by connection id below *)
         Hashtbl.fold (fun id sol acc -> (id, sol) :: acc) conns []
+        |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
       in
       let _, pressure_before = bottleneck_pressure net current in
       (* Re-route preserving the connection's protection shape: protected
@@ -89,13 +92,15 @@ let reduce_load ?(max_moves = 50) net conns0 =
           Types.release net sol;
           let src = Slp.source net sol.Types.primary in
           let dst = Slp.target net sol.Types.primary in
-          match reroute ~protected_:(sol.Types.backup <> None) ~source:src ~target:dst with
+          match reroute ~protected_:(Option.is_some sol.Types.backup) ~source:src ~target:dst with
           | Some fresh
-            when Types.validate net { Types.src = src; dst } fresh = Ok () ->
+            when Result.is_ok (Types.validate net { Types.src = src; dst } fresh) ->
             Types.allocate net fresh;
             Hashtbl.replace conns id fresh;
             let updated =
+              (* lint: ordered — sorted by connection id below *)
               Hashtbl.fold (fun i s acc -> (i, s) :: acc) conns []
+              |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
             in
             let rho', pressure' = bottleneck_pressure net updated in
             if

@@ -29,7 +29,7 @@ let policy_name = function
   | Exact -> "exact"
 
 let policy_of_string s =
-  List.find_opt (fun p -> policy_name p = s) all_policies
+  List.find_opt (fun p -> String.equal (policy_name p) s) all_policies
 
 module Obs = Rr_obs.Obs
 

@@ -53,7 +53,7 @@ let candidate_primaries ?(max_candidates = 64) net ~source ~target =
   paths
   |> List.filter_map (fun links ->
          Option.map (fun (slp, c) -> (c, slp, links)) (Layered.assign_on_path net links))
-  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  |> List.sort (fun (a, _, _) (b, _, _) -> Float.compare a b)
   |> List.filteri (fun i _ -> i < max_candidates)
 
 let backup_against net groups ~source ~target primary_links =
@@ -92,7 +92,7 @@ let route_exact ?max_paths net groups ~source ~target =
       (fun links ->
         Option.map (fun (slp, c) -> (c, slp, links)) (Layered.assign_on_path net links))
       paths
-    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+    |> List.sort (fun (a, _, _) (b, _, _) -> Float.compare a b)
   in
   let arr = Array.of_list assigned in
   let np = Array.length arr in

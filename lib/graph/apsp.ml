@@ -36,7 +36,7 @@ let johnson ?enabled g ~weight =
           in
           Array.init n (fun v ->
               let d = Dijkstra.dist t v in
-              if d = infinity then infinity else d -. h.(s) +. h.(v)))
+              if Float.equal d infinity then infinity else d -. h.(s) +. h.(v)))
     in
     Some dist
   end

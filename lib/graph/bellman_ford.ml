@@ -49,7 +49,7 @@ let run ?enabled g ~weight ~source =
 let shortest_path ?enabled g ~weight ~source ~target =
   let r = run ?enabled g ~weight ~source in
   if r.negative_cycle then failwith "Bellman_ford: negative cycle";
-  if r.dist.(target) = infinity then None
+  if Float.equal r.dist.(target) infinity then None
   else begin
     let rec collect v acc =
       if v = source then acc

@@ -86,6 +86,7 @@ let tree ?enabled ?obs ?workspace g ~weight ~source =
   run ?enabled ?obs ?workspace g ~weight ~source ~target:None
 
 let path_to g t node =
+  (* lint: float-eq — infinity is an exact unreached sentinel *)
   if dist t node = infinity then None
   else begin
     let rec collect v acc =

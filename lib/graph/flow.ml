@@ -129,7 +129,7 @@ let min_cost_flow ?enabled g ~weight ~capacity ~source ~target ~amount =
         loop ()
     in
     loop ();
-    if dist.(target) = infinity then feasible := false
+    if Float.equal dist.(target) infinity then feasible := false
     else begin
       for v = 0 to n - 1 do
         if dist.(v) < infinity then potential.(v) <- potential.(v) +. dist.(v)

@@ -15,7 +15,11 @@
     through to the underlying Dijkstra passes so a long-lived caller reuses
     one set of scratch arrays.  [?obs] records a [kernel.suurballe] span
     around {!edge_disjoint_pair} and is forwarded to the Dijkstra
-    passes. *)
+    passes.
+
+    All entry points raise [Invalid_argument] when [source = target], and
+    on the internal invariant violation of a flow decomposition that gets
+    stuck (which a correct caller never triggers). *)
 
 val edge_disjoint_pair :
   ?enabled:(int -> bool) ->

@@ -1,0 +1,265 @@
+type config = {
+  root : string;
+  dirs : string list;
+  baseline : string option;
+  manifest_path : string option;
+  rules : Finding.rule list;
+  force_untyped : bool;
+  emit_manifest : bool;
+  update_baseline : bool;
+  verbose : bool;
+}
+
+let default =
+  {
+    root = ".";
+    dirs = [];
+    baseline = None;
+    manifest_path = None;
+    rules = Finding.all_rules;
+    force_untyped = false;
+    emit_manifest = false;
+    update_baseline = false;
+    verbose = false;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* File-system walk                                                     *)
+
+let rec walk root rel acc =
+  let abs = if rel = "" then root else Filename.concat root rel in
+  match Sys.readdir abs with
+  | exception Sys_error _ -> acc
+  | entries ->
+    Array.sort String.compare entries;
+    Array.fold_left
+      (fun acc entry ->
+        if entry = "" || entry.[0] = '.' && entry <> "." then
+          (* dune's .objs/.eobjs live under dot-directories; they are
+             reached through the cmt index, not the source walk — but the
+             cmt walk wants them, so the caller picks the filter. *)
+          acc
+        else
+          let rel' = if rel = "" then entry else Filename.concat rel entry in
+          let abs' = Filename.concat root rel' in
+          if Sys.is_directory abs' then walk root rel' acc else rel' :: acc)
+      acc entries
+
+(* The cmt walk must descend into dot-directories (.objs/byte). *)
+let rec walk_all root rel acc =
+  let abs = if rel = "" then root else Filename.concat root rel in
+  match Sys.readdir abs with
+  | exception Sys_error _ -> acc
+  | entries ->
+    Array.sort String.compare entries;
+    Array.fold_left
+      (fun acc entry ->
+        if entry = ".git" then acc
+        else
+          let rel' = if rel = "" then entry else Filename.concat rel entry in
+          let abs' = Filename.concat root rel' in
+          if Sys.is_directory abs' then walk_all root rel' acc
+          else if Filename.check_suffix entry ".cmt" then rel' :: acc
+          else acc)
+      acc entries
+
+let under_dirs dirs file =
+  List.exists
+    (fun d ->
+      let d = if Filename.check_suffix d "/" then d else d ^ "/" in
+      String.length file > String.length d
+      && String.sub file 0 (String.length d) = d)
+    dirs
+
+(* ------------------------------------------------------------------ *)
+(* Baseline                                                             *)
+
+let load_baseline path =
+  match open_in_bin path with
+  | exception Sys_error m -> Error m
+  | ic ->
+    let tbl = Hashtbl.create 64 in
+    (try
+       while true do
+         let line = String.trim (input_line ic) in
+         if line <> "" && line.[0] <> '#' then Hashtbl.replace tbl line ()
+       done
+     with End_of_file -> close_in ic);
+    Ok tbl
+
+let render_baseline findings =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    "# rr_lint baseline: grandfathered findings, one [file [RULE] message]\n\
+     # per line (line/col omitted so unrelated edits cannot resurrect an\n\
+     # entry).  Regenerate with --update-baseline; shrink it over time.\n";
+  List.iter
+    (fun k ->
+      Buffer.add_string b k;
+      Buffer.add_char b '\n')
+    (List.sort_uniq String.compare (List.map Finding.baseline_key findings));
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Run                                                                  *)
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Some s
+
+let run cfg =
+  let usage_error m =
+    Printf.eprintf "rr_lint: %s\n" m;
+    2
+  in
+  if cfg.dirs = [] then usage_error "no directories to lint"
+  else if not (Sys.file_exists cfg.root && Sys.is_directory cfg.root) then
+    usage_error (Printf.sprintf "root %S is not a directory" cfg.root)
+  else begin
+    let missing =
+      List.filter
+        (fun d -> not (Sys.file_exists (Filename.concat cfg.root d)))
+        cfg.dirs
+    in
+    if missing <> [] then
+      usage_error
+        (Printf.sprintf "no such directory under root: %s"
+           (String.concat ", " missing))
+    else begin
+      let manifest =
+        match (cfg.manifest_path, cfg.emit_manifest) with
+        | None, _ | _, true -> Ok None
+        | Some p, false -> (
+          match Probes.load_manifest p with
+          | Ok m -> Ok (Some m)
+          | Error m -> Error m)
+      in
+      let baseline =
+        match (cfg.baseline, cfg.update_baseline) with
+        | None, _ | _, true -> Ok None
+        | Some p, false -> (
+          match load_baseline p with
+          | Ok b -> Ok (Some b)
+          | Error m -> Error m)
+      in
+      match (manifest, baseline) with
+      | Error m, _ -> usage_error (Printf.sprintf "cannot read manifest: %s" m)
+      | _, Error m -> usage_error (Printf.sprintf "cannot read baseline: %s" m)
+      | Ok manifest, Ok baseline ->
+        let source_info = Source_info.create ~root:cfg.root in
+        let findings = ref [] in
+        let probes = ref [] in
+        let covered : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+        let typed = ref 0 and untyped = ref 0 in
+        (* Typed pass over every cmt whose source is in scope. *)
+        if not cfg.force_untyped then
+          List.iter
+            (fun cmt_rel ->
+              match Cmt_format.read_cmt (Filename.concat cfg.root cmt_rel) with
+              | exception _ -> ()
+              | cmt -> (
+                match cmt.Cmt_format.cmt_sourcefile with
+                | Some src
+                  when Filename.check_suffix src ".ml"
+                       && under_dirs cfg.dirs src
+                       && Source_info.file_exists source_info src
+                       && not (Hashtbl.mem covered src) ->
+                  Hashtbl.replace covered src ();
+                  incr typed;
+                  if cfg.verbose then
+                    Printf.eprintf "rr_lint: typed   %s (%s)\n" src cmt_rel;
+                  let fs, ps =
+                    Typed_pass.scan ~source_info ~manifest ~rules:cfg.rules
+                      ~file:src cmt
+                  in
+                  findings := fs :: !findings;
+                  probes := ps :: !probes
+                | _ -> ()))
+            (walk_all cfg.root "" []);
+        (* Fallback for sources the cmt index does not cover. *)
+        List.iter
+          (fun dir ->
+            List.iter
+              (fun rel ->
+                if
+                  Filename.check_suffix rel ".ml"
+                  && not (Hashtbl.mem covered rel)
+                then begin
+                  Hashtbl.replace covered rel ();
+                  incr untyped;
+                  if cfg.verbose then
+                    Printf.eprintf "rr_lint: untyped %s\n" rel;
+                  match read_file (Filename.concat cfg.root rel) with
+                  | None -> ()
+                  | Some text -> (
+                    match
+                      Untyped_pass.scan ~source_info ~manifest
+                        ~rules:cfg.rules ~file:rel text
+                    with
+                    | Ok (fs, ps) ->
+                      findings := fs :: !findings;
+                      probes := ps :: !probes
+                    | Error m ->
+                      Printf.eprintf "rr_lint: %s: parse error (%s), skipped\n"
+                        rel m)
+                end)
+              (List.map (Filename.concat dir)
+                 (walk (Filename.concat cfg.root dir) "" [])))
+          cfg.dirs;
+        let findings =
+          List.sort_uniq Finding.compare (List.concat !findings)
+        in
+        let probes = List.concat !probes in
+        if cfg.emit_manifest then begin
+          print_string (Probes.render_manifest probes);
+          0
+        end
+        else if cfg.update_baseline then begin
+          match cfg.baseline with
+          | None -> usage_error "--update-baseline requires --baseline FILE"
+          | Some p ->
+            let oc = open_out_bin p in
+            output_string oc (render_baseline findings);
+            close_out oc;
+            Printf.printf "rr_lint: baseline %s updated with %d finding(s)\n" p
+              (List.length findings);
+            0
+        end
+        else begin
+          let is_baselined f =
+            match baseline with
+            | None -> false
+            | Some b -> Hashtbl.mem b (Finding.baseline_key f)
+          in
+          let fresh = List.filter (fun f -> not (is_baselined f)) findings in
+          List.iter (fun f -> print_endline (Finding.to_string f)) fresh;
+          let stale =
+            match baseline with
+            | None -> 0
+            | Some b ->
+              let live = Hashtbl.create 64 in
+              List.iter
+                (fun f -> Hashtbl.replace live (Finding.baseline_key f) ())
+                findings;
+              Hashtbl.fold
+                (fun k () n -> if Hashtbl.mem live k then n else n + 1)
+                b 0
+          in
+          Printf.printf
+            "rr_lint: %d file(s) (%d typed, %d untyped), %d finding(s): %d \
+             baselined, %d new%s\n"
+            (Hashtbl.length covered) !typed !untyped (List.length findings)
+            (List.length findings - List.length fresh)
+            (List.length fresh)
+            (if stale > 0 then
+               Printf.sprintf " (%d stale baseline entrie(s))" stale
+             else "");
+          if fresh <> [] then 1 else 0
+        end
+    end
+  end

@@ -1,0 +1,35 @@
+(** Orchestration: source discovery, cmt lookup, baseline, reporting.
+
+    The scan walks the lint root for [.cmt] files (dune keeps them in
+    [.objs/byte] / [.eobjs/byte]), indexes them by the source path they
+    were compiled from, runs the typed pass on every requested source
+    that has one and the ppxlib fallback on any that does not.  Intended
+    to run from the build context root ([_build/default]) where both the
+    artefacts and the copied sources live — the [@lint] alias does
+    exactly that.
+
+    Exit-code contract (the [rr check]/bench convention):
+    0 — no non-baselined findings; 1 — new findings; 2 — bad usage
+    (including an unreadable baseline or manifest). *)
+
+type config = {
+  root : string;           (** directory holding sources and artefacts *)
+  dirs : string list;      (** subtrees to lint, e.g. [["lib"; "bin"]] *)
+  baseline : string option;
+      (** grandfathered-finding file, relative to the working directory
+          (not [root], which may be a build context) *)
+  manifest_path : string option;
+      (** probe manifest for R4 registration, relative to the working
+          directory *)
+  rules : Finding.rule list;    (** enabled rules *)
+  force_untyped : bool;    (** skip cmt discovery: ppxlib fallback only *)
+  emit_manifest : bool;    (** print a fresh probe manifest and stop *)
+  update_baseline : bool;  (** rewrite [baseline] from current findings *)
+  verbose : bool;
+}
+
+val default : config
+
+val run : config -> int
+(** Prints findings and a summary to stdout (diagnostics to stderr) and
+    returns the exit code. *)

@@ -1,0 +1,47 @@
+type rule = R1 | R2 | R3 | R4 | R5
+
+let rule_id = function
+  | R1 -> "R1"
+  | R2 -> "R2"
+  | R3 -> "R3"
+  | R4 -> "R4"
+  | R5 -> "R5"
+
+let rule_of_string = function
+  | "R1" -> Some R1
+  | "R2" -> Some R2
+  | "R3" -> Some R3
+  | "R4" -> Some R4
+  | "R5" -> Some R5
+  | _ -> None
+
+let all_rules = [ R1; R2; R3; R4; R5 ]
+
+type t = {
+  file : string;
+  line : int;
+  col : int;
+  rule : rule;
+  message : string;
+}
+
+let v ~file ~line ~col rule message = { file; line; col; rule; message }
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c
+      else
+        let c = String.compare (rule_id a.rule) (rule_id b.rule) in
+        if c <> 0 then c else String.compare a.message b.message
+
+let to_string t =
+  Printf.sprintf "%s:%d:%d [%s] %s" t.file t.line t.col (rule_id t.rule)
+    t.message
+
+let baseline_key t = Printf.sprintf "%s [%s] %s" t.file (rule_id t.rule) t.message

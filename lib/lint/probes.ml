@@ -1,0 +1,42 @@
+let seg_ok s =
+  String.length s > 0
+  && (match s.[0] with 'a' .. 'z' -> true | _ -> false)
+  && String.for_all
+       (function 'a' .. 'z' | '0' .. '9' | '_' -> true | _ -> false)
+       s
+
+let grammar_ok name =
+  let segs = String.split_on_char '.' name in
+  let n = List.length segs in
+  n >= 2 && n <= 4 && List.for_all seg_ok segs
+
+type manifest = (string, unit) Hashtbl.t
+
+let load_manifest path =
+  match open_in_bin path with
+  | exception Sys_error m -> Error m
+  | ic ->
+    let tbl = Hashtbl.create 64 in
+    (try
+       while true do
+         let line = String.trim (input_line ic) in
+         if line <> "" && line.[0] <> '#' then Hashtbl.replace tbl line ()
+       done
+     with End_of_file -> close_in ic);
+    Ok tbl
+
+let registered m name = Hashtbl.mem m name
+
+let render_manifest names =
+  let sorted = List.sort_uniq String.compare names in
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    "# Probe-name manifest (rule R4).  Regenerate with:\n\
+     #   dune exec tools/rr_lint/main.exe -- --root . --emit-manifest lib bin\n\
+     # (run from _build/default, or any tree holding the built .cmt files)\n";
+  List.iter
+    (fun n ->
+      Buffer.add_string b n;
+      Buffer.add_char b '\n')
+    sorted;
+  Buffer.contents b

@@ -1,0 +1,23 @@
+(** Probe-name registry for rule R4.
+
+    Probe names (the string literals fed to [Obs.stop]/[Obs.add]/…) must
+    (a) match the naming-convention grammar documented in [obs.mli] —
+    lowercase dot-separated segments, [family.name] or
+    [family.name.detail] — and (b) be registered in the checked-in
+    manifest, regenerated with [rr_lint --emit-manifest] whenever a probe
+    is added deliberately. *)
+
+val grammar_ok : string -> bool
+(** [seg(.seg){1,3}] where [seg] is [[a-z][a-z0-9_]*]. *)
+
+type manifest
+
+val load_manifest : string -> (manifest, string) result
+(** One probe name per line; ['#'] lines and blanks ignored.  [Error]
+    carries a message when the file is unreadable. *)
+
+val registered : manifest -> string -> bool
+
+val render_manifest : string list -> string
+(** Sorted, de-duplicated manifest text (with a header comment) from the
+    probe literals collected during a scan. *)

@@ -1,0 +1,17 @@
+let has_prefix ~prefix s =
+  let pl = String.length prefix in
+  String.length s >= pl && String.sub s 0 pl = prefix
+
+let determinism file =
+  List.exists
+    (fun d -> has_prefix ~prefix:(d ^ "/") file)
+    [ "lib/graph"; "lib/wdm"; "lib/core"; "lib/sim"; "lib/util" ]
+
+let hot_kernel file =
+  List.mem file
+    [ "lib/graph/dijkstra.ml"; "lib/graph/suurballe.ml"; "lib/wdm/layered.ml" ]
+
+let optional_labels = [ "obs"; "workspace"; "aux_cache" ]
+
+let probe_functions =
+  [ "Obs.stop"; "Obs.add"; "Obs.gauge"; "Obs.observe_ns"; "Obs.span" ]

@@ -1,0 +1,23 @@
+(** Which rule applies to which part of the tree.
+
+    Paths are relative to the lint root, ['/']-separated, as recorded in
+    the [.cmt] files ([lib/wdm/auxiliary.ml]).
+
+    - R1/R2 (determinism): the libraries whose outputs must be
+      byte-identical across the cached, batch and sequential engines —
+      [lib/graph], [lib/wdm], [lib/core], [lib/sim] — plus [lib/util],
+      whose containers and RNG feed all of them.
+    - R3 (instrumentation threading) and R4 (probe names): all scanned
+      code.
+    - R5 (hot-path purity): the three search kernels on the per-request
+      hot path. *)
+
+val determinism : string -> bool
+val hot_kernel : string -> bool
+
+val optional_labels : string list
+(** The threaded optionals R3 tracks: [obs], [workspace], [aux_cache]. *)
+
+val probe_functions : string list
+(** Suffixes of resolved paths whose second positional argument is a
+    probe name ([Obs.stop], [Obs.add], …). *)

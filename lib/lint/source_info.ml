@@ -1,0 +1,84 @@
+type t = {
+  root : string;
+  (* file (relative) -> lines, or None when unreadable *)
+  files : (string, string array option) Hashtbl.t;
+}
+
+let create ~root = { root; files = Hashtbl.create 64 }
+
+let read_lines path =
+  match open_in_bin path with
+  | exception Sys_error _ -> None
+  | ic ->
+    let rec go acc =
+      match input_line ic with
+      | line -> go (line :: acc)
+      | exception End_of_file ->
+        close_in ic;
+        Some (Array.of_list (List.rev acc))
+    in
+    go []
+
+let lines t file =
+  match Hashtbl.find_opt t.files file with
+  | Some v -> v
+  | None ->
+    let v = read_lines (Filename.concat t.root file) in
+    Hashtbl.replace t.files file v;
+    v
+
+let file_exists t rel = Sys.file_exists (Filename.concat t.root rel)
+
+(* Match "(* lint: <tag> *)" with flexible interior whitespace. *)
+let has_tag line tag =
+  let needle = "lint:" in
+  let nlen = String.length needle and llen = String.length line in
+  let rec find i =
+    if i + nlen > llen then false
+    else if String.sub line i nlen = needle then begin
+      (* skip whitespace, then require the tag word *)
+      let j = ref (i + nlen) in
+      while !j < llen && (line.[!j] = ' ' || line.[!j] = '\t') do incr j done;
+      let tlen = String.length tag in
+      if
+        !j + tlen <= llen
+        && String.sub line !j tlen = tag
+        && (!j + tlen = llen
+            || not
+                 (match line.[!j + tlen] with
+                  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' -> true
+                  | _ -> false))
+      then true
+      else find (i + 1)
+    end
+    else find (i + 1)
+  in
+  find 0
+
+let justified t ~file ~line ~tag =
+  match lines t file with
+  | None -> false
+  | Some ls ->
+    let check n = n >= 1 && n <= Array.length ls && has_tag ls.(n - 1) tag in
+    check line || check (line - 1)
+
+let mli_declares t ~ml_file name =
+  let mli =
+    if Filename.check_suffix ml_file ".ml" then
+      Filename.chop_suffix ml_file ".ml" ^ ".mli"
+    else ml_file ^ "i"
+  in
+  match lines t mli with
+  | None -> false
+  | Some ls ->
+    let nlen = String.length name in
+    Array.exists
+      (fun l ->
+        let llen = String.length l in
+        let rec find i =
+          if i + nlen > llen then false
+          else if String.sub l i nlen = name then true
+          else find (i + 1)
+        in
+        nlen > 0 && find 0)
+      ls

@@ -1,0 +1,25 @@
+(** Access to the source text behind the ASTs: justification comments and
+    [.mli] raise declarations.
+
+    Both lookups read files relative to the lint root lazily and cache
+    them, so rules can probe per-callsite without re-reading files. *)
+
+type t
+
+val create : root:string -> t
+
+val file_exists : t -> string -> bool
+(** [file_exists t rel] — does [root/rel] exist? *)
+
+val justified : t -> file:string -> line:int -> tag:string -> bool
+(** True when the source line [line] of [file] (relative to the root), or
+    the line directly above it, carries the comment [(* lint: <tag> *)].
+    Whitespace inside the comment is flexible; the tag match is exact.
+    Unreadable files never justify anything. *)
+
+val mli_declares : t -> ml_file:string -> string -> bool
+(** [mli_declares t ~ml_file name] — true when the sibling interface of
+    [ml_file] ([foo.mli] next to [foo.ml]) mentions [name] anywhere in its
+    text, e.g. an exception name cited in a doc comment ([Raises
+    [Invalid_argument] ...]).  A module without an [.mli] declares
+    nothing. *)

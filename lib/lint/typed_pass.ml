@@ -1,0 +1,274 @@
+open Typedtree
+
+(* ------------------------------------------------------------------ *)
+(* Type inspection                                                      *)
+
+let rec head ty =
+  match Types.get_desc ty with Tpoly (t, _) -> head t | d -> d
+
+(* Run-time-immediate builtins; a [compare] instantiated at one of these
+   cannot observe representation differences.  Abbreviations to [int]
+   cannot be expanded without a full typing environment, so an aliased
+   immediate is (conservatively) reported and belongs in the baseline. *)
+let immediate ty =
+  match head ty with
+  | Types.Tconstr (p, _, _) ->
+    List.mem (Path.name p) [ "int"; "bool"; "char"; "unit" ]
+  | _ -> false
+
+let is_tyvar ty =
+  match head ty with Types.Tvar _ | Types.Tunivar _ -> true | _ -> false
+
+let is_float ty =
+  match head ty with
+  | Types.Tconstr (p, _, _) -> Path.name p = "float"
+  | _ -> false
+
+let first_arg ty =
+  match head ty with Types.Tarrow (_, a, _, _) -> Some a | _ -> None
+
+let rec accepts_optional ty l =
+  match head ty with
+  | Types.Tarrow (Asttypes.Optional l', _, _, _) when String.equal l' l -> true
+  | Types.Tarrow (_, _, rest, _) -> accepts_optional rest l
+  | _ -> false
+
+let pp_type ty = Format.asprintf "%a" Printtyp.type_expr ty
+
+(* Resolved-path names: [Path.name] renders [Stdlib.List.mem] for the
+   stdlib and [Obs.stop] through a [module Obs = Rr_obs.Obs] alias. *)
+let path_suffix name suffix =
+  let nl = String.length name and sl = String.length suffix in
+  nl >= sl
+  && String.sub name (nl - sl) sl = suffix
+  && (nl = sl || name.[nl - sl - 1] = '.')
+
+(* ------------------------------------------------------------------ *)
+(* Scan                                                                 *)
+
+let scan ~source_info ~manifest ~rules ~file cmt =
+  match cmt.Cmt_format.cmt_annots with
+  | Cmt_format.Implementation str ->
+    let findings = ref [] in
+    let probes = ref [] in
+    let local_exns : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+    let opt_stack = ref [] in
+    let determinism = Scope.determinism file in
+    let hot = Scope.hot_kernel file in
+    let emit rule (loc : Location.t) fmt =
+      Printf.ksprintf
+        (fun msg ->
+          if List.mem rule rules then
+            findings :=
+              Finding.v ~file ~line:loc.loc_start.pos_lnum
+                ~col:(loc.loc_start.pos_cnum - loc.loc_start.pos_bol)
+                rule msg
+              :: !findings)
+        fmt
+    in
+    let justified (loc : Location.t) tag =
+      Source_info.justified source_info ~file ~line:loc.loc_start.pos_lnum ~tag
+    in
+    let mli_declares name = Source_info.mli_declares source_info ~ml_file:file name in
+    (* R1 — polymorphic structural comparison on boxed values: iteration
+       or representation details leak into routing decisions. *)
+    let check_poly_compare loc what ty =
+      match first_arg ty with
+      | None -> ()
+      | Some a ->
+        if not (immediate a || is_tyvar a) then
+          if is_float a && hot && (what = "=" || what = "<>") then
+            () (* reported once, by R5, as a float-equality finding *)
+          else
+            emit Finding.R1 loc
+              "polymorphic %s on %s; use a monomorphic %s" what (pp_type a)
+              (if what = "compare" then "compare (Int.compare, Float.compare, ...)"
+               else "equality (Int.equal, String.equal, a pattern match, ...)")
+    in
+    let check_ident (e : expression) p =
+      let name = Path.name p in
+      (if determinism then
+         match name with
+         | "Stdlib.compare" -> check_poly_compare e.exp_loc "compare" e.exp_type
+         | "Stdlib.=" -> check_poly_compare e.exp_loc "=" e.exp_type
+         | "Stdlib.<>" -> check_poly_compare e.exp_loc "<>" e.exp_type
+         | "Stdlib.Hashtbl.hash" -> (
+           match first_arg e.exp_type with
+           | Some a when not (immediate a || is_tyvar a) ->
+             emit Finding.R1 e.exp_loc
+               "polymorphic Hashtbl.hash on %s; hash an explicit immediate key"
+               (pp_type a)
+           | _ -> ())
+         | "Stdlib.List.mem" ->
+           (* Banned outright: it compares with polymorphic equality and
+              scans linearly, both hazards on a decision path. *)
+           emit Finding.R1 e.exp_loc
+             "List.mem uses polymorphic equality; use explicit int-keyed \
+              membership (Bitset, an int-keyed Hashtbl, or List.exists with \
+              a monomorphic equality)"
+         | "Stdlib.Hashtbl.iter" | "Stdlib.Hashtbl.fold" ->
+           if not (justified e.exp_loc "ordered") then
+             emit Finding.R2 e.exp_loc
+               "%s iterates in unspecified hash order; build from a sorted \
+                key list, or justify an order-insensitive use with (* lint: \
+                ordered *)"
+               (Filename.extension name |> fun s ->
+                "Hashtbl" ^ s)
+         | _ -> ());
+      if hot then
+        match name with
+        | "Stdlib.failwith" ->
+          if not (mli_declares "Failure") then
+            emit Finding.R5 e.exp_loc
+              "failwith in a hot kernel; return an option/result or declare \
+               Failure in the .mli doc"
+        | "Stdlib.invalid_arg" ->
+          if not (mli_declares "Invalid_argument") then
+            emit Finding.R5 e.exp_loc
+              "invalid_arg in a hot kernel without Invalid_argument declared \
+               in the .mli doc"
+        | "Stdlib.=" | "Stdlib.<>" -> (
+          match first_arg e.exp_type with
+          | Some a when is_float a ->
+            if not (justified e.exp_loc "float-eq") then
+              emit Finding.R5 e.exp_loc
+                "float %s in a hot kernel; compare against a sentinel with \
+                 (* lint: float-eq *) justification or restructure"
+                (if name = "Stdlib.=" then "=" else "<>")
+          | _ -> ())
+        | _ -> ()
+    in
+    let callee_name (f : expression) =
+      match f.exp_desc with
+      | Texp_ident (p, _, _) -> Path.name p
+      | _ -> "<function>"
+    in
+    let rec probe_literals (e : expression) =
+      match e.exp_desc with
+      | Texp_constant (Asttypes.Const_string (s, _, _)) -> [ s ]
+      | Texp_ifthenelse (_, a, Some b) -> probe_literals a @ probe_literals b
+      | Texp_ifthenelse (_, a, None) -> probe_literals a
+      | Texp_sequence (_, b) -> probe_literals b
+      | Texp_match (_, cases, _) ->
+        List.concat_map (fun c -> probe_literals c.c_rhs) cases
+      | _ -> []
+    in
+    let check_apply (e : expression) (f : expression) args =
+      (* R3 — a function that accepts a threaded optional must pass it on
+         to every callee that accepts the same optional.  A dropped
+         optional shows up as a compiler-inserted ghost [None]; a partial
+         application that still expects it is left alone. *)
+      List.iter
+        (fun l ->
+          if accepts_optional f.exp_type l then begin
+            let supplied =
+              List.exists
+                (fun (lbl, arg) ->
+                  lbl = Asttypes.Optional l
+                  &&
+                  match arg with
+                  | Some (a : expression) -> not a.exp_loc.Location.loc_ghost
+                  | None -> false)
+                args
+            in
+            let still_pending = accepts_optional e.exp_type l in
+            if (not supplied) && (not still_pending)
+               && not (justified e.exp_loc "no-thread")
+            then
+              emit Finding.R3 e.exp_loc
+                "?%s is in scope but not forwarded to %s (which accepts ?%s); \
+                 pass ?%s or justify with (* lint: no-thread *)"
+                l (callee_name f) l l
+          end)
+        (List.sort_uniq String.compare !opt_stack);
+      (* R4 — probe-name literals. *)
+      (match f.exp_desc with
+       | Texp_ident (p, _, _)
+         when List.exists (path_suffix (Path.name p)) Scope.probe_functions -> (
+         let positional =
+           List.filter_map
+             (fun (lbl, arg) ->
+               match (lbl, arg) with
+               | Asttypes.Nolabel, Some a -> Some a
+               | _ -> None)
+             args
+         in
+         match positional with
+         | _ :: name_arg :: _ -> (
+           match probe_literals name_arg with
+           | [] ->
+             emit Finding.R4 name_arg.exp_loc
+               "probe name passed to %s is not a static string literal"
+               (Path.name p)
+           | lits ->
+             List.iter
+               (fun lit ->
+                 probes := lit :: !probes;
+                 if not (Probes.grammar_ok lit) then
+                   emit Finding.R4 name_arg.exp_loc
+                     "probe name %S violates the obs.mli naming grammar \
+                      (lowercase dot-separated segments, 2-4 deep)"
+                     lit
+                 else
+                   match manifest with
+                   | Some m when not (Probes.registered m lit) ->
+                     emit Finding.R4 name_arg.exp_loc
+                       "probe name %S is not registered in the probe \
+                        manifest; regenerate it with --emit-manifest"
+                       lit
+                   | _ -> ())
+               lits)
+         | _ -> ())
+       | _ -> ());
+      (* R5 — raising a non-local, undeclared exception in a hot kernel. *)
+      if hot then
+        match callee_name f with
+        | "Stdlib.raise" | "Stdlib.raise_notrace" -> (
+          match
+            List.filter_map
+              (fun (lbl, arg) ->
+                match (lbl, arg) with
+                | Asttypes.Nolabel, Some a -> Some a
+                | _ -> None)
+              args
+          with
+          | { exp_desc = Texp_construct (_, cstr, _); _ } :: _ ->
+            let exn = cstr.Types.cstr_name in
+            if
+              not (Hashtbl.mem local_exns exn)
+              && not (mli_declares exn)
+            then
+              emit Finding.R5 e.exp_loc
+                "raise %s in a hot kernel; the exception is neither local \
+                 nor declared in the .mli doc"
+                exn
+          | _ -> () (* re-raise of a caught exception value *))
+        | _ -> ()
+    in
+    let default = Tast_iterator.default_iterator in
+    let expr it (e : expression) =
+      (match e.exp_desc with
+       | Texp_ident (p, _, _) -> check_ident e p
+       | Texp_apply (f, args) -> check_apply e f args
+       | Texp_letexception (ext, _) ->
+         Hashtbl.replace local_exns (Ident.name ext.ext_id) ()
+       | _ -> ());
+      match e.exp_desc with
+      | Texp_function { arg_label = Asttypes.Optional l; _ }
+        when List.mem l Scope.optional_labels ->
+        opt_stack := l :: !opt_stack;
+        default.expr it e;
+        opt_stack := List.tl !opt_stack
+      | _ -> default.expr it e
+    in
+    let structure_item it si =
+      (match si.str_desc with
+       | Tstr_exception te ->
+         Hashtbl.replace local_exns (Ident.name te.tyexn_constructor.ext_id) ()
+       | _ -> ());
+      default.structure_item it si
+    in
+    let it = { default with expr; structure_item } in
+    it.structure it str;
+    (List.rev !findings, List.rev !probes)
+  | _ -> ([], [])

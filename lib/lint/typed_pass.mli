@@ -1,0 +1,19 @@
+(** The typed rule pass: R1–R5 over a module's [.cmt] typed AST.
+
+    Types let the pass distinguish a polymorphic [compare] instantiated
+    at [int] (harmless) from one instantiated at a boxed type (a
+    determinism hazard), recover the optional-argument labels a callee
+    accepts for the R3 threading check, and see the compiler-inserted
+    ghost [None] of a dropped optional argument. *)
+
+val scan :
+  source_info:Source_info.t ->
+  manifest:Probes.manifest option ->
+  rules:Finding.rule list ->
+  file:string ->
+  Cmt_format.cmt_infos ->
+  Finding.t list * string list
+(** [scan … ~file cmt] returns the findings for [file] (the source path
+    the cmt was compiled from, relative to the lint root) plus every
+    probe-name literal seen — the input to [--emit-manifest].  A cmt that
+    does not hold an implementation yields nothing. *)

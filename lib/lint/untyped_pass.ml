@@ -1,0 +1,173 @@
+open Ppxlib
+
+let rec flatten = function
+  | Lident s -> s
+  | Ldot (l, s) -> flatten l ^ "." ^ s
+  | Lapply _ -> "<apply>"
+
+let path_suffix name suffix =
+  let nl = String.length name and sl = String.length suffix in
+  nl >= sl
+  && String.sub name (nl - sl) sl = suffix
+  && (nl = sl || name.[nl - sl - 1] = '.')
+
+let is_float_literal (e : expression) =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | _ -> false
+
+let scan ~source_info ~manifest ~rules ~file text =
+  match
+    Parse.implementation (Lexing.from_string text)
+  with
+  | exception e -> Error (Printexc.to_string e)
+  | str ->
+    let findings = ref [] in
+    let probes = ref [] in
+    let local_exns : (string, unit) Hashtbl.t = Hashtbl.create 8 in
+    let determinism = Scope.determinism file in
+    let hot = Scope.hot_kernel file in
+    let emit rule (loc : Location.t) fmt =
+      Printf.ksprintf
+        (fun msg ->
+          if List.mem rule rules then
+            findings :=
+              Finding.v ~file ~line:loc.loc_start.pos_lnum
+                ~col:(loc.loc_start.pos_cnum - loc.loc_start.pos_bol)
+                rule msg
+              :: !findings)
+        fmt
+    in
+    let justified (loc : Location.t) tag =
+      Source_info.justified source_info ~file ~line:loc.loc_start.pos_lnum ~tag
+    in
+    let mli_declares name =
+      Source_info.mli_declares source_info ~ml_file:file name
+    in
+    let check_ident (loc : Location.t) name =
+      (if determinism then
+         if path_suffix name "List.mem" then
+           emit Finding.R1 loc
+             "List.mem uses polymorphic equality; use explicit int-keyed \
+              membership (Bitset, an int-keyed Hashtbl, or List.exists with \
+              a monomorphic equality)"
+         else if path_suffix name "Hashtbl.hash" then
+           emit Finding.R1 loc
+             "polymorphic Hashtbl.hash; hash an explicit immediate key"
+         else if path_suffix name "Hashtbl.iter" || path_suffix name "Hashtbl.fold"
+         then
+           if not (justified loc "ordered") then
+             emit Finding.R2 loc
+               "%s iterates in unspecified hash order; build from a sorted \
+                key list, or justify an order-insensitive use with (* lint: \
+                ordered *)"
+               (if path_suffix name "Hashtbl.iter" then "Hashtbl.iter"
+                else "Hashtbl.fold"));
+      if hot then
+        if name = "failwith" then begin
+          if not (mli_declares "Failure") then
+            emit Finding.R5 loc
+              "failwith in a hot kernel; return an option/result or declare \
+               Failure in the .mli doc"
+        end
+        else if name = "invalid_arg" then
+          if not (mli_declares "Invalid_argument") then
+            emit Finding.R5 loc
+              "invalid_arg in a hot kernel without Invalid_argument declared \
+               in the .mli doc"
+    in
+    let rec probe_literals (e : expression) =
+      match e.pexp_desc with
+      | Pexp_constant (Pconst_string (s, _, _)) -> [ s ]
+      | Pexp_ifthenelse (_, a, Some b) -> probe_literals a @ probe_literals b
+      | Pexp_ifthenelse (_, a, None) -> probe_literals a
+      | Pexp_sequence (_, b) -> probe_literals b
+      | Pexp_match (_, cases) ->
+        List.concat_map (fun c -> probe_literals c.pc_rhs) cases
+      | _ -> []
+    in
+    let check_apply (e : expression) name args =
+      (if List.exists (path_suffix name) Scope.probe_functions then
+         let positional =
+           List.filter_map
+             (fun (lbl, a) -> match lbl with Nolabel -> Some a | _ -> None)
+             args
+         in
+         match positional with
+         | _ :: (name_arg : expression) :: _ -> (
+           match probe_literals name_arg with
+           | [] ->
+             emit Finding.R4 name_arg.pexp_loc
+               "probe name passed to %s is not a static string literal" name
+           | lits ->
+             List.iter
+               (fun lit ->
+                 probes := lit :: !probes;
+                 if not (Probes.grammar_ok lit) then
+                   emit Finding.R4 name_arg.pexp_loc
+                     "probe name %S violates the obs.mli naming grammar \
+                      (lowercase dot-separated segments, 2-4 deep)"
+                     lit
+                 else
+                   match manifest with
+                   | Some m when not (Probes.registered m lit) ->
+                     emit Finding.R4 name_arg.pexp_loc
+                       "probe name %S is not registered in the probe \
+                        manifest; regenerate it with --emit-manifest"
+                       lit
+                   | _ -> ())
+               lits)
+         | _ -> ());
+      if hot then
+        if name = "raise" || name = "raise_notrace" then
+          match
+            List.filter_map
+              (fun (lbl, a) -> match lbl with Nolabel -> Some a | _ -> None)
+              args
+          with
+          | { pexp_desc = Pexp_construct ({ txt; _ }, _); _ } :: _ ->
+            let exn = Longident.last_exn txt in
+            if (not (Hashtbl.mem local_exns exn)) && not (mli_declares exn)
+            then
+              emit Finding.R5 e.pexp_loc
+                "raise %s in a hot kernel; the exception is neither local \
+                 nor declared in the .mli doc"
+                exn
+          | _ -> ()
+        else if (name = "=" || name = "<>") && List.length args = 2 then
+          if
+            List.exists
+              (fun (_, (a : expression)) -> is_float_literal a)
+              args
+            && not (justified e.pexp_loc "float-eq")
+          then
+            emit Finding.R5 e.pexp_loc
+              "float %s in a hot kernel; compare against a sentinel with (* \
+               lint: float-eq *) justification or restructure"
+              name
+    in
+    let iter =
+      object (self)
+        inherit Ast_traverse.iter as super
+
+        method! expression e =
+          (match e.pexp_desc with
+           | Pexp_ident { txt; _ } -> check_ident e.pexp_loc (flatten txt)
+           | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, args) ->
+             check_apply e (flatten txt) args
+           | Pexp_letexception (ext, _) ->
+             Hashtbl.replace local_exns ext.pext_name.txt ()
+           | _ -> ());
+          ignore self;
+          super#expression e
+
+        method! structure_item si =
+          (match si.pstr_desc with
+           | Pstr_exception te ->
+             Hashtbl.replace local_exns te.ptyexn_constructor.pext_name.txt ()
+           | _ -> ());
+          super#structure_item si
+      end
+    in
+    iter#structure str;
+    Ok (List.rev !findings, List.rev !probes)

@@ -1,0 +1,18 @@
+(** Untyped fallback pass (ppxlib parse) for sources without a [.cmt].
+
+    Runs the rules that survive without types: R2 and the syntactic part
+    of R1 ([List.mem]/[Hashtbl.hash] are banned by name; the
+    type-sensitive [=]/[compare] checks need the typed pass), R4, and R5
+    (where the float-equality check degrades to literal-operand
+    detection).  R3 needs callee types and is typed-only. *)
+
+val scan :
+  source_info:Source_info.t ->
+  manifest:Probes.manifest option ->
+  rules:Finding.rule list ->
+  file:string ->
+  string ->
+  (Finding.t list * string list, string) result
+(** [scan … ~file text] parses [text] (the contents of [file], relative
+    to the lint root) and returns findings plus probe literals, or
+    [Error] on a syntax error. *)

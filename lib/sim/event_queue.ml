@@ -22,17 +22,17 @@ let next t =
   | Some (time, (seq, ev)) ->
     let rec collect acc =
       match H.find_min t.heap with
-      | Some (time', _) when time' = time ->
+      | Some (time', _) when Float.equal time' time ->
         (match H.pop_min t.heap with
          | Some (_, entry) -> collect (entry :: acc)
          | None -> acc)
       | _ -> acc
     in
     let ties = collect [] in
-    if ties = [] then Some (time, ev)
+    if List.is_empty ties then Some (time, ev)
     else begin
       let all = (seq, ev) :: ties in
-      let sorted = List.sort (fun (a, _) (b, _) -> compare a b) all in
+      let sorted = List.sort (fun (a, _) (b, _) -> Int.compare a b) all in
       match sorted with
       | first :: rest ->
         List.iter (fun entry -> ignore (H.insert t.heap time entry)) rest;

@@ -27,7 +27,7 @@ let create net = { net; slots = Hashtbl.create 64; conns = Hashtbl.create 64 }
 let network t = t.net
 
 let disjoint_from_primary slot primary_links =
-  List.for_all (fun e -> not (List.mem e slot.union_primaries)) primary_links
+  List.for_all (fun e -> not (List.exists (Int.equal e) slot.union_primaries)) primary_links
 
 (* Choose wavelengths along [links] minimising fresh-capacity use: joining
    a compatible shared slot costs 0, claiming a free wavelength costs 1.
@@ -100,7 +100,7 @@ let admit t ~conn ~primary ~backup_links =
   if Hashtbl.mem t.conns conn then
     invalid_arg "Shared_protection.admit: duplicate connection id";
   let primary_links = Slp.links primary in
-  if List.exists (fun e -> List.mem e primary_links) backup_links then
+  if List.exists (fun e -> List.exists (Int.equal e) primary_links) backup_links then
     invalid_arg "Shared_protection.admit: backup shares a link with the primary";
   (* Plan first; only mutate once everything is known feasible. *)
   let primary_ok =
@@ -155,7 +155,7 @@ let remove_user_from_slot t conn_id slot =
         | Some other -> other.c_primary_links
         | None -> [])
       slot.users;
-  if slot.users = [] then begin
+  if List.is_empty slot.users then begin
     Hashtbl.remove t.slots (slot.s_link, slot.s_lambda);
     Net.release t.net slot.s_link slot.s_lambda
   end
@@ -191,7 +191,7 @@ let activate_backup t ~conn =
         (fun slot ->
           List.iter
             (fun id ->
-              if id <> conn && not (List.mem id !victims) then
+              if id <> conn && not (List.exists (Int.equal id) !victims) then
                 victims := id :: !victims)
             slot.users)
         seized;
@@ -226,14 +226,16 @@ let sharing_ratio t =
   if slots = 0 then 1.0
   else begin
     let users =
+      (* lint: ordered — commutative sum over slots *)
       Hashtbl.fold (fun _ s acc -> acc + List.length s.users) t.slots 0
     in
     float_of_int users /. float_of_int slots
   end
 
 let protected_count t =
+  (* lint: ordered — commutative count over connections *)
   Hashtbl.fold
-    (fun _ c acc -> if c.c_backup <> None then acc + 1 else acc)
+    (fun _ c acc -> if Option.is_some c.c_backup then acc + 1 else acc)
     t.conns 0
 
 let active_connections t = Hashtbl.length t.conns

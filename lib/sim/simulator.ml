@@ -1,3 +1,4 @@
+module Bitset = Rr_util.Bitset
 module Net = Rr_wdm.Network
 module Slp = Rr_wdm.Semilightpath
 module Obs = Rr_obs.Obs
@@ -188,12 +189,25 @@ let run ?(obs = Obs.null) net0 config =
            | None -> ""));
     List.iter (fun link -> Net.fail_link net link) links;
     Event_queue.schedule q (time +. config.repair_time) (Repair_links links);
-    let affected = Hashtbl.fold (fun _ c acc -> c :: acc) connections [] in
+    (* Restoration order is part of the decision sequence (each reroute
+       consumes residual wavelengths), so it must not depend on hash
+       order: process connections in admission order. *)
+    let affected =
+      (* lint: ordered — sorted by connection id below *)
+      Hashtbl.fold (fun _ c acc -> c :: acc) connections []
+      |> List.sort (fun a b -> Int.compare a.id b.id)
+    in
+    let failed = Bitset.of_list (Net.n_links net) links in
     List.iter
       (fun conn ->
         if Hashtbl.mem connections conn.id then begin
-          let hit p = List.exists (fun e -> List.mem e links) (Slp.links p) in
-          if failed_node = Some conn.src || failed_node = Some conn.dst then begin
+          let hit p = List.exists (fun e -> Bitset.mem failed e) (Slp.links p) in
+          let endpoint_down =
+            match failed_node with
+            | Some v -> v = conn.src || v = conn.dst
+            | None -> false
+          in
+          if endpoint_down then begin
             (* the endpoint itself is down: no protection scheme can help *)
             Slp.release net conn.active;
             (match conn.backup with Some b -> Slp.release net b | None -> ());
@@ -262,10 +276,12 @@ let run ?(obs = Obs.null) net0 config =
      an immediate re-route and are otherwise lost. *)
   let try_preempt src dst =
     let best_effort =
+      (* lint: ordered — sorted by connection id below *)
       Hashtbl.fold
-        (fun _ c acc -> if c.klass = Best_effort then c :: acc else acc)
+        (fun _ c acc ->
+          match c.klass with Best_effort -> c :: acc | Premium | Standard -> acc)
         connections []
-      |> List.sort (fun a b -> compare a.id b.id)
+      |> List.sort (fun a b -> Int.compare a.id b.id)
     in
     let rec evict evicted = function
       | [] ->
@@ -295,7 +311,11 @@ let run ?(obs = Obs.null) net0 config =
             ~source:victim.src ~target:victim.dst
         with
         | Some s
-          when Types.validate net { Types.src = victim.src; dst = victim.dst } s = Ok () ->
+          when (match
+                  Types.validate net { Types.src = victim.src; dst = victim.dst } s
+                with
+               | Ok () -> true
+               | Error _ -> false) ->
           Types.allocate net s;
           victim.active <- s.Types.primary;
           victim.backup <- s.Types.backup

@@ -22,7 +22,7 @@ let random_pair rng ~n_nodes =
   (s, if d >= s then d + 1 else d)
 
 let hotspot_pair rng ~n_nodes ~hotspots ~bias =
-  if hotspots = [] then invalid_arg "Workload.hotspot_pair: no hotspots";
+  if List.is_empty hotspots then invalid_arg "Workload.hotspot_pair: no hotspots";
   if bias < 0.0 || bias > 1.0 then invalid_arg "Workload.hotspot_pair: bias out of range";
   let s = Rng.int rng n_nodes in
   if Rng.uniform rng < bias then begin

@@ -87,7 +87,14 @@ let subset a b =
   done;
   !ok
 
-let equal a b = a.width = b.width && a.words = b.words
+let equal a b =
+  a.width = b.width
+  &&
+  let n = Array.length a.words in
+  n = Array.length b.words
+  &&
+  let rec go i = i >= n || (a.words.(i) = b.words.(i) && go (i + 1)) in
+  go 0
 
 let choose t =
   let rec go i = if i >= t.width then None else if mem t i then Some i else go (i + 1) in

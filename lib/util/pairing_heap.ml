@@ -12,7 +12,7 @@ type 'a handle = 'a node
 type 'a t = { mutable root : 'a node option; mutable size : int }
 
 let create () = { root = None; size = 0 }
-let is_empty t = t.root = None
+let is_empty t = Option.is_none t.root
 let cardinal t = t.size
 
 let meld a b =

@@ -33,7 +33,7 @@ let uniform t =
 
 let float t bound = uniform t *. bound
 
-let bool t = Int64.logand (bits64 t) 1L = 1L
+let bool t = Int64.equal (Int64.logand (bits64 t) 1L) 1L
 
 let exponential t rate =
   if rate <= 0.0 then invalid_arg "Rng.exponential: rate must be positive";
@@ -79,4 +79,5 @@ let sample_without_replacement t k n =
     if Hashtbl.mem chosen r then Hashtbl.replace chosen j ()
     else Hashtbl.replace chosen r ()
   done;
-  Hashtbl.fold (fun x () acc -> x :: acc) chosen [] |> List.sort compare
+  (* lint: ordered — the fold result is sorted before return *)
+  Hashtbl.fold (fun x () acc -> x :: acc) chosen [] |> List.sort Int.compare

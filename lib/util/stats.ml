@@ -31,7 +31,7 @@ let percentile p xs =
   | [] -> invalid_arg "Stats.percentile: empty"
   | _ ->
     let a = Array.of_list xs in
-    Array.sort compare a;
+    Array.sort Float.compare a;
     let n = Array.length a in
     if n = 1 then a.(0)
     else begin

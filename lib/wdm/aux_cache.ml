@@ -331,7 +331,7 @@ let theta_pass t theta =
 
 let gc_view t ~theta ?(base = 16.0) ~source ~target () =
   if base <= 1.0 then invalid_arg "Auxiliary.gc: base must exceed 1";
-  if base <> t.gc_base then begin
+  if not (Float.equal base t.gc_base) then begin
     t.gc_base <- base;
     for e = 0 to Network.n_links t.net - 1 do
       if t.link_ok.(e) then t.w_gc.(t.trav_arc.(e)) <- gc_weight t e

@@ -205,8 +205,20 @@ let gprime_gated net ~source ~target =
       ins;
     if !count > 0 then begin
       add (gate_in v) (gate_out v) (!total /. float_of_int !count) (Gate v);
-      Hashtbl.iter (fun e () -> add (in_node e) (gate_in v) 0.0 (Connect v)) connected_in;
-      Hashtbl.iter (fun e' () -> add (gate_out v) (out_node e') 0.0 (Connect v)) connected_out
+      (* Connect arcs in ascending edge-id order: Hashtbl.iter order
+         depends on the hash of the ids, so a re-numbering of the edges
+         would permute the arcs and with them any cost-tied routing
+         decision. *)
+      let sorted_keys tbl =
+        (* lint: ordered — keys are sorted before use *)
+        Hashtbl.fold (fun e () acc -> e :: acc) tbl [] |> List.sort Int.compare
+      in
+      List.iter
+        (fun e -> add (in_node e) (gate_in v) 0.0 (Connect v))
+        (sorted_keys connected_in);
+      List.iter
+        (fun e' -> add (gate_out v) (out_node e') 0.0 (Connect v))
+        (sorted_keys connected_out)
     end
   done;
   Array.iter

@@ -11,7 +11,7 @@ let allowed spec p q =
   | No_conversion -> false
   | Full _ -> true
   | Range (r, _) -> abs (p - q) <= r
-  | Table m -> p < Array.length m && q < Array.length m.(p) && m.(p).(q) <> None
+  | Table m -> p < Array.length m && q < Array.length m.(p) && Option.is_some m.(p).(q)
 
 let cost spec p q =
   if p = q then Some 0.0
@@ -69,7 +69,7 @@ let validate spec ~n_wavelengths =
               match c with
               | Some c when c < 0.0 -> err := Some "Table: negative cost"
               | None when p = q -> err := Some "Table: diagonal must be allowed"
-              | Some c when p = q && c <> 0.0 -> err := Some "Table: diagonal must cost 0"
+              | Some c when p = q && not (Float.equal c 0.0) -> err := Some "Table: diagonal must cost 0"
               | _ -> ())
             row)
         m;

@@ -119,6 +119,7 @@ let optimal ?(link_enabled = fun _ -> true) ?(obs = Obs.null) ?workspace net
       end
   done;
   let result =
+    (* lint: float-eq — infinity is an exact unreached sentinel *)
     if Workspace.dist ws super_sink = infinity then None
     else begin
       (* Reconstruct hops by walking predecessors back from the sink:
@@ -247,6 +248,7 @@ let optimal_bounded ?(link_enabled = fun _ -> true) ?(obs = Obs.null) ?workspace
       end
   done;
   let result =
+    (* lint: float-eq — infinity is an exact unreached sentinel *)
     if Workspace.dist ws super_sink = infinity then None
     else begin
       (* Converted preds carry the packed (λ, k) of the predecessor

@@ -23,7 +23,11 @@
     nothing of that size.  Results are materialised before return and do
     not alias the workspace.  With [?obs] they record a [kernel.layered]
     (or [kernel.layered_bounded]) span plus heap-operation,
-    conversion-arc-expansion and workspace hit/miss counters. *)
+    conversion-arc-expansion and workspace hit/miss counters.
+
+    All searches raise [Invalid_argument] on out-of-range or equal
+    endpoints, a negative conversion budget, a path whose links do not
+    chain, and on internal predecessor-chain invariant violations. *)
 
 val optimal :
   ?link_enabled:(int -> bool) ->

@@ -31,7 +31,7 @@ let create ~n_nodes ~n_wavelengths ~links ~converters =
   let weights = Array.make m [||] in
   List.iteri
     (fun e ls ->
-      if ls.ls_lambdas = [] then invalid_arg "Network.create: link with empty Λ(e)";
+      if List.is_empty ls.ls_lambdas then invalid_arg "Network.create: link with empty Λ(e)";
       List.iter
         (fun l ->
           if l < 0 || l >= n_wavelengths then

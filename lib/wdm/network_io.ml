@@ -24,7 +24,7 @@ let parse text =
         in
         let tokens =
           String.split_on_char ' ' (String.trim line)
-          |> List.filter (fun s -> s <> "")
+          |> List.filter (fun s -> not (String.equal s ""))
         in
         let fail msg = raise (Fail (Printf.sprintf "line %d: %s" lineno msg)) in
         let int_of s =
@@ -40,12 +40,12 @@ let parse text =
         match tokens with
         | [] -> ()
         | "wdm" :: rest -> (
-          if !header <> None then fail "duplicate wdm header";
+          if Option.is_some !header then fail "duplicate wdm header";
           match rest with
           | [ n; w ] -> header := Some (int_of n, int_of w)
           | _ -> fail "usage: wdm <nodes> <wavelengths>")
         | "converter" :: rest -> (
-          if !header = None then fail "converter before wdm header";
+          if Option.is_none !header then fail "converter before wdm header";
           match rest with
           | [ v; "none" ] -> Hashtbl.replace converters (int_of v) Conversion.No_conversion
           | [ v; "full"; c ] ->
@@ -55,7 +55,7 @@ let parse text =
               (Conversion.Range (int_of r, float_of c))
           | _ -> fail "usage: converter <node> none|full <c>|range <r> <c>")
         | "link" :: rest -> (
-          if !header = None then fail "link before wdm header";
+          if Option.is_none !header then fail "link before wdm header";
           match rest with
           | [ s; d; w ] ->
             links :=
@@ -64,7 +64,7 @@ let parse text =
           | [ s; d; w; "lambdas"; ls ] ->
             let lambdas =
               String.split_on_char ',' ls
-              |> List.filter (fun s -> s <> "")
+              |> List.filter (fun s -> not (String.equal s ""))
               |> List.map int_of
             in
             links :=
@@ -130,11 +130,11 @@ let print net =
        silently drop per-wavelength structure. *)
     List.iter
       (fun l ->
-        if Network.weight net e l <> weight then
+        if not (Float.equal (Network.weight net e l) weight) then
           invalid_arg "Network_io.print: per-wavelength weights are not serialisable")
       lambdas;
     let all = List.init (Network.n_wavelengths net) Fun.id in
-    if lambdas = all then
+    if List.equal Int.equal lambdas all then
       Buffer.add_string buf
         (Printf.sprintf "link %d %d %.17g\n" (Network.link_src net e)
            (Network.link_dst net e) weight)

@@ -51,7 +51,7 @@ let conversions net p =
 
 let validate ?(require_available = true) net ~source:s ~target:t p =
   let ( let* ) r f = Result.bind r f in
-  let* () = if p.hops = [] then Error "empty path" else Ok () in
+  let* () = if List.is_empty p.hops then Error "empty path" else Ok () in
   let* () =
     if Network.link_src net (List.hd p.hops).edge = s then Ok ()
     else Error "path does not start at source"

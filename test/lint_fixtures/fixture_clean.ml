@@ -1,0 +1,5 @@
+(* Lint fixture: a clean module — the linter must exit 0 on a tree
+   containing only this. *)
+let add a b = a + b
+let eq (a : int) (b : int) = a = b
+let sorted xs = List.sort Int.compare xs

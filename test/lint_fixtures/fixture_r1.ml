@@ -1,0 +1,7 @@
+(* Lint fixture (R1): polymorphic comparison on boxed values.
+   test_lint copies this file to lib/core/fixture_r1.ml in a scratch
+   tree, where the determinism rules apply. *)
+let pair_equal (a : int * int) b = a = b
+let list_compare (a : int list) b = compare a b
+let hash_pair (p : int * int) = Hashtbl.hash p
+let mem (x : int) xs = List.mem x xs

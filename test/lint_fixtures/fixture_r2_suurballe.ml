@@ -1,0 +1,14 @@
+(* Lint fixture (R2): the PR 4 Suurballe defect pattern — per-node
+   adjacency rebuilt by iterating a hash table, so arc order follows the
+   hash function rather than ascending edge id.  test_lint copies this
+   file to lib/graph/suurballe.ml in a scratch tree. *)
+let adjacency (tbl : (int, int) Hashtbl.t) =
+  let out = ref [] in
+  Hashtbl.iter (fun u v -> out := (u, v) :: !out) tbl;
+  !out
+
+let arc_count tbl = Hashtbl.fold (fun _ _ acc -> acc + 1) tbl 0
+
+let arc_count_justified tbl =
+  (* lint: ordered — commutative count *)
+  Hashtbl.fold (fun _ _ acc -> acc + 1) tbl 0

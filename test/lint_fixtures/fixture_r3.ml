@@ -1,0 +1,16 @@
+(* Lint fixture (R3): a threaded optional accepted but dropped on the
+   way to a callee that takes it. *)
+let callee ?obs x =
+  ignore obs;
+  x + 1
+
+let forwards ?obs x = callee ?obs x
+
+let drops ?obs x =
+  ignore obs;
+  callee x
+
+let justified ?obs x =
+  ignore obs;
+  (* lint: no-thread — deliberate in this fixture *)
+  callee x

@@ -1,0 +1,9 @@
+(* Lint fixture (R4): probe-name literals — one off-grammar, one
+   grammar-clean but unregistered, one registered. *)
+module Obs = struct
+  let stop _handle (_name : string) _t0 = ()
+end
+
+let bad_grammar o t0 = Obs.stop o "BadName" t0
+let unregistered o t0 = Obs.stop o "fixture.not_registered" t0
+let registered o t0 = Obs.stop o "kernel.dijkstra" t0

@@ -1,0 +1,10 @@
+(* Lint fixture (R5): impurity in a hot kernel.  test_lint copies this
+   file to lib/graph/dijkstra.ml (with no .mli), so every raise is
+   undeclared; the local exception is allowed. *)
+exception Local_stop
+
+let run d =
+  if d = 0.0 then raise Local_stop;
+  if d > 1.0 then failwith "boom";
+  if d > 2.0 then raise Exit;
+  d

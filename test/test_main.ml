@@ -3,4 +3,5 @@ let () =
     (Test_util.suite @ Test_graph.suite @ Test_ilp.suite @ Test_wdm.suite
    @ Test_topo.suite @ Test_core.suite @ Test_sim.suite @ Test_extensions.suite
    @ Test_analysis.suite @ Test_network_io.suite @ Test_perf.suite
-   @ Test_obs.suite @ Test_aux_cache.suite @ Test_check.suite)
+   @ Test_obs.suite @ Test_aux_cache.suite @ Test_check.suite
+   @ Test_lint.suite)
