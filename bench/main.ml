@@ -34,6 +34,7 @@ module Table = Rr_util.Table
 module Stats = Rr_util.Stats
 
 let fast = ref false
+let max_jobs = ref 8
 let only = ref None
 let csv_dir = ref None
 let json_path = ref None
@@ -1248,26 +1249,129 @@ let run_perf_routing () =
   in
   let pipeline_unpooled = measure_ns (pipeline None) in
   let pipeline_pooled = measure_ns (pipeline (Some ws)) in
-  (* Batch engine: sequential speculative discipline vs the domain pool. *)
+  let speedup a b = if b > 0.0 then a /. b else nan in
+  (* Batch engine scaling curve: steady-state batches against a live
+     network.  Every timed iteration routes the batch and then releases
+     everything it admitted, restoring the pre-batch residual state
+     exactly — so a persistent pool's shards see only the batch's own
+     delta and the curve measures the engine, not one-off setup.  The
+     sequential baseline [Batch.route] pays a fresh snapshot + aux-cache
+     build per call; that is exactly the cost pool-resident shards
+     amortize, on top of phase-A parallelism. *)
   let batch_reqs =
     List.init (if !fast then 8 else 24) (fun _ ->
         let s, d = next_pair () in
         { Types.src = s; dst = d })
   in
   let batch_net = perf_net ~w:16 47 in
+  let restore (r : RR.Batch.result) =
+    List.iter
+      (fun (o : RR.Batch.outcome) ->
+        match o.RR.Batch.solution with
+        | Some sol -> Types.release batch_net sol
+        | None -> ())
+      r.RR.Batch.outcomes
+  in
+  let reference =
+    let r = RR.Batch.route batch_net Router.Cost_approx batch_reqs in
+    restore r;
+    r
+  in
   let seq_ns =
     measure_ns (fun () ->
-        ignore (RR.Batch.route (Net.copy batch_net) Router.Cost_approx batch_reqs))
+        restore (RR.Batch.route batch_net Router.Cost_approx batch_reqs))
   in
-  let jobs = RR.Parallel.default_jobs () in
-  let par_ns =
-    RR.Parallel.with_pool ~jobs (fun pool ->
-        measure_ns (fun () ->
-            ignore
-              (RR.Batch.route_parallel ~pool (Net.copy batch_net)
-                 Router.Cost_approx batch_reqs)))
+  let recommended = RR.Parallel.recommended_jobs () in
+  (* Floors are keyed on the pool's *effective* worker count (requests
+     above [recommended_jobs] clamp, see Parallel.create), so the gate is
+     as strict as the runner allows: the full >=3.0x tentpole floor on an
+     8-core machine, graceful on smaller CI runners, and a pure
+     no-regression bound (0.85x of sequential) when only one domain is
+     available. *)
+  let floor_for effective =
+    if effective >= 8 then 3.0
+    else if effective >= 4 then 2.0
+    else if effective >= 2 then 1.3
+    else 0.85
   in
-  let speedup a b = if b > 0.0 then a /. b else nan in
+  let scaling_points = List.filter (fun j -> j <= !max_jobs) [ 1; 2; 4; 8 ] in
+  let curve =
+    List.map
+      (fun j ->
+        RR.Parallel.with_pool ~jobs:j (fun pool ->
+            let effective = RR.Parallel.size pool in
+            (* Identity first (this run also warms the pool's shards):
+               the parallel engine must be byte-identical to the
+               sequential reference at every point on the curve. *)
+            let r =
+              RR.Batch.route_parallel ~pool batch_net Router.Cost_approx
+                batch_reqs
+            in
+            let identical = r = reference in
+            restore r;
+            let ns =
+              measure_ns (fun () ->
+                  restore
+                    (RR.Batch.route_parallel ~pool batch_net
+                       Router.Cost_approx batch_reqs))
+            in
+            let sp = speedup seq_ns ns in
+            let floor = floor_for effective in
+            (j, effective, ns, sp, floor, identical, identical && sp >= floor)))
+      scaling_points
+  in
+  let batch_ok =
+    List.for_all (fun (_, _, _, _, _, _, ok) -> ok) curve
+  in
+  record_csv ~slug:"batch_scaling"
+    ~header:
+      [ "jobs"; "effective_jobs"; "ns"; "speedup"; "floor"; "identical"; "ok" ]
+    (List.map
+       (fun (j, e, ns, sp, fl, id, ok) ->
+         [
+           string_of_int j; string_of_int e; Printf.sprintf "%.1f" ns;
+           Printf.sprintf "%.3f" sp; Printf.sprintf "%.2f" fl;
+           string_of_bool id; string_of_bool ok;
+         ])
+       curve);
+  (* Conflict-rate sweep (EXPERIMENTS.md): how often the optimistic
+     commit actually meets link-sharing components and sequential
+     fallbacks, as the batch grows and the network fills up.  The
+     counters are functions of the batch alone, so the cheap sequential
+     engine measures them. *)
+  let conflict_rows =
+    List.concat_map
+      (fun size ->
+        List.map
+          (fun preload ->
+            let cnet = perf_net ~w:16 ~preload 61 in
+            let creqs =
+              List.init size (fun _ ->
+                  let s, d = next_pair () in
+                  { Types.src = s; dst = d })
+            in
+            let cobs = Rr_obs.Obs.create () in
+            let r = RR.Batch.route ~obs:cobs cnet Router.Cost_approx creqs in
+            let c name = Rr_obs.Metrics.counter (Rr_obs.Obs.metrics cobs) name in
+            ( size, preload, r.RR.Batch.admitted,
+              c "batch.conflict.components",
+              c "batch.conflict.parallel_commits",
+              c "batch.conflict.fallbacks" ))
+          [ 0.25; 0.5 ])
+      (if !fast then [ 8; 24 ] else [ 8; 24; 64 ])
+  in
+  record_csv ~slug:"batch_conflicts"
+    ~header:
+      [ "batch_size"; "preload"; "admitted"; "components"; "grouped_commits";
+        "fallbacks" ]
+    (List.map
+       (fun (size, preload, adm, comp, par, fb) ->
+         [
+           string_of_int size; Printf.sprintf "%.2f" preload;
+           string_of_int adm; string_of_int comp; string_of_int par;
+           string_of_int fb;
+         ])
+       conflict_rows);
   (* Incremental auxiliary-graph engine: replay one seeded dynamic
      admit/release stream twice — rebuilding G' per request vs syncing a
      persistent Aux_cache — and demand byte-identical decisions.  The
@@ -1338,12 +1442,15 @@ let run_perf_routing () =
       "sec-3.3 pipeline"; ns_cell pipeline_unpooled; ns_cell pipeline_pooled;
       Printf.sprintf "%.2fx" (speedup pipeline_unpooled pipeline_pooled);
     ];
-  Table.add_row t
-    [
-      Printf.sprintf "batch x%d (jobs=%d)" (List.length batch_reqs) jobs;
-      ns_cell seq_ns; ns_cell par_ns;
-      Printf.sprintf "%.2fx" (speedup seq_ns par_ns);
-    ];
+  List.iter
+    (fun (j, e, ns, sp, _, _, _) ->
+      Table.add_row t
+        [
+          Printf.sprintf "batch x%d jobs=%d (eff %d)" (List.length batch_reqs)
+            j e;
+          ns_cell seq_ns; ns_cell ns; Printf.sprintf "%.2fx" sp;
+        ])
+    curve;
   Table.add_row t
     [
       Printf.sprintf "aux engine x%d ops" aux_ops;
@@ -1353,11 +1460,41 @@ let run_perf_routing () =
   Table.print t;
   Printf.printf
     "  (pooling reuses one set of O(nW) scratch arrays across requests;\n\
-    \   the parallel row compares Batch.route against route_parallel on\n\
-    \   %d worker domain%s; the aux row replays one dynamic admit/release\n\
-    \   stream rebuilding G' per request vs syncing a persistent cache)\n"
-    jobs
-    (if jobs = 1 then "" else "s");
+    \   batch rows run steady-state batches on a live network through one\n\
+    \   persistent pool per point — Batch.route rebuilds its snapshot per\n\
+    \   call, route_parallel resyncs pool-resident shards; the aux row\n\
+    \   replays one dynamic admit/release stream rebuilding G' per request\n\
+    \   vs syncing a persistent cache)\n";
+  List.iter
+    (fun (j, e, _, sp, fl, id, ok) ->
+      Printf.printf
+        "  batch scaling: jobs=%d effective=%d speedup %.2fx (floor %.2fx), \
+         %s  [%s]\n"
+        j e sp fl
+        (if id then "byte-identical to sequential" else "DIVERGED")
+        (if ok then "OK" else "FAIL"))
+    curve;
+  Printf.printf "  batch scaling gate (recommended_jobs=%d, cap %d): [%s]\n"
+    recommended !max_jobs
+    (if batch_ok then "OK" else "FAIL");
+  let ct =
+    Table.create
+      ~title:
+        "optimistic commit: conflict activity vs batch size and preload \
+         (NSFNET, W=16)"
+      ~header:
+        [ "batch"; "preload"; "admitted"; "components"; "grouped"; "fallbacks" ]
+  in
+  List.iter
+    (fun (size, preload, adm, comp, par, fb) ->
+      Table.add_row ct
+        [
+          string_of_int size; Printf.sprintf "%.2f" preload;
+          string_of_int adm; string_of_int comp; string_of_int par;
+          string_of_int fb;
+        ])
+    conflict_rows;
+  Table.print ct;
   (* Links-touched histogram: how local a dynamic operation really is. *)
   let aux_buckets = [ (0, 0); (1, 2); (3, 4); (5, 8); (9, 16); (17, max_int) ] in
   let bucket_label (lo, hi) =
@@ -1517,6 +1654,10 @@ let run_perf_routing () =
       "  OBS GATE FAILED: disabled share %.2f%% (max 3%%), enabled ratio \
        %.3f (max 1.10)\n"
       (100.0 *. disabled_share) enabled_ratio;
+  (* The legacy "batch" JSON key reports the top point of the curve. *)
+  let top_jobs, top_eff, top_ns, top_sp, _, _, _ =
+    List.nth curve (List.length curve - 1)
+  in
   (match !json_path with
   | None -> ()
   | Some path ->
@@ -1537,17 +1678,44 @@ let run_perf_routing () =
        \"speedup\": %.3f },\n\
       \  \"approx_pipeline\": { \"unpooled_ns\": %.1f, \"pooled_ns\": %.1f, \
        \"speedup\": %.3f },\n\
-      \  \"batch\": { \"jobs\": %d, \"sequential_ns\": %.1f, \
-       \"parallel_ns\": %.1f, \"speedup\": %.3f },\n\
+      \  \"batch\": { \"jobs\": %d, \"effective_jobs\": %d, \
+       \"sequential_ns\": %.1f, \"parallel_ns\": %.1f, \"speedup\": %.3f },\n\
       \  \"acceptance\": { \"pooled_speedup_floor\": 1.3, \"achieved\": \
        %.3f, \"ok\": %b },\n"
       w (List.length batch_reqs) layered_unpooled layered_pooled
       (speedup layered_unpooled layered_pooled)
       pipeline_unpooled pipeline_pooled
       (speedup pipeline_unpooled pipeline_pooled)
-      jobs seq_ns par_ns (speedup seq_ns par_ns)
+      top_jobs top_eff seq_ns top_ns top_sp
       (speedup layered_unpooled layered_pooled)
       (speedup layered_unpooled layered_pooled >= 1.3);
+    Printf.fprintf oc
+      "  \"batch_scaling\": { \"workload\": \"steady-state live-net, \
+       release-admitted restore\", \"batch_size\": %d, \
+       \"sequential_ns\": %.1f, \"recommended_jobs\": %d, \"jobs_cap\": %d, \
+       \"points\": ["
+      (List.length batch_reqs) seq_ns recommended !max_jobs;
+    List.iteri
+      (fun i (j, e, ns, sp, fl, id, ok) ->
+        Printf.fprintf oc
+          "%s\n    { \"jobs\": %d, \"effective_jobs\": %d, \"ns\": %.1f, \
+           \"speedup\": %.3f, \"floor\": %.2f, \
+           \"identical_to_sequential\": %b, \"ok\": %b }"
+          (if i > 0 then "," else "")
+          j e ns sp fl id ok)
+      curve;
+    Printf.fprintf oc " ], \"ok\": %b },\n" batch_ok;
+    Printf.fprintf oc "  \"batch_conflicts\": [";
+    List.iteri
+      (fun i (size, preload, adm, comp, par, fb) ->
+        Printf.fprintf oc
+          "%s\n    { \"batch_size\": %d, \"preload\": %.2f, \"admitted\": \
+           %d, \"components\": %d, \"grouped_commits\": %d, \"fallbacks\": \
+           %d }"
+          (if i > 0 then "," else "")
+          size preload adm comp par fb)
+      conflict_rows;
+    Printf.fprintf oc " ],\n";
     Printf.fprintf oc
       "  \"aux_cache\": { \"ops\": %d, \"rebuild_ns\": %.1f, \
        \"cached_ns\": %.1f, \"speedup\": %.3f, \"speedup_floor\": 3.0, \
@@ -1597,7 +1765,18 @@ let run_perf_routing () =
       "  AUX GATE FAILED: decisions %s, speedup %.3f (floor 3.0)\n"
       (if aux_identical then "identical" else "DIVERGED")
       aux_speedup;
-  if not (obs_gate_ok && aux_ok) then exit 1
+  if not batch_ok then
+    List.iter
+      (fun (j, e, _, sp, fl, id, ok) ->
+        if not ok then
+          Printf.printf
+            "  BATCH GATE FAILED: jobs=%d effective=%d %s, speedup %.3f \
+             (floor %.2f)\n"
+            j e
+            (if id then "identical" else "DIVERGED from sequential")
+            sp fl)
+      curve;
+  if not (obs_gate_ok && aux_ok && batch_ok) then exit 1
 
 (* ------------------------------------------------------------------ *)
 (* ILP-X                                                                *)
@@ -1672,7 +1851,8 @@ let usage_exit fmt =
     (fun msg ->
       Printf.eprintf
         "main.exe: %s\n\
-         usage: main.exe [--fast] [--only SECTION] [--csv DIR] [--json FILE]\n\
+         usage: main.exe [--fast] [--only SECTION] [--csv DIR] [--json FILE] \
+         [--jobs N]\n\
          sections: %s\n"
         msg
         (String.concat ", " (List.map fst sections));
@@ -1694,7 +1874,13 @@ let () =
     | "--json" :: v :: rest when String.length v > 0 && v.[0] <> '-' ->
       json_path := Some v;
       parse rest
-    | ("--only" | "--csv" | "--json") :: _ as flag_and_rest ->
+    | "--jobs" :: v :: rest when String.length v > 0 && v.[0] <> '-' -> (
+      match int_of_string_opt v with
+      | Some n when n >= 1 ->
+        max_jobs := n;
+        parse rest
+      | _ -> usage_exit "--jobs expects a positive integer, got '%s'" v)
+    | ("--only" | "--csv" | "--json" | "--jobs") :: _ as flag_and_rest ->
       usage_exit "option '%s' requires a value" (List.hd flag_and_rest)
     | a :: _ -> usage_exit "unknown option '%s'" a
   in

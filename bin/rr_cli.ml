@@ -347,6 +347,15 @@ let batch_cmd =
   let run topo policy w seed size order jobs metrics trace =
     (match jobs with
      | Some j when j < 1 -> die "--jobs must be at least 1 (got %d)" j
+     | Some j when j > RR.Parallel.recommended_jobs () ->
+       (* Parallel.create clamps the pool rather than oversubscribing the
+          machine; say so instead of silently running narrower. *)
+       Printf.eprintf
+         "rr batch: --jobs %d exceeds this machine's %d recommended \
+          domain(s); clamping the pool to %d\n%!"
+         j
+         (RR.Parallel.recommended_jobs ())
+         (RR.Parallel.recommended_jobs ())
      | _ -> ());
     let obs = obs_of metrics trace in
     let net = build_net topo w seed in

@@ -21,7 +21,12 @@ type kind =
     }
   | Raw of (Rng.t -> string option)
 
-type case = { id : int; name : string; doc : string; kind : kind }
+(* [trial_cost] is the case's relative per-trial expense; the runner
+   divides the requested trial count by it, so one heavyweight case
+   (domain pools, multiple full batch runs per trial) doesn't blow the
+   fixed @check wall-clock budget.  Replays always run the property
+   exactly once regardless. *)
+type case = { id : int; name : string; doc : string; trial_cost : int; kind : kind }
 
 (* A property that *crashes* is as much a counterexample as one that
    returns a violation — shrink on it too. *)
@@ -35,66 +40,77 @@ let cases =
       id = 1;
       name = "route";
       doc = "routed-pair invariant suite (validity, Eq.1/Eq.2 re-accounting)";
+      trial_cost = 1;
       kind = Net { gen = (fun rng ~max_n -> Gen.instance rng ~max_n); prop = Invariants.check_routed_pair };
     };
     {
       id = 2;
       name = "thm2";
       doc = "Exact-enumeration oracle: Theorem 2 bound and feasibility";
+      trial_cost = 1;
       kind = Net { gen = (fun rng ~max_n -> Gen.small_instance rng ~max_n); prop = Invariants.check_oracles };
     };
     {
       id = 3;
       name = "ilp";
       doc = "ILP second opinion vs the exact enumeration";
+      trial_cost = 1;
       kind = Net { gen = (fun rng ~max_n:_ -> Gen.tiny_instance rng); prop = Invariants.check_ilp };
     };
     {
       id = 4;
       name = "scale";
       doc = "metamorphic: uniform weight scaling scales costs";
+      trial_cost = 1;
       kind = Net { gen = (fun rng ~max_n -> Gen.instance rng ~max_n); prop = Invariants.check_weight_scale };
     };
     {
       id = 5;
       name = "permute";
       doc = "metamorphic: batch arrangement and permutation stability";
+      trial_cost = 1;
       kind = Net { gen = (fun rng ~max_n -> Gen.instance rng ~max_n); prop = Invariants.check_permutation };
     };
     {
       id = 6;
       name = "obs";
       doc = "metamorphic: ?obs on/off and jobs 1/2/4 byte-identical";
+      trial_cost = 1;
       kind = Net { gen = (fun rng ~max_n -> Gen.instance rng ~max_n); prop = Invariants.check_obs_jobs };
     };
     {
       id = 7;
       name = "io";
       doc = "Network_io print/parse round-trip on generated networks";
+      trial_cost = 1;
       kind = Net { gen = (fun rng ~max_n -> Gen.instance rng ~max_n); prop = Invariants.check_io_roundtrip };
     };
     {
       id = 8;
       name = "bitset";
       doc = "Bitset vs naive set model";
+      trial_cost = 1;
       kind = Raw Model_props.check_bitset;
     };
     {
       id = 9;
       name = "iheap";
       doc = "Indexed_heap vs sorted reference (incl. decrease-key)";
+      trial_cost = 1;
       kind = Raw Model_props.check_indexed_heap;
     };
     {
       id = 10;
       name = "pheap";
       doc = "Pairing_heap vs sorted reference (incl. decrease-key)";
+      trial_cost = 1;
       kind = Raw Model_props.check_pairing_heap;
     };
     {
       id = 11;
       name = "ufind";
       doc = "Union_find vs naive partition model";
+      trial_cost = 1;
       kind = Raw Model_props.check_union_find;
     };
     {
@@ -102,6 +118,7 @@ let cases =
       name = "auxcache";
       doc =
         "Incremental Aux_cache vs fresh G' under interleaved admit/release";
+      trial_cost = 1;
       kind =
         Net
           {
@@ -112,6 +129,28 @@ let cases =
                     Robust_routing.Router.[ Cost_approx; Load_aware; Load_cost ]
                   rng ~max_n);
             prop = Invariants.check_aux_cache;
+          };
+    };
+    {
+      id = 13;
+      name = "batchpar";
+      doc =
+        "Parallel batch engine byte-identical to jobs=1 across interleaved \
+         batches";
+      (* four full engine runs (jobs 1/2/4/8, eleven spawned domains) per
+         trial *)
+      trial_cost = 8;
+      kind =
+        Net
+          {
+            gen =
+              (fun rng ~max_n ->
+                Gen.instance
+                  ~policies:
+                    Robust_routing.Router.
+                      [ Cost_approx; Load_aware; Load_cost; First_fit ]
+                  rng ~max_n);
+            prop = Invariants.check_batch_parallel;
           };
     };
   ]
@@ -174,6 +213,7 @@ let run ?(log = fun _ -> ()) ~seed ~trials ~max_n ~only () =
   in
   List.map
     (fun c ->
+      let trials = max 1 (trials / c.trial_cost) in
       let failure = run_case ~seed ~trials ~max_n c in
       (match failure with
        | None -> log (Printf.sprintf "case %-8s %4d trials ok" c.name trials)

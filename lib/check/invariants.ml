@@ -572,3 +572,104 @@ let check_aux_cache inst =
     done;
     !err
   end
+
+(* ------------------------------------------------------------------ *)
+(* Parallel batch engine vs jobs=1 under interleaved admit batches     *)
+
+(* Counters plus histogram sample counts (durations are wall-clock and
+   excluded).  [parallel.*] is dropped: the oversubscription clamp is a
+   function of the host's core count, not of the batch. *)
+let metric_signature obs =
+  List.filter_map
+    (fun (name, view) ->
+      if String.starts_with ~prefix:"parallel." name then None
+      else
+        match view with
+        | Rr_obs.Metrics.Counter c -> Some (name, c)
+        | Rr_obs.Metrics.Histogram h -> Some (name, h.Rr_obs.Metrics.count)
+        | Rr_obs.Metrics.Gauge _ -> None)
+    (Rr_obs.Metrics.items (Rr_obs.Obs.metrics obs))
+
+let used_state net =
+  List.init (Net.n_links net) (fun e ->
+      (Bitset.to_list (Net.used net e), Net.is_failed net e))
+
+let check_batch_parallel inst =
+  let n = inst.Instance.n_nodes in
+  let reqs = derived_requests inst (min 12 (n * (n - 1))) in
+  if reqs = [] then None
+  else begin
+    let policy = inst.Instance.policy in
+    (* Up to three interleaved admit batches of similar size. *)
+    let rec split k xs =
+      if k <= 1 then [ xs ]
+      else begin
+        let len = (List.length xs + k - 1) / k in
+        let rec take i = function
+          | x :: rest when i < len ->
+            let a, b = take (i + 1) rest in
+            (x :: a, b)
+          | rest -> ([], rest)
+        in
+        let a, b = take 0 xs in
+        a :: split (k - 1) b
+      end
+    in
+    let batches = split 3 reqs in
+    (* One run: a persistent pool across the batches (so jobs > 1
+       exercises shard resync), releases and failure flips between
+       batches (so the resync has real deltas to replay — all derived
+       from the previous results, hence identical across runs whenever
+       the engine is deterministic). *)
+    let run jobs =
+      let net = Instance.network inst in
+      let m = Net.n_links net in
+      let obs = Rr_obs.Obs.create () in
+      RR.Parallel.with_pool ~oversubscribe:true ~jobs (fun pool ->
+          let results =
+            List.mapi
+              (fun b batch ->
+                let r = Batch.route_parallel ~pool ~obs net policy batch in
+                let k = ref 0 in
+                List.iter
+                  (fun o ->
+                    match o.Batch.solution with
+                    | Some sol ->
+                      incr k;
+                      if !k mod 3 = 0 then Types.release net sol
+                    | None -> ())
+                  r.Batch.outcomes;
+                if m > 0 && b < List.length batches - 1 then begin
+                  let e = b * 7 mod m in
+                  if Net.is_failed net e then Net.repair_link net e
+                  else Net.fail_link net e
+                end;
+                r)
+              batches
+          in
+          (results, metric_signature obs, used_state net))
+    in
+    let ref_results, ref_metrics, ref_state = run 1 in
+    List.fold_left
+      (fun acc jobs ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+          let results, metrics, state = run jobs in
+          let* () =
+            if
+              not
+                (List.for_all2 batch_result_equal ref_results results)
+            then fail "batch outcomes differ between jobs=1 and jobs=%d" jobs
+            else None
+          in
+          let* () =
+            if metrics <> ref_metrics then
+              fail "merged obs metrics differ between jobs=1 and jobs=%d" jobs
+            else None
+          in
+          if state <> ref_state then
+            fail "final network state differs between jobs=1 and jobs=%d" jobs
+          else None)
+      None [ 2; 4; 8 ]
+  end

@@ -61,3 +61,14 @@ val premise_theorem2 : Rr_wdm.Network.t -> bool
     incident link traversal (the Theorem 2 precondition). *)
 
 val node_simple : Rr_wdm.Network.t -> Rr_wdm.Semilightpath.t -> bool
+
+val check_batch_parallel : Instance.t -> string option
+(** Differential: [Batch.route_parallel] over a persistent pool, replaying
+    three interleaved admit batches (with releases and a failure-state
+    flip between batches, so pool-resident shards must resync real
+    deltas), is byte-identical across [jobs] 1 / 2 / 4 / 8 — same outcome
+    lists, same merged obs counters and span counts (host-dependent
+    [parallel.*] excluded), same final per-link residual and failure
+    state.  Pools are created with [~oversubscribe:true] so multi-domain
+    scheduling and the grouped commit are exercised even on small
+    machines. *)

@@ -1,3 +1,31 @@
+module Obs = Rr_obs.Obs
+
+(* Typed per-worker state slots.  Each slot carries its own constructor of
+   an extensible variant, so the pool can store heterogeneous worker state
+   in one [(slot id -> univ)] table per worker while [get_state] stays
+   fully typed: a slot can only project values it injected itself, and
+   slot ids are globally unique, so the projection never sees a foreign
+   constructor. *)
+type univ = ..
+
+type 'a slot = {
+  sid : int;
+  inject : 'a -> univ;
+  project : univ -> 'a option;
+}
+
+let slot_ids = Atomic.make 0
+
+let slot (type a) () : a slot =
+  let module M = struct
+    type univ += Box of a
+  end in
+  {
+    sid = Atomic.fetch_and_add slot_ids 1;
+    inject = (fun v -> M.Box v);
+    project = (function M.Box v -> Some v | _ -> None);
+  }
+
 type t = {
   size : int;
   mutex : Mutex.t;
@@ -9,6 +37,7 @@ type t = {
   mutable stopping : bool;
   mutable error : exn option;
   mutable domains : unit Domain.t list;
+  states : (int, univ) Hashtbl.t array;  (* per-worker slot storage *)
 }
 
 let record_error t exn =
@@ -46,11 +75,29 @@ let worker_loop t i =
     end
   done
 
-let create ~jobs =
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+(* Batch speculation stops scaling past the request-level parallelism of
+   typical batches, and every worker pins a shard (snapshot + aux cache)
+   in memory — cap the default so big machines don't pay for width the
+   workload can't use. *)
+let default_jobs () = min 8 (recommended_jobs ())
+
+let create ?(obs = Obs.null) ?(oversubscribe = false) ~jobs () =
   if jobs < 1 then invalid_arg "Parallel.create: jobs must be at least 1";
+  let size =
+    let cap = recommended_jobs () in
+    if jobs > cap && not oversubscribe then begin
+      (* Extra domains would only time-share cores; refuse the
+         oversubscription but leave a visible trace of the clamp. *)
+      Obs.add obs "parallel.oversubscribed" 1;
+      max 1 cap
+    end
+    else jobs
+  in
   let t =
     {
-      size = jobs;
+      size;
       mutex = Mutex.create ();
       work = Condition.create ();
       finished = Condition.create ();
@@ -60,14 +107,28 @@ let create ~jobs =
       stopping = false;
       error = None;
       domains = [];
+      states = Array.init size (fun _ -> Hashtbl.create 4);
     }
   in
   t.domains <-
-    List.init (jobs - 1) (fun k -> Domain.spawn (fun () -> worker_loop t (k + 1)));
+    List.init (size - 1) (fun k -> Domain.spawn (fun () -> worker_loop t (k + 1)));
   t
 
 let size t = t.size
-let default_jobs () = Domain.recommended_domain_count ()
+
+let check_worker t w fn =
+  if w < 0 || w >= t.size then
+    invalid_arg (Printf.sprintf "Parallel.%s: worker %d out of range" fn w)
+
+let get_state t slot ~worker =
+  check_worker t worker "get_state";
+  match Hashtbl.find_opt t.states.(worker) slot.sid with
+  | None -> None
+  | Some u -> slot.project u
+
+let set_state t slot ~worker v =
+  check_worker t worker "set_state";
+  Hashtbl.replace t.states.(worker) slot.sid (slot.inject v)
 
 let run t f =
   if t.size = 1 then f 0
@@ -96,22 +157,81 @@ let run t f =
     match err with Some e -> raise e | None -> ()
   end
 
-let map t ~worker ~f arr =
+(* Work-stealing scheduler.  One atomic [lo, hi) range per worker, packed
+   into a single int (31 bits each half) so both bounds move under one
+   CAS.  The owner pops [chunk] items from the front; a worker whose
+   range is empty steals the back half of a victim's range and installs
+   it as its own.  Ranges only ever shrink except for that install, which
+   targets the thief's own (empty) cell — so every removed chunk is
+   processed by exactly the worker that removed it, and [out] is fully
+   written by join time even if another worker's emptiness sweep raced
+   with a migration and exited early. *)
+let max_items = 0x3FFF_FFFF
+
+let pack lo hi = (lo lsl 31) lor hi
+let range_lo r = r lsr 31
+let range_hi r = r land 0x7FFF_FFFF
+
+let map ?(chunk = 1) t ~worker ~f arr =
   let n = Array.length arr in
-  let out = Array.make n None in
-  let next = Atomic.make 0 in
-  run t (fun i ->
-      let st = worker i in
-      let rec go () =
-        let idx = Atomic.fetch_and_add next 1 in
-        if idx < n then begin
-          (* Disjoint indices: no two workers ever write the same slot. *)
-          out.(idx) <- Some (f st arr.(idx));
-          go ()
-        end
-      in
-      go ());
-  Array.map (function Some x -> x | None -> assert false) out
+  if n = 0 then [||]
+  else begin
+    if n > max_items then invalid_arg "Parallel.map: array too large";
+    let chunk = max 1 chunk in
+    let j = t.size in
+    let out = Array.make n None in
+    let ranges =
+      Array.init j (fun w -> Atomic.make (pack (w * n / j) ((w + 1) * n / j)))
+    in
+    run t (fun w ->
+        let st = worker w in
+        let own = ranges.(w) in
+        let rec take_own () =
+          let r = Atomic.get own in
+          let lo = range_lo r and hi = range_hi r in
+          if lo < hi then begin
+            let c = min chunk (hi - lo) in
+            if Atomic.compare_and_set own r (pack (lo + c) hi) then
+              for idx = lo to lo + c - 1 do
+                (* Disjoint indices: no two workers ever write one slot. *)
+                out.(idx) <- Some (f st arr.(idx))
+              done;
+            take_own ()
+          end
+        in
+        (* One sweep over the other workers; returns [true] when it stole
+           a range (installed as our own). *)
+        let steal () =
+          let got = ref false in
+          let v = ref 1 in
+          while (not !got) && !v < j do
+            let victim = ranges.((w + !v) mod j) in
+            let retry = ref true in
+            while !retry do
+              let r = Atomic.get victim in
+              let lo = range_lo r and hi = range_hi r in
+              if hi <= lo then retry := false
+              else begin
+                let keep = (hi - lo) / 2 in
+                if Atomic.compare_and_set victim r (pack lo (lo + keep)) then begin
+                  Atomic.set own (pack (lo + keep) hi);
+                  got := true;
+                  retry := false
+                end
+                (* CAS lost against the owner or another thief: re-read. *)
+              end
+            done;
+            incr v
+          done;
+          !got
+        in
+        let rec drive () =
+          take_own ();
+          if steal () then drive ()
+        in
+        drive ());
+    Array.map (function Some x -> x | None -> assert false) out
+  end
 
 let shutdown t =
   Mutex.lock t.mutex;
@@ -125,6 +245,6 @@ let shutdown t =
   List.iter Domain.join t.domains;
   t.domains <- []
 
-let with_pool ~jobs f =
-  let t = create ~jobs in
+let with_pool ?obs ?oversubscribe ~jobs f =
+  let t = create ?obs ?oversubscribe ~jobs () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -55,3 +55,11 @@ val admit :
     [admit.reject.validator] and refused rather than raised, so long
     simulations survive and the defect shows up in exported metrics (the
     shipped policies keep this counter at zero). *)
+
+val footprint : Types.solution -> (int * int) list
+(** The [(link, wavelength)] hops the solution would allocate — primary
+    hops then backup hops, in path order.  Each physical link appears at
+    most once across the whole list (link simplicity within a path,
+    edge-disjointness across the pair), so two solutions conflict on
+    residual state iff their footprints share a link.  Used by
+    {!Batch}'s optimistic commit to build the conflict graph. *)

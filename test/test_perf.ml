@@ -284,6 +284,65 @@ let test_route_admissions_validate () =
   checkb "admitted + dropped = batch" true
     (r.RR.Batch.admitted + r.RR.Batch.dropped = List.length reqs)
 
+let test_batch_total_cost_is_admission_sum () =
+  (* [total_cost] is accumulated at each allocation point; since link and
+     conversion costs are immutable, re-summing [Types.total_cost] over
+     the admitted outcomes in processing order must reproduce it bit for
+     bit — for all three batch engines. *)
+  let rng = Rng.create 555 in
+  let net = random_net ~n:10 ~w:3 555 in
+  preload rng net 0.2;
+  let reqs = random_requests rng net 30 in
+  List.iter
+    (fun (name, engine) ->
+      let n = Net.copy net in
+      let r = engine n reqs in
+      let sum =
+        List.fold_left
+          (fun acc o ->
+            match o.RR.Batch.solution with
+            | Some sol -> acc +. Types.total_cost n sol
+            | None -> acc)
+          0.0 r.RR.Batch.outcomes
+      in
+      checkb (name ^ ": total_cost = per-admission sum") true
+        (r.RR.Batch.total_cost = sum))
+    [
+      ("process", fun n reqs -> RR.Batch.process n RR.Router.Cost_approx reqs);
+      ("route", fun n reqs -> RR.Batch.route n RR.Router.Cost_approx reqs);
+      ( "route_parallel",
+        fun n reqs ->
+          RR.Batch.route_parallel ~jobs:4 n RR.Router.Cost_approx reqs );
+    ]
+
+let test_shard_resync_across_mutations () =
+  (* Pool-resident shards are resynced, not rebuilt, when the same live
+     network comes back with a different residual state.  Interleave
+     batches with releases and failure flips and demand every round stays
+     identical to a fresh sequential run. *)
+  let rng = Rng.create 2024 in
+  let net = random_net ~n:10 ~w:4 2024 in
+  preload rng net 0.2;
+  let m = Net.n_links net in
+  RR.Parallel.with_pool ~oversubscribe:true ~jobs:4 (fun pool ->
+      for round = 0 to 3 do
+        let reqs = random_requests rng net 12 in
+        let seq = RR.Batch.route (Net.copy net) RR.Router.Load_cost reqs in
+        let par = RR.Batch.route_parallel ~pool net RR.Router.Load_cost reqs in
+        checkb (Printf.sprintf "round %d identical" round) true
+          (same_result seq par);
+        (* Mutate the live network so the next resync has a real delta. *)
+        List.iteri
+          (fun i o ->
+            match o.RR.Batch.solution with
+            | Some sol when i mod 2 = 0 -> Types.release net sol
+            | _ -> ())
+          par.RR.Batch.outcomes;
+        let e = round * 5 mod m in
+        if Net.is_failed net e then Net.repair_link net e
+        else Net.fail_link net e
+      done)
+
 (* ------------------------------------------------------------------ *)
 (* Parallel pool plumbing                                               *)
 
@@ -311,6 +370,103 @@ let test_parallel_exception_propagates () =
       checkb "pool reusable after failure" true
         (out = Array.init 8 (fun i -> i + 1)))
 
+let test_parallel_map_chunks_and_stealing () =
+  (* The work-stealing scheduler must return exactly [f arr.(i)] in index
+     order for every chunk size — including chunks larger than the array —
+     and under a skewed per-item cost that forces steals. *)
+  RR.Parallel.with_pool ~oversubscribe:true ~jobs:4 (fun pool ->
+      let n = 257 in
+      let arr = Array.init n Fun.id in
+      let expect = Array.map (fun x -> (x * 3) + 1) arr in
+      List.iter
+        (fun chunk ->
+          let out =
+            RR.Parallel.map ~chunk pool
+              ~worker:(fun _ -> ())
+              ~f:(fun () x -> (x * 3) + 1)
+              arr
+          in
+          checkb (Printf.sprintf "chunk=%d" chunk) true (out = expect))
+        [ 1; 2; 7; 64; 1000 ];
+      checkb "empty array" true
+        (RR.Parallel.map pool ~worker:(fun _ -> ()) ~f:(fun () x -> x) [||]
+        = [||]);
+      let skewed =
+        RR.Parallel.map pool
+          ~worker:(fun _ -> ())
+          ~f:(fun () x ->
+            if x < 64 then begin
+              (* worker 0's whole initial range is expensive: the others
+                 drain their ranges and steal from it *)
+              let s = ref 0 in
+              for i = 1 to 20_000 do
+                s := !s + i
+              done;
+              ignore !s
+            end;
+            x)
+          arr
+      in
+      checkb "skewed workload exact" true (skewed = arr))
+
+let test_parallel_slot_state_persists () =
+  (* Typed per-worker slots survive across map calls on the same pool. *)
+  let counter_slot : int ref RR.Parallel.slot = RR.Parallel.slot () in
+  RR.Parallel.with_pool ~oversubscribe:true ~jobs:3 (fun pool ->
+      let touch () =
+        ignore
+          (RR.Parallel.map pool
+             ~worker:(fun w ->
+               let r =
+                 match
+                   RR.Parallel.get_state pool counter_slot ~worker:w
+                 with
+                 | Some r -> r
+                 | None ->
+                   let r = ref 0 in
+                   RR.Parallel.set_state pool counter_slot ~worker:w r;
+                   r
+               in
+               incr r;
+               r)
+             ~f:(fun _ x -> x)
+             (Array.init 12 Fun.id))
+      in
+      touch ();
+      touch ();
+      touch ();
+      let total = ref 0 in
+      for w = 0 to RR.Parallel.size pool - 1 do
+        match RR.Parallel.get_state pool counter_slot ~worker:w with
+        | Some r -> total := !total + !r
+        | None -> ()
+      done;
+      checkb "each worker's slot saw all three calls" true
+        (!total = 3 * RR.Parallel.size pool))
+
+let test_parallel_clamp_and_defaults () =
+  let module Obs = Rr_obs.Obs in
+  let recommended = RR.Parallel.recommended_jobs () in
+  (* Requesting more workers than the machine recommends clamps the pool
+     and records the event — no silent oversubscription. *)
+  let obs = Obs.create () in
+  let p = RR.Parallel.create ~obs ~jobs:(recommended + 3) () in
+  checkb "pool clamped to recommended" true
+    (RR.Parallel.size p = recommended);
+  checkb "clamp recorded" true
+    (Rr_obs.Metrics.counter (Obs.metrics obs) "parallel.oversubscribed" = 1);
+  RR.Parallel.shutdown p;
+  (* ~oversubscribe:true opts out of the clamp (and of the counter). *)
+  let obs2 = Obs.create () in
+  RR.Parallel.with_pool ~obs:obs2 ~oversubscribe:true
+    ~jobs:(recommended + 1) (fun pool ->
+      checkb "oversubscribe honored" true
+        (RR.Parallel.size pool = recommended + 1));
+  checkb "no clamp counted when opted out" true
+    (Rr_obs.Metrics.counter (Obs.metrics obs2) "parallel.oversubscribed" = 0);
+  checkb "default_jobs = recommended with ceiling 8" true
+    (RR.Parallel.default_jobs () = min 8 recommended)
+
 let suite =
   [
     ( "perf.workspace",
@@ -333,11 +489,21 @@ let suite =
         Alcotest.test_case "orders identical" `Quick
           test_route_orders_identical_across_jobs;
         Alcotest.test_case "conservation" `Quick test_route_admissions_validate;
+        Alcotest.test_case "total_cost is admission sum" `Quick
+          test_batch_total_cost_is_admission_sum;
+        Alcotest.test_case "shard resync across mutations" `Quick
+          test_shard_resync_across_mutations;
       ] );
     ( "perf.parallel",
       [
         Alcotest.test_case "map basic" `Quick test_parallel_map_basic;
         Alcotest.test_case "exception propagation" `Quick
           test_parallel_exception_propagates;
+        Alcotest.test_case "map chunks and stealing" `Quick
+          test_parallel_map_chunks_and_stealing;
+        Alcotest.test_case "slot state persists" `Quick
+          test_parallel_slot_state_persists;
+        Alcotest.test_case "clamp and defaults" `Quick
+          test_parallel_clamp_and_defaults;
       ] );
   ]
