@@ -120,6 +120,27 @@ let trace_arg =
           "Export the span timeline as Chrome trace_event JSON — load it in \
            chrome://tracing or Perfetto.  Use - for stdout.")
 
+let journal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "journal" ] ~docv:"FILE"
+        ~doc:
+          "Dump the flight recorder (admission outcomes with blocking \
+           causes, failure/repair flips, conflict fallbacks, cache \
+           rebuilds) as JSON Lines — feed it to $(b,rr obs summary).  Use \
+           - for stdout.")
+
+let sample_arg =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "trace-sample" ] ~docv:"N"
+        ~doc:
+          "Trace only requests whose id is a multiple of $(docv) \
+           (deterministic 1-in-N span sampling; histograms and the \
+           journal still see every request).  Default 1 = trace all.")
+
 (* Catch unwritable sinks before the run, not after minutes of work. *)
 let check_writable = function
   | None | Some "-" -> ()
@@ -128,11 +149,13 @@ let check_writable = function
     | oc -> close_out oc
     | exception Sys_error e -> die "cannot write %s: %s" path e)
 
-let obs_of metrics trace =
+let obs_of metrics trace journal sample =
   check_writable metrics;
   check_writable trace;
-  if metrics = None && trace = None then Rr_obs.Obs.null
-  else Rr_obs.Obs.create ()
+  check_writable journal;
+  if sample < 1 then die "--trace-sample must be at least 1 (got %d)" sample;
+  if metrics = None && trace = None && journal = None then Rr_obs.Obs.null
+  else Rr_obs.Obs.create ~sample ()
 
 let write_sink path contents =
   if path = "-" then print_string contents
@@ -142,7 +165,7 @@ let write_sink path contents =
     close_out oc
   end
 
-let export_obs obs metrics trace =
+let export_obs obs metrics trace journal =
   (match metrics with
    | None -> ()
    | Some path ->
@@ -152,11 +175,15 @@ let export_obs obs metrics trace =
        else Rr_obs.Export.prometheus m
      in
      write_sink path doc);
-  match trace with
+  (match trace with
+   | None -> ()
+   | Some path ->
+     write_sink path
+       (Rr_obs.Export.chrome_trace (Rr_obs.Tracer.spans (Rr_obs.Obs.tracer obs))));
+  match journal with
   | None -> ()
   | Some path ->
-    write_sink path
-      (Rr_obs.Export.chrome_trace (Rr_obs.Tracer.spans (Rr_obs.Obs.tracer obs)))
+    write_sink path (Rr_obs.Journal.to_jsonl (Rr_obs.Obs.journal obs))
 
 let topo_cmd =
   let run topo =
@@ -180,13 +207,13 @@ let route_cmd =
   let dst =
     Arg.(required & opt (some int) None & info [ "dest"; "d" ] ~doc:"Destination node.")
   in
-  let run topo file policy w seed s d metrics trace =
-    let obs = obs_of metrics trace in
+  let run topo file policy w seed s d metrics trace journal sample =
+    let obs = obs_of metrics trace journal sample in
     let net = resolve_net file topo w seed in
     if s < 0 || s >= Net.n_nodes net || d < 0 || d >= Net.n_nodes net || s = d then
       die "invalid node pair %d -> %d" s d;
     let result = Router.route ~obs net policy ~source:s ~target:d in
-    export_obs obs metrics trace;
+    export_obs obs metrics trace journal;
     match result with
     | None ->
       Printf.printf "no robust route from %d to %d under policy %s\n" s d
@@ -200,7 +227,7 @@ let route_cmd =
     (Cmd.info "route" ~doc:"Compute a robust route for one request.")
     Term.(
       const run $ topo_arg $ file_arg $ policy_arg $ wavelengths_arg $ seed_arg
-      $ src $ dst $ metrics_arg $ trace_arg)
+      $ src $ dst $ metrics_arg $ trace_arg $ journal_arg $ sample_arg)
 
 (* ------------------------------------------------------------------ *)
 (* simulate                                                             *)
@@ -222,8 +249,8 @@ let simulate_cmd =
     Arg.(value & flag & info [ "reprovision" ] ~doc:"Re-provision backups after switch-over.")
   in
   let run topo policy w seed erlang duration failure_rate node_failure_rate
-      reprovision metrics trace =
-    let obs = obs_of metrics trace in
+      reprovision metrics trace journal sample =
+    let obs = obs_of metrics trace journal sample in
     let net = build_net topo w seed in
     let workload =
       Rr_sim.Workload.make ~arrival_rate:(erlang /. 10.0) ~mean_holding:10.0
@@ -240,7 +267,7 @@ let simulate_cmd =
       }
     in
     let r = Rr_sim.Simulator.run ~obs net cfg in
-    export_obs obs metrics trace;
+    export_obs obs metrics trace journal;
     let c = r.Rr_sim.Simulator.counters in
     Printf.printf "policy            %s\n" (Router.policy_name policy);
     Printf.printf "offered           %d\n" c.offered;
@@ -266,7 +293,7 @@ let simulate_cmd =
     Term.(
       const run $ topo_arg $ policy_arg $ wavelengths_arg $ seed_arg $ erlang
       $ duration $ failure_rate $ node_failure_rate $ reprovision $ metrics_arg
-      $ trace_arg)
+      $ trace_arg $ journal_arg $ sample_arg)
 
 (* ------------------------------------------------------------------ *)
 (* audit                                                                *)
@@ -344,7 +371,7 @@ let batch_cmd =
              worker domains (N >= 1).  Omitted: the paper's sequential \
              one-by-one discipline.")
   in
-  let run topo policy w seed size order jobs metrics trace =
+  let run topo policy w seed size order jobs metrics trace journal sample =
     (match jobs with
      | Some j when j < 1 -> die "--jobs must be at least 1 (got %d)" j
      | Some j when j > RR.Parallel.recommended_jobs () ->
@@ -357,7 +384,7 @@ let batch_cmd =
          (RR.Parallel.recommended_jobs ())
          (RR.Parallel.recommended_jobs ())
      | _ -> ());
-    let obs = obs_of metrics trace in
+    let obs = obs_of metrics trace journal sample in
     let net = build_net topo w seed in
     let rng = Rr_util.Rng.create seed in
     let reqs =
@@ -370,7 +397,7 @@ let batch_cmd =
       | None -> RR.Batch.process ~order ~obs net policy reqs
       | Some jobs -> RR.Batch.route_parallel ~order ~jobs ~obs net policy reqs
     in
-    export_obs obs metrics trace;
+    export_obs obs metrics trace journal;
     List.iter
       (fun o ->
         match o.RR.Batch.solution with
@@ -388,7 +415,7 @@ let batch_cmd =
     (Cmd.info "batch" ~doc:"Process one batch of random requests (Section 2).")
     Term.(
       const run $ topo_arg $ policy_arg $ wavelengths_arg $ seed_arg $ size
-      $ order $ jobs $ metrics_arg $ trace_arg)
+      $ order $ jobs $ metrics_arg $ trace_arg $ journal_arg $ sample_arg)
 
 (* ------------------------------------------------------------------ *)
 (* provision                                                            *)
@@ -599,6 +626,317 @@ let dot_cmd =
       const run $ topo_arg $ file_arg $ policy_arg $ wavelengths_arg $ seed_arg
       $ src $ dst $ out)
 
+(* ------------------------------------------------------------------ *)
+(* obs — inspect observability artefacts                                *)
+
+(* Decodes the [journal.admit.blocked] payload written by Router.admit. *)
+let cause_name = function
+  | 1 -> "route.block.no_disjoint_pair"
+  | 2 -> "route.block.no_wavelength"
+  | 3 -> "route.block.no_route"
+  | 4 -> "admit.reject.validator"
+  | _ -> "unknown"
+
+(* One journal line in Journal.to_jsonl's fixed field order; [None] for
+   anything else (foreign or corrupted lines are skipped, not fatal). *)
+let parse_journal_line line =
+  match
+    Scanf.sscanf line
+      "{\"seq\": %d, \"t_ns\": %d, \"tid\": %d, \"req\": %d, \"event\": %S, \
+       \"a\": %d, \"b\": %d}"
+      (fun seq t_ns tid req name a b -> (seq, t_ns, tid, req, name, a, b))
+  with
+  | parsed -> Some parsed
+  | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) -> None
+
+let read_lines path =
+  match open_in path with
+  | exception Sys_error e -> die "%s" e
+  | ic ->
+    let rec go acc =
+      match input_line ic with
+      | line -> go (line :: acc)
+      | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+    in
+    go []
+
+let obs_summary_cmd =
+  let journal =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"JOURNAL" ~doc:"Journal dump (JSON Lines, from --journal).")
+  in
+  let run path =
+    let events = List.filter_map parse_journal_line (read_lines path) in
+    if events = [] then die "%s: no journal events" path;
+    let by_name = Hashtbl.create 16 in
+    let causes = Hashtbl.create 8 in
+    let bump tbl k =
+      Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+    in
+    let min_seq = ref max_int and max_req = ref (-1) in
+    List.iter
+      (fun (seq, _, _, req, name, a, _) ->
+        if seq < !min_seq then min_seq := seq;
+        if req > !max_req then max_req := req;
+        bump by_name name;
+        if String.equal name "journal.admit.blocked" then
+          bump causes (cause_name a))
+      events;
+    Printf.printf "%s: %d event(s) retained, %d dropped to ring wrap%s\n" path
+      (List.length events) !min_seq
+      (if !max_req >= 0 then Printf.sprintf ", request ids up to %d" !max_req
+       else "");
+    (* lint: ordered — folded to a list and sorted before printing *)
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) by_name []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.iter (fun (name, n) -> Printf.printf "  %-28s %6d\n" name n);
+    (* lint: ordered — folded to a list and sorted before printing *)
+    let cs =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) causes []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    in
+    if cs <> [] then begin
+      Printf.printf "blocking causes:\n";
+      List.iter (fun (name, n) -> Printf.printf "  %-28s %6d\n" name n) cs
+    end
+  in
+  Cmd.v
+    (Cmd.info "summary"
+       ~doc:"Summarize a flight-recorder dump: event counts, drop count, \
+             blocking causes.")
+    Term.(const run $ journal)
+
+let obs_trace_cmd =
+  let id_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ID"
+          ~doc:
+            "Request id to print, or the literal $(b,blocked) for the first \
+             blocked admission of the replay.")
+  in
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Also export the request's spans as Chrome trace JSON.")
+  in
+  let run id_s topo file policy w seed out =
+    let usage msg =
+      Printf.eprintf "rr_cli obs trace: %s\n" msg;
+      Printf.eprintf
+        "usage: rr obs trace <ID|blocked> [--file FILE | --topo NAME] \
+         [--policy P] [--wavelengths W] [--seed S] [--trace OUT]\n";
+      exit 2
+    in
+    let id_spec =
+      match id_s with
+      | "blocked" -> `First_blocked
+      | s -> (
+        match int_of_string_opt s with
+        | Some n when n >= 0 -> `Id n
+        | _ -> usage (Printf.sprintf "ID must be a request id >= 0 or %S" "blocked"))
+    in
+    let net = resolve_net file topo w seed in
+    (* Deterministic corpus replay: admit every ordered pair ascending,
+       request ids 0.., sampling off so every request's spans survive. *)
+    let obs = Rr_obs.Obs.create () in
+    let ws = Rr_util.Workspace.create () in
+    let aux_cache = Rr_wdm.Aux_cache.create net in
+    let n = Net.n_nodes net in
+    let pairs = ref [] in
+    let rid = ref 0 in
+    for s = 0 to n - 1 do
+      for d = 0 to n - 1 do
+        if s <> d then begin
+          ignore
+            (Router.admit ~aux_cache ~workspace:ws ~obs ~req:!rid net policy
+               ~source:s ~target:d
+              : RR.Types.solution option);
+          pairs := (!rid, (s, d)) :: !pairs;
+          incr rid
+        end
+      done
+    done;
+    let events = Rr_obs.Journal.events (Rr_obs.Obs.journal obs) in
+    let target =
+      match id_spec with
+      | `Id id ->
+        if id >= !rid then
+          die "request id %d out of range (replay made %d admissions)" id !rid;
+        id
+      | `First_blocked -> (
+        match
+          List.find_opt
+            (fun e -> String.equal e.Rr_obs.Journal.name "journal.admit.blocked")
+            events
+        with
+        | Some e -> e.Rr_obs.Journal.req
+        | None -> die "no blocked admission in this replay")
+    in
+    let s, d = List.assoc target !pairs in
+    let ev = List.filter (fun e -> e.Rr_obs.Journal.req = target) events in
+    let outcome =
+      match
+        List.find_opt
+          (fun e ->
+            String.equal e.Rr_obs.Journal.name "journal.admit.ok"
+            || String.equal e.Rr_obs.Journal.name "journal.admit.blocked")
+          ev
+      with
+      | Some e when String.equal e.Rr_obs.Journal.name "journal.admit.ok" ->
+        "admitted"
+      | Some e -> Printf.sprintf "BLOCKED (%s)" (cause_name e.Rr_obs.Journal.a)
+      | None -> "no outcome recorded"
+    in
+    Printf.printf "request %d: %d -> %d under %s — %s\n" target s d
+      (Router.policy_name policy) outcome;
+    let spans =
+      List.filter
+        (fun sp -> sp.Rr_obs.Tracer.req = target)
+        (Rr_obs.Tracer.spans (Rr_obs.Obs.tracer obs))
+    in
+    let base =
+      List.fold_left
+        (fun acc sp -> min acc sp.Rr_obs.Tracer.start_ns)
+        max_int spans
+    in
+    Printf.printf "  %-22s %12s %12s\n" "span" "at (us)" "dur (us)";
+    List.iter
+      (fun sp ->
+        Printf.printf "  %-22s %12.1f %12.1f\n" sp.Rr_obs.Tracer.name
+          (float_of_int (sp.Rr_obs.Tracer.start_ns - base) /. 1e3)
+          (float_of_int sp.Rr_obs.Tracer.dur_ns /. 1e3))
+      spans;
+    (match out with
+     | None -> ()
+     | Some path ->
+       check_writable (Some path);
+       write_sink path (Rr_obs.Export.chrome_trace spans));
+    List.iter
+      (fun e ->
+        Printf.printf "  event %-22s a=%d b=%d\n" e.Rr_obs.Journal.name
+          e.Rr_obs.Journal.a e.Rr_obs.Journal.b)
+      ev
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Replay all-pairs admissions on a network and pretty-print one \
+          request's stage spans, blocking cause and journal events.")
+    Term.(
+      const run $ id_arg $ topo_arg $ file_arg $ policy_arg $ wavelengths_arg
+      $ seed_arg $ out_arg)
+
+(* Counter and histogram-count extraction from Export.json dumps: enough
+   structure for a before/after diff without a JSON parser dependency. *)
+let parse_metrics_dump path =
+  let metrics = ref [] in
+  let int_after line key =
+    let pat = "\"" ^ key ^ "\": " in
+    let pl = String.length pat in
+    let n = String.length line in
+    let rec find i =
+      if i + pl > n then None
+      else if String.equal (String.sub line i pl) pat then begin
+        let j = ref (i + pl) in
+        if !j < n && line.[!j] = '-' then incr j;
+        let digits_from = !j in
+        while !j < n && line.[!j] >= '0' && line.[!j] <= '9' do incr j done;
+        if !j > digits_from then
+          int_of_string_opt (String.sub line (i + pl) (!j - (i + pl)))
+        else None
+      end
+      else find (i + 1)
+    in
+    find 0
+  in
+  List.iter
+    (fun line ->
+      match Scanf.sscanf line " %S" (fun name -> name) with
+      | name -> (
+        let has key =
+          let pat = "\"" ^ key ^ "\"" in
+          let pl = String.length pat and n = String.length line in
+          let rec go i =
+            i + pl <= n
+            && (String.equal (String.sub line i pl) pat || go (i + 1))
+          in
+          go 0
+        in
+        if has "counter" then
+          match int_after line "value" with
+          | Some v -> metrics := (name, `Counter v) :: !metrics
+          | None -> ()
+        else if has "histogram" then
+          match int_after line "count" with
+          | Some c -> metrics := (name, `Hist_count c) :: !metrics
+          | None -> ())
+      | exception (Scanf.Scan_failure _ | Failure _ | End_of_file) -> ())
+    (read_lines path);
+  List.rev !metrics
+
+let obs_diff_cmd =
+  let a_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"BEFORE" ~doc:"Earlier metrics dump (--metrics x.json).")
+  in
+  let b_arg =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"AFTER" ~doc:"Later metrics dump (--metrics y.json).")
+  in
+  let run a b =
+    let ma = parse_metrics_dump a and mb = parse_metrics_dump b in
+    if ma = [] then die "%s: no metrics found (expecting an Export.json dump)" a;
+    if mb = [] then die "%s: no metrics found (expecting an Export.json dump)" b;
+    let names =
+      List.sort_uniq String.compare (List.map fst ma @ List.map fst mb)
+    in
+    let value m name = List.assoc_opt name m in
+    let changed = ref 0 in
+    List.iter
+      (fun name ->
+        let pr label va vb =
+          incr changed;
+          Printf.printf "  %-32s %10d -> %-10d (%+d)\n" (name ^ label) va vb
+            (vb - va)
+        in
+        match (value ma name, value mb name) with
+        | Some (`Counter va), Some (`Counter vb) when va <> vb -> pr "" va vb
+        | Some (`Hist_count va), Some (`Hist_count vb) when va <> vb ->
+          pr "[count]" va vb
+        | None, Some (`Counter vb) -> pr "" 0 vb
+        | None, Some (`Hist_count vb) -> pr "[count]" 0 vb
+        | Some (`Counter va), None -> pr "" va 0
+        | Some (`Hist_count va), None -> pr "[count]" va 0
+        | _ -> ())
+      names;
+    if !changed = 0 then print_endline "no differences"
+    else Printf.printf "%d metric(s) changed\n" !changed
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"Diff two JSON metrics dumps: counter and histogram-count deltas.")
+    Term.(const run $ a_arg $ b_arg)
+
+let obs_cmd =
+  Cmd.group
+    (Cmd.info "obs"
+       ~doc:
+         "Inspect observability artefacts: summarize a flight-recorder \
+          journal, pretty-print one request's trace, diff metrics dumps.")
+    [ obs_summary_cmd; obs_trace_cmd; obs_diff_cmd ]
+
 let () =
   let info =
     Cmd.info "rr" ~version:"1.0.0"
@@ -609,5 +947,5 @@ let () =
        (Cmd.group info
           [
             topo_cmd; route_cmd; simulate_cmd; audit_cmd; analyze_cmd;
-            batch_cmd; provision_cmd; dot_cmd; check_cmd;
+            batch_cmd; provision_cmd; dot_cmd; check_cmd; obs_cmd;
           ]))

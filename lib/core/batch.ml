@@ -80,11 +80,14 @@ let process ?(order = Fifo) ?obs net policy requests =
   let cache = Rr_wdm.Aux_cache.create net in
   let total = ref 0.0 in
   let outcomes =
-    List.map
-      (fun req ->
+    (* Request ids are batch positions: stage spans and journal events
+       recorded during admission i are attributable to [ordered]'s i-th
+       request. *)
+    List.mapi
+      (fun i req ->
         let solution =
           if valid net req then
-            Router.admit ~aux_cache:cache ?obs net policy
+            Router.admit ~aux_cache:cache ?obs ~req:i net policy
               ~source:req.Types.src ~target:req.Types.dst
           else None
         in
@@ -123,11 +126,19 @@ let process ?(order = Fifo) ?obs net policy requests =
    Phase B never depends on how Phase A was executed, so [route] and
    [route_parallel] produce identical results by construction. *)
 
-let speculate_one ?obs snapshot cache ws policy req =
-  if valid snapshot req then
-    Router.route ~aux_cache:cache ~workspace:ws ?obs snapshot policy
-      ~source:req.Types.src ~target:req.Types.dst
-  else None
+(* [req] is the request's batch position: phase-A spans carry it so a
+   request's speculation is attributable even after the worker forks are
+   merged (ids survive [Obs.merge]). *)
+let speculate_one ?(obs = Obs.null) ?req snapshot cache ws policy rq =
+  (match req with Some id -> Obs.set_request obs id | None -> ());
+  let result =
+    if valid snapshot rq then
+      Router.route ~aux_cache:cache ~workspace:ws ~obs snapshot policy
+        ~source:rq.Types.src ~target:rq.Types.dst
+    else None
+  in
+  (match req with Some _ -> Obs.clear_request obs | None -> ());
+  result
 
 (* ------------------------------------------------------------------ *)
 (* Pool-resident worker shards.
@@ -347,9 +358,11 @@ let apply ?pool ?(obs = Obs.null) net policy ordered speculative =
           sols.(k) <- Some sol
         | Error _ ->
           Obs.add obs "batch.conflict.fallbacks" 1;
+          Obs.event obs ~a:k "journal.batch.fallback";
           let re =
-            Router.admit ~aux_cache:(Lazy.force cache) ~workspace:ws ~obs net
-              policy ~source:reqs.(k).Types.src ~target:reqs.(k).Types.dst
+            Router.admit ~aux_cache:(Lazy.force cache) ~workspace:ws ~obs
+              ~req:k net policy ~source:reqs.(k).Types.src
+              ~target:reqs.(k).Types.dst
           in
           (match re with
           | Some sol' -> costs.(k) <- Types.total_cost net sol'
@@ -385,7 +398,9 @@ let route ?(order = Fifo) ?obs net policy requests =
   let cache = Rr_wdm.Aux_cache.create snapshot in
   let ws = Rr_util.Workspace.create () in
   let speculative =
-    List.map (fun req -> speculate_one ?obs snapshot cache ws policy req) ordered
+    List.mapi
+      (fun i req -> speculate_one ?obs ~req:i snapshot cache ws policy req)
+      ordered
   in
   apply ?obs net policy ordered speculative
 
@@ -405,12 +420,13 @@ let route_parallel ?(order = Fifo) ?pool ?jobs ?(obs = Obs.null) net policy
         Array.init size (fun i -> Obs.fork obs ~tid:(i + 1))
       else Array.make size Obs.null
     in
-    let reqs = Array.of_list ordered in
+    let reqs = Array.of_list (List.mapi (fun i req -> (i, req)) ordered) in
     let speculative =
       Parallel.map p
         ~worker:(fun i -> (shard_for p net i, forks.(i)))
-        ~f:(fun (sh, fork) req ->
-          speculate_one ~obs:fork sh.sh_snap sh.sh_cache sh.sh_ws policy req)
+        ~f:(fun (sh, fork) (i, req) ->
+          speculate_one ~obs:fork ~req:i sh.sh_snap sh.sh_cache sh.sh_ws policy
+            req)
         reqs
     in
     if Obs.enabled obs then Array.iter (fun f -> Obs.merge ~into:obs f) forks;

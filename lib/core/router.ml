@@ -66,11 +66,46 @@ let route ?aux_cache ?workspace ?(obs = Obs.null) net policy ~source ~target =
    | _ -> ());
   result
 
-let admit ?aux_cache ?workspace ?(obs = Obs.null) net policy ~source ~target =
+(* Journal payload codes for [journal.admit.blocked]: which blocking
+   cause fired.  Detected by diffing the [route.block.*] counters around
+   the route call — cheap (three hash lookups per enabled admission) and
+   it keeps the cause attribution consistent with the counters. *)
+let cause_no_disjoint_pair = 1
+let cause_no_wavelength = 2
+let cause_no_route = 3
+let cause_validator = 4
+
+let admit ?aux_cache ?workspace ?(obs = Obs.null) ?req net policy ~source
+    ~target =
+  (match req with Some id -> Obs.set_request obs id | None -> ());
+  let t_admit = Obs.start obs in
+  let live = Obs.enabled obs in
+  let m = Obs.metrics obs in
+  let module M = Rr_obs.Metrics in
+  let b_pair = if live then M.counter m "route.block.no_disjoint_pair" else 0 in
+  let b_wave = if live then M.counter m "route.block.no_wavelength" else 0 in
+  let b_route = if live then M.counter m "route.block.no_route" else 0 in
+  let finish result =
+    Obs.stop_admit obs t_admit;
+    (match req with Some _ -> Obs.clear_request obs | None -> ());
+    result
+  in
   match route ?aux_cache ?workspace ~obs net policy ~source ~target with
   | None ->
     Obs.add obs "admit.blocked" 1;
-    None
+    if live then begin
+      let cause =
+        if M.counter m "route.block.no_disjoint_pair" > b_pair then
+          cause_no_disjoint_pair
+        else if M.counter m "route.block.no_wavelength" > b_wave then
+          cause_no_wavelength
+        else if M.counter m "route.block.no_route" > b_route then
+          cause_no_route
+        else 0
+      in
+      Obs.event obs ~a:cause "journal.admit.blocked"
+    end;
+    finish None
   | Some sol -> (
     let t0 = Obs.start obs in
     let verdict = Types.validate net { Types.src = source; dst = target } sol in
@@ -86,13 +121,16 @@ let admit ?aux_cache ?workspace ?(obs = Obs.null) net policy ~source ~target =
       ignore e;
       Obs.add obs "admit.reject.validator" 1;
       Obs.add obs "admit.blocked" 1;
-      None
+      Obs.event obs ~a:cause_validator "journal.admit.blocked";
+      Obs.anomaly obs "validator-reject";
+      finish None
     | Ok () ->
       let t0 = Obs.start obs in
       Types.allocate net sol;
       Obs.stop obs "stage.allocate" t0;
       Obs.add obs "admit.ok" 1;
-      Some sol)
+      Obs.event obs ~a:source ~b:target "journal.admit.ok";
+      finish (Some sol))
 
 (* The (link, wavelength) hops a solution would allocate, primary first
    then backup, in hop order.  Within one solution every physical link

@@ -42,6 +42,7 @@ val admit :
   ?aux_cache:Rr_wdm.Aux_cache.t ->
   ?workspace:Rr_util.Workspace.t ->
   ?obs:Rr_obs.Obs.t ->
+  ?req:int ->
   Rr_wdm.Network.t ->
   policy ->
   source:int ->
@@ -54,7 +55,17 @@ val admit :
     defect, not an operational condition — is additionally counted under
     [admit.reject.validator] and refused rather than raised, so long
     simulations survive and the defect shows up in exported metrics (the
-    shipped policies keep this counter at zero). *)
+    shipped policies keep this counter at zero).
+
+    [req] is the request id for request-scoped observability: the whole
+    admission runs inside [Obs.set_request]/[Obs.clear_request], so every
+    stage span is attributable (and subject to the context's sampling
+    rate), the admission outcome lands in the flight recorder as
+    [journal.admit.ok] (a=source, b=target) or [journal.admit.blocked]
+    (a = blocking cause: 1 no_disjoint_pair, 2 no_wavelength, 3 no_route,
+    4 validator reject), and the end-to-end latency feeds the [req.admit]
+    histogram plus the sliding window via [Obs.stop_admit].  Without
+    [req] the same probes fire with request id -1. *)
 
 val footprint : Types.solution -> (int * int) list
 (** The [(link, wavelength)] hops the solution would allocate — primary

@@ -14,4 +14,6 @@ let hot_kernel file =
 let optional_labels = [ "obs"; "workspace"; "aux_cache" ]
 
 let probe_functions =
-  [ "Obs.stop"; "Obs.add"; "Obs.gauge"; "Obs.observe_ns"; "Obs.span" ]
+  [ "Obs.stop"; "Obs.add"; "Obs.gauge"; "Obs.observe_ns"; "Obs.span"
+  ; "Obs.event" (* journal event names share the probe grammar/manifest *)
+  ]

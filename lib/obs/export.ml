@@ -8,6 +8,38 @@ let sanitize name =
       match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_')
     name
 
+(* Prometheus escaping: HELP docstrings escape backslash and newline;
+   label values additionally escape the double quote. *)
+let escape_help s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let escape_label_value s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let label_pairs labels =
+  String.concat ","
+    (List.map
+       (fun (k, v) ->
+         Printf.sprintf "%s=\"%s\"" (sanitize k) (escape_label_value v))
+       labels)
+
 let hist_buckets_nonempty (h : Metrics.hist_view) =
   (* Highest non-empty bucket; emitting the 63-bucket tail of zeros helps
      nobody. *)
@@ -15,33 +47,49 @@ let hist_buckets_nonempty (h : Metrics.hist_view) =
   Array.iteri (fun i c -> if c > 0 then hi := i) h.buckets;
   !hi
 
-let prometheus ?(prefix = "rr") m =
+let prometheus ?(prefix = "rr") ?(labels = []) m =
   let b = Buffer.create 4096 in
+  (* Sample suffix carrying the shared label set, "" when unlabelled. *)
+  let ls =
+    match labels with [] -> "" | ps -> "{" ^ label_pairs ps ^ "}"
+  in
+  (* Histogram buckets merge the shared labels with their le bound. *)
+  let le_str le =
+    match labels with
+    | [] -> Printf.sprintf "{le=\"%s\"}" le
+    | ps -> Printf.sprintf "{%s,le=\"%s\"}" (label_pairs ps) le
+  in
   List.iter
     (fun (name, v) ->
       let n = prefix ^ "_" ^ sanitize name in
       match v with
       | Metrics.Counter c ->
+        (* The HELP docstring carries the original dotted name, which the
+           sanitized sample name loses. *)
+        Printf.bprintf b "# HELP %s counter %s\n" n (escape_help name);
         Printf.bprintf b "# TYPE %s counter\n" n;
-        Printf.bprintf b "%s_total %d\n" n c
+        Printf.bprintf b "%s_total%s %d\n" n ls c
       | Metrics.Gauge g ->
+        Printf.bprintf b "# HELP %s gauge %s\n" n (escape_help name);
         Printf.bprintf b "# TYPE %s gauge\n" n;
-        Printf.bprintf b "%s %g\n" n g
+        Printf.bprintf b "%s%s %g\n" n ls g
       | Metrics.Histogram h ->
         (* Latency histograms are recorded in nanoseconds; the unit is part
            of the metric name, cumulative buckets as Prometheus expects. *)
         let n = n ^ "_ns" in
+        Printf.bprintf b "# HELP %s histogram %s (ns)\n" n (escape_help name);
         Printf.bprintf b "# TYPE %s histogram\n" n;
         let cum = ref 0 in
         let hi = hist_buckets_nonempty h in
         for i = 0 to hi do
           cum := !cum + h.buckets.(i);
-          Printf.bprintf b "%s_bucket{le=\"%d\"} %d\n" n
-            (Metrics.bucket_upper_ns i) !cum
+          Printf.bprintf b "%s_bucket%s %d\n" n
+            (le_str (string_of_int (Metrics.bucket_upper_ns i)))
+            !cum
         done;
-        Printf.bprintf b "%s_bucket{le=\"+Inf\"} %d\n" n h.count;
-        Printf.bprintf b "%s_sum %d\n" n h.sum_ns;
-        Printf.bprintf b "%s_count %d\n" n h.count)
+        Printf.bprintf b "%s_bucket%s %d\n" n (le_str "+Inf") h.count;
+        Printf.bprintf b "%s_sum%s %d\n" n ls h.sum_ns;
+        Printf.bprintf b "%s_count%s %d\n" n ls h.count)
     (Metrics.items m);
   Buffer.contents b
 
@@ -82,11 +130,14 @@ let chrome_trace spans =
          need ts + dur + pid/tid. *)
       Printf.bprintf b
         "\n{\"name\": %S, \"cat\": \"rr\", \"ph\": \"X\", \"ts\": %.3f, \
-         \"dur\": %.3f, \"pid\": 1, \"tid\": %d}"
+         \"dur\": %.3f, \"pid\": 1, \"tid\": %d"
         s.Tracer.name
         (float_of_int s.Tracer.start_ns /. 1e3)
         (float_of_int s.Tracer.dur_ns /. 1e3)
-        s.Tracer.tid)
+        s.Tracer.tid;
+      if s.Tracer.req >= 0 then
+        Printf.bprintf b ", \"args\": {\"req\": %d}" s.Tracer.req;
+      Buffer.add_string b "}")
     spans;
   Buffer.add_string b "\n]\n";
   Buffer.contents b

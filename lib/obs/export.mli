@@ -3,10 +3,14 @@
     All three return the serialised document as a string; writing files
     (or stdout) is the caller's business. *)
 
-val prometheus : ?prefix:string -> Metrics.t -> string
+val prometheus :
+  ?prefix:string -> ?labels:(string * string) list -> Metrics.t -> string
 (** Prometheus exposition text.  Counters become [<p>_<name>_total],
     histograms [<p>_<name>_ns{_bucket,_sum,_count}] with cumulative
-    power-of-two nanosecond buckets.  Default prefix ["rr"]. *)
+    power-of-two nanosecond buckets.  Every family gets a [# HELP] line
+    carrying the original dotted name (backslash/newline escaped);
+    [labels] are attached to every sample (values escaped per the
+    exposition format).  Default prefix ["rr"], no labels. *)
 
 val json : Metrics.t -> string
 (** JSON object keyed by metric name; histograms carry
@@ -14,7 +18,14 @@ val json : Metrics.t -> string
 
 val chrome_trace : Tracer.span list -> string
 (** Chrome [trace_event] JSON array of complete ("ph": "X") events —
-    load it in [chrome://tracing] or Perfetto. *)
+    load it in [chrome://tracing] or Perfetto.  Spans recorded inside a
+    request scope carry their id as ["args": {"req": N}]. *)
 
 val sanitize : string -> string
 (** Replace every character outside [[A-Za-z0-9_]] with ['_']. *)
+
+val escape_help : string -> string
+(** Prometheus HELP-docstring escaping (backslash, newline). *)
+
+val escape_label_value : string -> string
+(** Prometheus label-value escaping (backslash, double quote, newline). *)

@@ -1,0 +1,85 @@
+(* Flight recorder: a bounded ring of structured events mirroring the
+   Tracer layout (parallel unboxed arrays, static string literal names,
+   power-of-two capacity).  Recording writes six array slots and
+   allocates nothing, so it can stay always-on in the admission path;
+   when the ring wraps the oldest events are overwritten and [total]
+   keeps counting so the drop count stays visible. *)
+
+type t = {
+  mask : int;
+  names : string array;
+  times : int array;
+  tids : int array;
+  reqs : int array;
+  a : int array;
+  b : int array;
+  mutable total : int;
+}
+
+type event = {
+  seq : int;
+  t_ns : int;
+  tid : int;
+  req : int;
+  name : string;
+  a : int;
+  b : int;
+}
+
+let create ?(capacity = 1 lsl 12) () =
+  if capacity < 1 then invalid_arg "Journal.create: capacity must be positive";
+  let rec pow2 c = if c >= capacity then c else pow2 (c * 2) in
+  let cap = pow2 1 in
+  {
+    mask = cap - 1;
+    names = Array.make cap "";
+    times = Array.make cap 0;
+    tids = Array.make cap 0;
+    reqs = Array.make cap (-1);
+    a = Array.make cap (-1);
+    b = Array.make cap (-1);
+    total = 0;
+  }
+
+let capacity t = t.mask + 1
+let total t = t.total
+let retained t = min t.total (capacity t)
+let dropped t = t.total - retained t
+
+let record t ~t_ns ~tid ~req ~a ~b name =
+  let i = t.total land t.mask in
+  t.names.(i) <- name;
+  t.times.(i) <- t_ns;
+  t.tids.(i) <- tid;
+  t.reqs.(i) <- req;
+  t.a.(i) <- a;
+  t.b.(i) <- b;
+  t.total <- t.total + 1
+
+let events t =
+  let r = retained t in
+  List.init r (fun j ->
+      let i = (t.total - r + j) land t.mask in
+      {
+        seq = t.total - r + j;
+        t_ns = t.times.(i);
+        tid = t.tids.(i);
+        req = t.reqs.(i);
+        name = t.names.(i);
+        a = t.a.(i);
+        b = t.b.(i);
+      })
+
+let clear t = t.total <- 0
+
+(* One JSON object per line; field order is fixed so dumps diff cleanly. *)
+let to_jsonl t =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun e ->
+      Printf.bprintf b
+        "{\"seq\": %d, \"t_ns\": %d, \"tid\": %d, \"req\": %d, \
+         \"event\": %S, \"a\": %d, \"b\": %d}\n"
+        e.seq e.t_ns e.tid e.req e.name e.a e.b)
+    (events t);
+  Buffer.contents b

@@ -1,0 +1,49 @@
+(** Flight recorder: an always-on bounded ring of structured events.
+
+    The black box next to the {!Tracer}: where spans answer "how long did
+    each stage take", journal events answer "what happened and why" —
+    admission outcomes with their blocking cause, failure/repair flips,
+    conflict fallbacks, cache rebuilds.  Events carry a static string
+    name (same dotted grammar as probe names, [journal.*] namespace), a
+    monotonic timestamp, the worker tid, the request id ([-1] when the
+    event belongs to no request) and two small integer payload slots
+    [a]/[b] ([-1] when unused).
+
+    Recording writes six array slots and allocates nothing, so the ring
+    stays enabled in production admission paths.  When it wraps the
+    oldest events are overwritten; {!dropped} reports how many (surfaced
+    as the [journal.dropped] counter by {!Obs}). *)
+
+type t
+
+type event = {
+  seq : int;  (** position in the record stream, 0-based, monotonic *)
+  t_ns : int;
+  tid : int;
+  req : int;
+  name : string;
+  a : int;
+  b : int;
+}
+
+val create : ?capacity:int -> unit -> t
+(** [capacity] (default 4096) is rounded up to a power of two. *)
+
+val record : t -> t_ns:int -> tid:int -> req:int -> a:int -> b:int -> string -> unit
+
+val capacity : t -> int
+
+val total : t -> int
+(** Events ever recorded, including overwritten ones. *)
+
+val retained : t -> int
+val dropped : t -> int
+
+val events : t -> event list
+(** Retained events, oldest first; [seq] exposes the drop offset. *)
+
+val clear : t -> unit
+
+val to_jsonl : t -> string
+(** Retained events as JSON Lines (one object per line, fixed field
+    order) — the on-demand dump format consumed by [rr_cli obs]. *)

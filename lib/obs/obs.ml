@@ -2,21 +2,46 @@ type t = {
   mutable enabled : bool;
   metrics : Metrics.t;
   tracer : Tracer.t;
+  journal : Journal.t;
+  window : Window.t option;
+  sample : int;
   tid : int;
+  mutable req : int;
+  mutable sampled : bool;
+  mutable anomaly_sink : (string -> string -> unit) option;
 }
 
 (* The shared disabled context every instrumented function defaults to.
    It must never be enabled (it is global mutable state reachable from
    every call site), so [set_enabled] refuses it. *)
 let null =
-  { enabled = false; metrics = Metrics.create (); tracer = Tracer.create ~capacity:1 (); tid = 0 }
+  {
+    enabled = false;
+    metrics = Metrics.create ();
+    tracer = Tracer.create ~capacity:1 ();
+    journal = Journal.create ~capacity:1 ();
+    window = None;
+    sample = 1;
+    tid = 0;
+    req = -1;
+    sampled = true;
+    anomaly_sink = None;
+  }
 
-let create ?(tid = 0) ?trace_capacity () =
+let create ?(tid = 0) ?trace_capacity ?journal_capacity ?(sample = 1) ?window_ns
+    () =
+  if sample < 1 then invalid_arg "Obs.create: sample must be >= 1";
   {
     enabled = true;
     metrics = Metrics.create ();
     tracer = Tracer.create ?capacity:trace_capacity ();
+    journal = Journal.create ?capacity:journal_capacity ();
+    window = Option.map (fun ns -> Window.create ~window_ns:ns ()) window_ns;
+    sample;
     tid;
+    req = -1;
+    sampled = true;
+    anomaly_sink = None;
   }
 
 let enabled t = t.enabled
@@ -27,19 +52,61 @@ let set_enabled t v =
 
 let metrics t = t.metrics
 let tracer t = t.tracer
+let journal t = t.journal
+let window t = t.window
+let sample t = t.sample
 let tid t = t.tid
 let now_ns = Clock.now_ns
+
+(* Request scoping: [req] tags every span and journal event recorded
+   until the next [clear_request]; [sampled] caches the deterministic
+   1-in-[sample] decision so the per-span check is one load. *)
+let set_request t id =
+  if t.enabled then begin
+    t.req <- id;
+    t.sampled <- t.sample <= 1 || id mod t.sample = 0
+  end
+
+let clear_request t =
+  if t.enabled then begin
+    t.req <- -1;
+    t.sampled <- true
+  end
+
+let request t = t.req
 
 (* Probe pair for hot paths: no closure, no allocation.  Disabled cost is
    one load and branch per call ([start] additionally returns the
    immediate 0). *)
 let start t = if t.enabled then Clock.now_ns () else 0
 
+(* Span recording shared by [stop] and [stop_admit]: sampling gates only
+   the tracer write (histograms always see every sample), and a ring
+   wrap surfaces as the [trace.dropped] counter. *)
+let record_span t name t0 dur =
+  if t.sampled then begin
+    Tracer.record t.tracer ~tid:t.tid ~req:t.req name ~start_ns:t0 ~dur_ns:dur;
+    if Tracer.total t.tracer > Tracer.capacity t.tracer then
+      Metrics.add t.metrics "trace.dropped" 1
+  end;
+  Metrics.observe_ns t.metrics name dur
+
 let stop t name t0 =
   if t.enabled then begin
     let dur = Clock.now_ns () - t0 in
-    Tracer.record t.tracer ~tid:t.tid name ~start_ns:t0 ~dur_ns:dur;
-    Metrics.observe_ns t.metrics name dur
+    record_span t name t0 dur
+  end
+
+(* Whole-admission probe: the [req.admit] span/histogram plus the
+   sliding-window sample behind the recent-p99 gate. *)
+let stop_admit t t0 =
+  if t.enabled then begin
+    let now = Clock.now_ns () in
+    let dur = now - t0 in
+    record_span t "req.admit" t0 dur;
+    match t.window with
+    | Some w -> Window.observe_ns w ~now_ns:now dur
+    | None -> ()
   end
 
 let span t name f =
@@ -59,12 +126,39 @@ let add t name n = if t.enabled then Metrics.add t.metrics name n
 let gauge t name v = if t.enabled then Metrics.set_gauge t.metrics name v
 let observe_ns t name ns = if t.enabled then Metrics.observe_ns t.metrics name ns
 
+(* Flight-recorder event: always-on (no sampling — the journal is the
+   black box), tagged with the current request id, overflow surfaced as
+   [journal.dropped]. *)
+let event t ?(a = -1) ?(b = -1) name =
+  if t.enabled then begin
+    Journal.record t.journal ~t_ns:(Clock.now_ns ()) ~tid:t.tid ~req:t.req ~a
+      ~b name;
+    if Journal.total t.journal > Journal.capacity t.journal then
+      Metrics.add t.metrics "journal.dropped" 1
+  end
+
+let set_anomaly_sink t f = t.anomaly_sink <- Some f
+
+let anomaly t reason =
+  if t.enabled then begin
+    event t "journal.anomaly";
+    match t.anomaly_sink with
+    | Some sink -> sink reason (Journal.to_jsonl t.journal)
+    | None -> ()
+  end
+
 let fork t ~tid =
   {
     enabled = t.enabled;
     metrics = Metrics.create ();
     tracer = Tracer.create ~capacity:(Tracer.capacity t.tracer) ();
+    journal = Journal.create ~capacity:(Journal.capacity t.journal) ();
+    window = None;
+    sample = t.sample;
     tid;
+    req = -1;
+    sampled = true;
+    anomaly_sink = None;
   }
 
 let merge ~into child =
@@ -72,7 +166,16 @@ let merge ~into child =
     Metrics.merge_into ~into:into.metrics child.metrics;
     List.iter
       (fun s ->
-        Tracer.record into.tracer ~tid:s.Tracer.tid s.Tracer.name
-          ~start_ns:s.Tracer.start_ns ~dur_ns:s.Tracer.dur_ns)
-      (Tracer.spans child.tracer)
+        Tracer.record into.tracer ~tid:s.Tracer.tid ~req:s.Tracer.req
+          s.Tracer.name ~start_ns:s.Tracer.start_ns ~dur_ns:s.Tracer.dur_ns;
+        if Tracer.total into.tracer > Tracer.capacity into.tracer then
+          Metrics.add into.metrics "trace.dropped" 1)
+      (Tracer.spans child.tracer);
+    List.iter
+      (fun e ->
+        Journal.record into.journal ~t_ns:e.Journal.t_ns ~tid:e.Journal.tid
+          ~req:e.Journal.req ~a:e.Journal.a ~b:e.Journal.b e.Journal.name;
+        if Journal.total into.journal > Journal.capacity into.journal then
+          Metrics.add into.metrics "journal.dropped" 1)
+      (Journal.events child.journal)
   end

@@ -1,5 +1,5 @@
-(** Observability context: one {!Metrics} registry plus one {!Tracer},
-    behind an on/off switch.
+(** Observability context: one {!Metrics} registry, one {!Tracer} and one
+    {!Journal} flight recorder, behind an on/off switch.
 
     Instrumented functions take [?obs:Obs.t] defaulting to {!null}, the
     shared permanently-disabled context, so un-instrumented callers pay
@@ -7,9 +7,16 @@
     (see the disabled-mode test and the bench overhead gate).
 
     Contexts are single-domain.  For parallel sections, {!fork} a child
-    per worker (fresh registry and tracer, same switch) and {!merge} the
-    children back in worker order at the join; totals are deterministic
-    because {!Metrics.merge_into} commutes.
+    per worker (fresh registry, tracer and journal, same switch and
+    sampling rate) and {!merge} the children back in worker order at the
+    join; totals are deterministic because {!Metrics.merge_into}
+    commutes, and spans/events keep their request ids across the join.
+
+    Request scoping: {!set_request} tags every subsequent span and
+    journal event with a request id until {!clear_request}, and decides
+    — deterministically, [id mod sample = 0] — whether this request's
+    spans enter the tracer.  Sampling gates only the tracer: histograms
+    and the journal always see every request.
 
     Naming conventions used across the repository:
     - [stage.*]    per-stage latency histograms of the Section 3.3
@@ -25,6 +32,25 @@
                    [admit.reject.validator]
     - [route.block.*]  blocking causes: [no_disjoint_pair],
                    [no_wavelength], [no_route]
+    - [req.*]      request-scoped probes recorded internally by this
+                   module: [req.admit] is the whole-admission span and
+                   latency histogram written by {!stop_admit} (and fed
+                   into the sliding window when one is configured)
+    - [journal.*]  flight-recorder event names ({!event} call sites,
+                   same dotted grammar and manifest as probe names):
+                   [journal.admit.ok] (a=source, b=target),
+                   [journal.admit.blocked] (a encodes the cause:
+                   1=no_disjoint_pair, 2=no_wavelength, 3=no_route,
+                   4=validator reject, 0=unknown),
+                   [journal.batch.fallback] (a=request index),
+                   [journal.link.fail] / [journal.link.repair] (a=link),
+                   [journal.node.fail] (a=node),
+                   [journal.aux.rebuild] (full auxiliary recompute);
+                   [journal.anomaly] is recorded internally by
+                   {!anomaly}.  [journal.dropped] counts events lost to
+                   ring wrap, [trace.dropped] spans lost likewise
+    - [window.*]   reserved for sliding-window read-outs in exports
+                   (the window itself is queried via {!window})
     - [workspace.hit] / [workspace.miss]  scratch-state pooling counters
     - [aux.cache.*]  incremental auxiliary-graph engine counters:
                    [aux.cache.hit] (delta syncs), [aux.cache.rebuild]
@@ -56,8 +82,19 @@ val null : t
 (** Shared disabled context; the default for every [?obs] argument.
     Cannot be enabled. *)
 
-val create : ?tid:int -> ?trace_capacity:int -> unit -> t
-(** Fresh enabled context. [tid] labels its spans in trace exports. *)
+val create :
+  ?tid:int ->
+  ?trace_capacity:int ->
+  ?journal_capacity:int ->
+  ?sample:int ->
+  ?window_ns:int ->
+  unit ->
+  t
+(** Fresh enabled context.  [tid] labels its spans in trace exports;
+    [sample] (default 1 = trace everything) keeps spans only for
+    requests with [id mod sample = 0]; [window_ns] attaches a sliding
+    {!Window} fed by {!stop_admit}.  Raises [Invalid_argument] if
+    [sample < 1]. *)
 
 val enabled : t -> bool
 
@@ -66,17 +103,42 @@ val set_enabled : t -> bool -> unit
 
 val metrics : t -> Metrics.t
 val tracer : t -> Tracer.t
+
+val journal : t -> Journal.t
+(** The flight recorder. *)
+
+val window : t -> Window.t option
+(** The sliding admit-latency window, when configured. *)
+
+val sample : t -> int
 val tid : t -> int
 
 val now_ns : unit -> int
+
+val set_request : t -> int -> unit
+(** Enter request scope: subsequent spans and events carry this id, and
+    the deterministic sampling decision for the tracer is made here.
+    No-op when disabled. *)
+
+val clear_request : t -> unit
+(** Leave request scope (id reverts to -1, tracing re-enabled). *)
+
+val request : t -> int
+(** Current request id, -1 outside any request scope. *)
 
 val start : t -> int
 (** Begin a span: the start timestamp when enabled, 0 when disabled. *)
 
 val stop : t -> string -> int -> unit
 (** [stop t name t0] completes the span opened by {!start}: records it in
-    the tracer and feeds its duration into the [name] latency histogram.
-    No-op when disabled.  [name] should be a static string literal. *)
+    the tracer (unless the current request is sampled out) and feeds its
+    duration into the [name] latency histogram (always).  No-op when
+    disabled.  [name] should be a static string literal. *)
+
+val stop_admit : t -> int -> unit
+(** [stop_admit t t0] completes a whole-admission span: the [req.admit]
+    span/histogram plus a sample into the sliding window when one is
+    configured.  Called by [Router.admit]. *)
 
 val span : t -> string -> (unit -> 'a) -> 'a
 (** Closure convenience for cold paths (allocates the closure even when
@@ -90,10 +152,28 @@ val gauge : t -> string -> float -> unit
 val observe_ns : t -> string -> int -> unit
 (** Histogram sample without a tracer span. *)
 
+val event : t -> ?a:int -> ?b:int -> string -> unit
+(** [event t ?a ?b name] records a flight-recorder event (always-on,
+    never sampled out) tagged with the current request id.  [a]/[b] are
+    small integer payloads, -1 when omitted.  [name] should be a static
+    string literal in the [journal.*] namespace — checked against the
+    probe manifest by rr_lint R4. *)
+
+val set_anomaly_sink : t -> (string -> string -> unit) -> unit
+(** [set_anomaly_sink t f] — [f reason jsonl] is called by {!anomaly}
+    with the anomaly reason and a JSONL dump of the journal at that
+    moment (the black-box retrieval). *)
+
+val anomaly : t -> string -> unit
+(** Record a [journal.anomaly] event and hand the journal dump to the
+    anomaly sink, if any.  No-op when disabled. *)
+
 val fork : t -> tid:int -> t
-(** Child context for a parallel worker: fresh registry and tracer, the
-    parent's switch state. *)
+(** Child context for a parallel worker: fresh registry, tracer and
+    journal (same capacities and sampling rate), the parent's switch
+    state.  The child has no window or anomaly sink — those belong to
+    the root context. *)
 
 val merge : into:t -> t -> unit
-(** Fold a child's metrics and spans into [into].  No-op when [into] is
-    {!null}. *)
+(** Fold a child's metrics, spans and journal events into [into],
+    preserving request ids.  No-op when [into] is {!null}. *)

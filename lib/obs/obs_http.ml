@@ -1,0 +1,93 @@
+(* Minimal stdlib-Unix HTTP endpoint for /metrics and /healthz: the
+   stepping stone rr_serve will mount.  Request handling is a pure
+   string -> string function ([handle]) so the protocol is testable
+   without sockets; the socket layer is a blocking accept loop intended
+   to run on its own domain or be pumped with [serve_once]. *)
+
+let response ?(content_type = "text/plain; charset=utf-8") ~status body =
+  Printf.sprintf
+    "HTTP/1.1 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: close\r\n\r\n%s"
+    status content_type
+    (String.length body)
+    body
+
+(* Only the request line matters: GETs carry no body and we ignore all
+   headers.  Strip an optional query string before dispatch. *)
+let handle ~metrics request =
+  let line =
+    match String.index_opt request '\n' with
+    | Some i ->
+      let l = String.sub request 0 i in
+      let n = String.length l in
+      if n > 0 && l.[n - 1] = '\r' then String.sub l 0 (n - 1) else l
+    | None -> request
+  in
+  match String.split_on_char ' ' line with
+  | [ meth; path; version ]
+    when String.length version >= 5 && String.sub version 0 5 = "HTTP/" -> (
+    if not (String.equal meth "GET") then
+      response ~status:"405 Method Not Allowed" "method not allowed\n"
+    else
+      let path =
+        match String.index_opt path '?' with
+        | Some i -> String.sub path 0 i
+        | None -> path
+      in
+      match path with
+      | "/metrics" ->
+        response ~status:"200 OK"
+          ~content_type:"text/plain; version=0.0.4; charset=utf-8"
+          (metrics ())
+      | "/healthz" -> response ~status:"200 OK" "ok\n"
+      | _ -> response ~status:"404 Not Found" "not found\n")
+  | _ -> response ~status:"400 Bad Request" "bad request\n"
+
+let listen ?(backlog = 16) ~port () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen fd backlog;
+  fd
+
+let bound_port fd =
+  match Unix.getsockname fd with
+  | Unix.ADDR_INET (_, p) -> p
+  | Unix.ADDR_UNIX _ -> 0
+
+(* Read until the request line is complete (or a size cap, against
+   garbage input).  EOF and connection errors just end the read — the
+   parser then answers 400. *)
+let read_request c =
+  let buf = Bytes.create 4096 in
+  let b = Buffer.create 256 in
+  let rec go () =
+    if (not (String.contains (Buffer.contents b) '\n')) && Buffer.length b < 65536
+    then begin
+      let n = Unix.read c buf 0 (Bytes.length buf) in
+      if n > 0 then begin
+        Buffer.add_subbytes b buf 0 n;
+        go ()
+      end
+    end
+  in
+  (try go () with Unix.Unix_error _ -> ());
+  Buffer.contents b
+
+let serve_once ~metrics fd =
+  let c, _ = Unix.accept fd in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close c with Unix.Unix_error _ -> ())
+    (fun () ->
+      let resp = handle ~metrics (read_request c) in
+      let n = String.length resp in
+      let written = ref 0 in
+      try
+        while !written < n do
+          written := !written + Unix.write_substring c resp !written (n - !written)
+        done
+      with Unix.Unix_error _ -> ())
+
+let serve ?(stop = fun () -> false) ~metrics fd =
+  while not (stop ()) do
+    serve_once ~metrics fd
+  done

@@ -1,0 +1,31 @@
+(** Minimal HTTP endpoint serving [/metrics] and [/healthz].
+
+    Plain stdlib-Unix, loopback only, one blocking connection at a time:
+    enough to let Prometheus scrape a running process, and the mount
+    point the future [rr_serve] daemon will reuse.  The protocol logic
+    is the pure function {!handle}; sockets are a thin layer on top.
+
+    The [metrics] callback is invoked per request — pass
+    [(fun () -> Export.prometheus (Obs.metrics obs))] to serve a live
+    registry. *)
+
+val handle : metrics:(unit -> string) -> string -> string
+(** [handle ~metrics request] maps a raw HTTP request to a full HTTP
+    response string.  [GET /metrics] serves [metrics ()] as Prometheus
+    text (version 0.0.4), [GET /healthz] answers ["ok"], other paths
+    404, non-GET methods 405, unparsable requests 400.  Query strings
+    are ignored. *)
+
+val listen : ?backlog:int -> port:int -> unit -> Unix.file_descr
+(** Bind and listen on [127.0.0.1:port] ([port = 0] picks an ephemeral
+    port — read it back with {!bound_port}).  Raises [Unix.Unix_error]
+    on bind failure. *)
+
+val bound_port : Unix.file_descr -> int
+
+val serve_once : metrics:(unit -> string) -> Unix.file_descr -> unit
+(** Accept one connection, answer it, close it.  Blocking. *)
+
+val serve : ?stop:(unit -> bool) -> metrics:(unit -> string) -> Unix.file_descr -> unit
+(** Accept loop: [serve_once] until [stop ()] is true (checked between
+    connections; default never stops).  Run it on its own domain. *)

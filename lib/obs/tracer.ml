@@ -1,6 +1,6 @@
-(* Ring buffer of completed spans over four unboxed arrays (the name array
+(* Ring buffer of completed spans over five unboxed arrays (the name array
    holds static string literals shared with the call sites, so recording a
-   span writes four words and allocates nothing).  When the ring wraps the
+   span writes five words and allocates nothing).  When the ring wraps the
    oldest spans are overwritten; [total] keeps counting so the drop count
    is visible. *)
 
@@ -10,10 +10,11 @@ type t = {
   starts : int array;
   durs : int array;
   tids : int array;
+  reqs : int array;
   mutable total : int;
 }
 
-type span = { name : string; start_ns : int; dur_ns : int; tid : int }
+type span = { name : string; start_ns : int; dur_ns : int; tid : int; req : int }
 
 let create ?(capacity = 1 lsl 16) () =
   if capacity < 1 then invalid_arg "Tracer.create: capacity must be positive";
@@ -25,6 +26,7 @@ let create ?(capacity = 1 lsl 16) () =
     starts = Array.make cap 0;
     durs = Array.make cap 0;
     tids = Array.make cap 0;
+    reqs = Array.make cap (-1);
     total = 0;
   }
 
@@ -33,18 +35,25 @@ let total t = t.total
 let retained t = min t.total (capacity t)
 let dropped t = t.total - retained t
 
-let record t ~tid name ~start_ns ~dur_ns =
+let record t ~tid ?(req = -1) name ~start_ns ~dur_ns =
   let i = t.total land t.mask in
   t.names.(i) <- name;
   t.starts.(i) <- start_ns;
   t.durs.(i) <- dur_ns;
   t.tids.(i) <- tid;
+  t.reqs.(i) <- req;
   t.total <- t.total + 1
 
 let spans t =
   let r = retained t in
   List.init r (fun j ->
       let i = (t.total - r + j) land t.mask in
-      { name = t.names.(i); start_ns = t.starts.(i); dur_ns = t.durs.(i); tid = t.tids.(i) })
+      {
+        name = t.names.(i);
+        start_ns = t.starts.(i);
+        dur_ns = t.durs.(i);
+        tid = t.tids.(i);
+        req = t.reqs.(i);
+      })
 
 let clear t = t.total <- 0

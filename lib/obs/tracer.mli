@@ -1,19 +1,21 @@
 (** Span tracer: a fixed-capacity ring buffer of completed spans.
 
     Spans carry a static string name, a monotonic start timestamp, a
-    duration (both integer nanoseconds, see {!Clock}) and a thread id for
-    the trace timeline.  Recording writes four array slots and allocates
-    nothing; when the ring is full the oldest spans are overwritten and
-    {!dropped} reports how many. *)
+    duration (both integer nanoseconds, see {!Clock}), a thread id for
+    the trace timeline and a request id for request-scoped attribution
+    ([-1] when the span belongs to no particular request).  Recording
+    writes five array slots and allocates nothing; when the ring is full
+    the oldest spans are overwritten and {!dropped} reports how many. *)
 
 type t
 
-type span = { name : string; start_ns : int; dur_ns : int; tid : int }
+type span = { name : string; start_ns : int; dur_ns : int; tid : int; req : int }
 
 val create : ?capacity:int -> unit -> t
 (** [capacity] (default 65536) is rounded up to a power of two. *)
 
-val record : t -> tid:int -> string -> start_ns:int -> dur_ns:int -> unit
+val record : t -> tid:int -> ?req:int -> string -> start_ns:int -> dur_ns:int -> unit
+(** [req] defaults to [-1] (no request). *)
 
 val capacity : t -> int
 

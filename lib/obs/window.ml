@@ -1,0 +1,110 @@
+(* Sliding-window histogram: a ring of time slots, each a log2 bucket
+   array, lazily reset as time advances.  A slot covers [window_ns /
+   slots] of wall time and is keyed by its absolute slot index (epoch);
+   observing into a slot whose epoch is stale resets it first, so expiry
+   costs nothing when idle and O(slots) per full window rotation.
+   Queries merge the slots still inside the window into a
+   [Metrics.hist_view], giving recent p50/p99 with the same bucket
+   geometry as the process-lifetime histograms.
+
+   Time is always passed in by the caller ([~now_ns]) so behaviour is a
+   pure function of the observation sequence — tests drive the clock. *)
+
+type slot = {
+  mutable s_epoch : int; (* absolute slot index; -1 = never used *)
+  mutable s_count : int;
+  mutable s_sum : int;
+  mutable s_min : int;
+  mutable s_max : int;
+  s_buckets : int array;
+}
+
+type t = {
+  slot_ns : int;
+  n_slots : int;
+  slots : slot array;
+  window_ns : int;
+}
+
+(* Mirrors Metrics.bucket_of: significant-bit count, bucket 0 for
+   non-positive samples. *)
+let bucket_of ns =
+  let rec bits acc v = if v = 0 then acc else bits (acc + 1) (v lsr 1) in
+  if ns <= 0 then 0 else bits 0 ns
+
+let create ?(slots = 8) ~window_ns () =
+  if slots < 1 then invalid_arg "Window.create: slots must be positive";
+  if window_ns < slots then
+    invalid_arg "Window.create: window_ns must be >= slots";
+  {
+    slot_ns = window_ns / slots;
+    n_slots = slots;
+    slots =
+      Array.init slots (fun _ ->
+          {
+            s_epoch = -1;
+            s_count = 0;
+            s_sum = 0;
+            s_min = max_int;
+            s_max = 0;
+            s_buckets = Array.make Metrics.n_buckets 0;
+          });
+    window_ns;
+  }
+
+let window_ns t = t.window_ns
+
+let epoch_of t now_ns = if now_ns <= 0 then 0 else now_ns / t.slot_ns
+
+let reset s epoch =
+  s.s_epoch <- epoch;
+  s.s_count <- 0;
+  s.s_sum <- 0;
+  s.s_min <- max_int;
+  s.s_max <- 0;
+  Array.fill s.s_buckets 0 Metrics.n_buckets 0
+
+let observe_ns t ~now_ns ns =
+  let ns = if ns < 0 then 0 else ns in
+  let ep = epoch_of t now_ns in
+  let s = t.slots.(ep mod t.n_slots) in
+  if s.s_epoch <> ep then reset s ep;
+  s.s_count <- s.s_count + 1;
+  s.s_sum <- s.s_sum + ns;
+  if ns < s.s_min then s.s_min <- ns;
+  if ns > s.s_max then s.s_max <- ns;
+  let b = bucket_of ns in
+  s.s_buckets.(b) <- s.s_buckets.(b) + 1
+
+(* A slot is live iff its epoch lies in (ep_now - n_slots, ep_now]: the
+   slot at exactly ep_now - n_slots shares a ring position with the
+   current epoch and is fully expired. *)
+let live t ep_now s = s.s_epoch >= 0 && ep_now - s.s_epoch < t.n_slots && s.s_epoch <= ep_now
+
+let view t ~now_ns : Metrics.hist_view =
+  let ep = epoch_of t now_ns in
+  let count = ref 0 and sum = ref 0 and mn = ref max_int and mx = ref 0 in
+  let buckets = Array.make Metrics.n_buckets 0 in
+  Array.iter
+    (fun s ->
+      if live t ep s && s.s_count > 0 then begin
+        count := !count + s.s_count;
+        sum := !sum + s.s_sum;
+        if s.s_min < !mn then mn := s.s_min;
+        if s.s_max > !mx then mx := s.s_max;
+        for i = 0 to Metrics.n_buckets - 1 do
+          buckets.(i) <- buckets.(i) + s.s_buckets.(i)
+        done
+      end)
+    t.slots;
+  {
+    Metrics.count = !count;
+    sum_ns = !sum;
+    min_ns = (if !count = 0 then 0 else !mn);
+    max_ns = !mx;
+    buckets;
+  }
+
+let count t ~now_ns = (view t ~now_ns).Metrics.count
+let mean_ns t ~now_ns = Metrics.mean_ns (view t ~now_ns)
+let quantile_ns t ~now_ns q = Metrics.quantile_ns (view t ~now_ns) q

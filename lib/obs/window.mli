@@ -1,0 +1,38 @@
+(** Sliding-window log2 histogram: recent-window latency quantiles.
+
+    The process-lifetime {!Metrics} histograms answer "p99 since boot";
+    a long-lived service needs "p99 over the last second".  A window is
+    a ring of time slots (default 8), each holding a log2 bucket array;
+    slots expire lazily as the clock advances past them, so observation
+    stays O(1) and allocation-free after creation.
+
+    All entry points take the current time explicitly ([~now_ns],
+    typically {!Obs.now_ns}) — the window never reads a clock itself, so
+    its behaviour is a deterministic function of the observation
+    sequence and tests can drive time by hand.
+
+    Queries merge the live slots into a {!Metrics.hist_view}, sharing
+    bucket geometry (and therefore {!Metrics.quantile_ns} semantics)
+    with the lifetime histograms. *)
+
+type t
+
+val create : ?slots:int -> window_ns:int -> unit -> t
+(** [create ~window_ns ()] — a window covering the trailing [window_ns]
+    nanoseconds, quantised into [slots] (default 8) slots.  Raises
+    [Invalid_argument] if [slots < 1] or [window_ns < slots]. *)
+
+val window_ns : t -> int
+
+val observe_ns : t -> now_ns:int -> int -> unit
+(** Record one sample at time [now_ns] (negatives clamp to 0). *)
+
+val view : t -> now_ns:int -> Metrics.hist_view
+(** Merged view of the slots still inside the window at [now_ns]
+    (zeroed view when empty — same shape as a zero-sample histogram). *)
+
+val count : t -> now_ns:int -> int
+val mean_ns : t -> now_ns:int -> float
+
+val quantile_ns : t -> now_ns:int -> float -> int
+(** Recent-window quantile, log2 resolution ({!Metrics.quantile_ns}). *)

@@ -104,6 +104,16 @@ let run ?(obs = Obs.null) net0 config =
   let load_trace = Metrics.trace () in
   let connections : (int, connection) Hashtbl.t = Hashtbl.create 256 in
   let next_id = ref 0 in
+  (* Request ids for request-scoped observability: every Router.admit in
+     the run — arrivals, batched epochs, passive reroutes — gets the next
+     id, so a blocked admission's spans and journal events are
+     attributable to one routing decision. *)
+  let next_req = ref 0 in
+  let fresh_req () =
+    let r = !next_req in
+    incr next_req;
+    r
+  in
   let dropped = ref 0 in
   let completed = ref 0 in
   let node_failures = ref 0 in
@@ -165,8 +175,8 @@ let run ?(obs = Obs.null) net0 config =
      restoration).  Its resources must already be released. *)
   let passive_reroute time conn =
     match
-      Router.admit ~aux_cache ~obs net config.policy ~source:conn.src
-        ~target:conn.dst
+      Router.admit ~aux_cache ~obs ~req:(fresh_req ()) net config.policy
+        ~source:conn.src ~target:conn.dst
     with
     | Some sol ->
       conn.active <- sol.Types.primary;
@@ -187,7 +197,14 @@ let run ?(obs = Obs.null) net0 config =
           (match failed_node with
            | Some v -> Printf.sprintf " (node %d)" v
            | None -> ""));
-    List.iter (fun link -> Net.fail_link net link) links;
+    List.iter
+      (fun link ->
+        Net.fail_link net link;
+        Obs.event obs ~a:link "journal.link.fail")
+      links;
+    (match failed_node with
+    | Some v -> Obs.event obs ~a:v "journal.node.fail"
+    | None -> ());
     Event_queue.schedule q (time +. config.repair_time) (Repair_links links);
     (* Restoration order is part of the decision sequence (each reroute
        consumes residual wavelengths), so it must not depend on hash
@@ -339,8 +356,8 @@ let run ?(obs = Obs.null) net0 config =
       bump cls_offered klass
     end;
     match
-      Router.admit ~aux_cache ~obs net (policy_for klass) ~source:src
-        ~target:dst
+      Router.admit ~aux_cache ~obs ~req:(fresh_req ()) net (policy_for klass)
+        ~source:src ~target:dst
     with
     | Some sol ->
       Log.debug (fun m ->
@@ -456,7 +473,11 @@ let run ?(obs = Obs.null) net0 config =
         Obs.stop obs "sim.fail_node" t0
       | Repair_links links ->
         let t0 = Obs.start obs in
-        List.iter (fun link -> Net.repair_link net link) links;
+        List.iter
+          (fun link ->
+            Net.repair_link net link;
+            Obs.event obs ~a:link "journal.link.repair")
+          links;
         ignore (observe_load time);
         Obs.stop obs "sim.repair" t0)
   done;

@@ -276,6 +276,7 @@ let sync ?(obs = Obs.null) t =
     { touched = !n_touched; recomputed_arcs = !recomputed; full_rebuild = full };
   if Obs.enabled obs then begin
     Obs.add obs (if full then "aux.cache.rebuild" else "aux.cache.hit") 1;
+    if full then Obs.event obs ~a:!n_touched "journal.aux.rebuild";
     if !n_touched > 0 then Obs.add obs "aux.cache.links_touched" !n_touched
   end;
   Obs.stop obs "stage.aux_delta" t0;

@@ -1,9 +1,13 @@
 (* Lint fixture (R4): probe-name literals — one off-grammar, one
-   grammar-clean but unregistered, one registered. *)
+   grammar-clean but unregistered, one registered; [Obs.event] journal
+   event names share the same grammar and manifest. *)
 module Obs = struct
   let stop _handle (_name : string) _t0 = ()
+  let event _handle ?(a = 0) (_name : string) = ignore a
 end
 
 let bad_grammar o t0 = Obs.stop o "BadName" t0
 let unregistered o t0 = Obs.stop o "fixture.not_registered" t0
 let registered o t0 = Obs.stop o "kernel.dijkstra" t0
+let bad_event o = Obs.event o ~a:1 "Bad.Event"
+let unregistered_event o = Obs.event o "journal.fixture.boom"

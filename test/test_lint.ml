@@ -97,11 +97,21 @@ let r1_lines =
   ]
 
 let r4_grammar_line =
-  "lib/core/fixture_r4.ml:7:34 [R4] probe name \"BadName\" violates the \
+  "lib/core/fixture_r4.ml:9:34 [R4] probe name \"BadName\" violates the \
    obs.mli naming grammar (lowercase dot-separated segments, 2-4 deep)"
 
 let r4_unregistered_line =
-  "lib/core/fixture_r4.ml:8:35 [R4] probe name \"fixture.not_registered\" is \
+  "lib/core/fixture_r4.ml:10:35 [R4] probe name \"fixture.not_registered\" is \
+   not registered in the probe manifest; regenerate it with --emit-manifest"
+
+(* Journal event names (Obs.event call sites) go through the same R4
+   grammar and manifest checks as probe names. *)
+let r4_event_grammar_line =
+  "lib/core/fixture_r4.ml:12:35 [R4] probe name \"Bad.Event\" violates the \
+   obs.mli naming grammar (lowercase dot-separated segments, 2-4 deep)"
+
+let r4_event_unregistered_line =
+  "lib/core/fixture_r4.ml:13:39 [R4] probe name \"journal.fixture.boom\" is \
    not registered in the probe manifest; regenerate it with --emit-manifest"
 
 let r5_lines =
@@ -144,9 +154,9 @@ let test_typed_exact () =
     ~code:1
     ~lines:
       (r1_lines
-      @ [ r4_grammar_line ]
+      @ [ r4_grammar_line; r4_event_grammar_line ]
       @ r5_lines @ r2_lines
-      @ [ r3_line; summary ~files:5 ~typed:5 ~untyped:0 ~total:11 ~baselined:0 ~fresh:11 ])
+      @ [ r3_line; summary ~files:5 ~typed:5 ~untyped:0 ~total:12 ~baselined:0 ~fresh:12 ])
 
 let test_manifest_registration () =
   check_run "manifest"
@@ -154,9 +164,10 @@ let test_manifest_registration () =
     ~code:1
     ~lines:
       (r1_lines
-      @ [ r4_grammar_line; r4_unregistered_line ]
+      @ [ r4_grammar_line; r4_unregistered_line; r4_event_grammar_line;
+          r4_event_unregistered_line ]
       @ r5_lines @ r2_lines
-      @ [ r3_line; summary ~files:5 ~typed:5 ~untyped:0 ~total:12 ~baselined:0 ~fresh:12 ])
+      @ [ r3_line; summary ~files:5 ~typed:5 ~untyped:0 ~total:14 ~baselined:0 ~fresh:14 ])
 
 (* The acceptance check: putting the PR 4 Hashtbl.iter adjacency pattern
    back into suurballe.ml is flagged by R2 even with every other rule
@@ -175,14 +186,14 @@ let test_baseline_suppression () =
     (Printf.sprintf "--root %s --manifest %s/probes.manifest --baseline %s --update-baseline lib"
        scratch scratch baseline)
     ~code:0
-    ~lines:[ Printf.sprintf "rr_lint: baseline %s updated with 12 finding(s)" baseline ];
+    ~lines:[ Printf.sprintf "rr_lint: baseline %s updated with 14 finding(s)" baseline ];
   let text = read_file baseline in
   Alcotest.(check bool) "baseline has a comment header" true (text.[0] = '#');
   check_run "baseline-suppresses"
     (Printf.sprintf "--root %s --manifest %s/probes.manifest --baseline %s lib"
        scratch scratch baseline)
     ~code:0
-    ~lines:[ summary ~files:5 ~typed:5 ~untyped:0 ~total:12 ~baselined:12 ~fresh:0 ]
+    ~lines:[ summary ~files:5 ~typed:5 ~untyped:0 ~total:14 ~baselined:14 ~fresh:0 ]
 
 let test_clean_tree_exit_zero () =
   check_run "clean"
@@ -206,6 +217,8 @@ let test_untyped_fallback () =
          Hashtbl, or List.exists with a monomorphic equality)";
         r4_grammar_line;
         r4_unregistered_line;
+        r4_event_grammar_line;
+        r4_event_unregistered_line;
         "lib/graph/dijkstra.ml:7:5 [R5] float = in a hot kernel; compare \
          against a sentinel with (* lint: float-eq *) justification or \
          restructure";
@@ -213,7 +226,7 @@ let test_untyped_fallback () =
         List.nth r5_lines 2;
         List.nth r2_lines 0;
         List.nth r2_lines 1;
-        summary ~files:5 ~typed:0 ~untyped:5 ~total:9 ~baselined:0 ~fresh:9;
+        summary ~files:5 ~typed:0 ~untyped:5 ~total:11 ~baselined:0 ~fresh:11;
       ]
 
 let test_misuse_exits_two () =

@@ -1,7 +1,10 @@
 (* Tests for the lib/obs observability subsystem: histogram bucketing
    edge cases, exporter formats, the zero-cost disabled mode, the
-   deterministic parallel metric merge, and the admission-validity
-   regression the admit/reject counters were built to pin down. *)
+   deterministic parallel metric merge, the flight-recorder journal and
+   its dropped accounting, request-scoped trace sampling, the sliding
+   latency window, the /metrics HTTP endpoint, the rr_cli obs
+   subcommands, and the admission-validity regression the admit/reject
+   counters were built to pin down. *)
 
 module Net = Rr_wdm.Network
 module Conv = Rr_wdm.Conversion
@@ -12,10 +15,18 @@ module Rng = Rr_util.Rng
 module Obs = Rr_obs.Obs
 module Metrics = Rr_obs.Metrics
 module Tracer = Rr_obs.Tracer
+module Journal = Rr_obs.Journal
+module Window = Rr_obs.Window
 module Export = Rr_obs.Export
+module Obs_http = Rr_obs.Obs_http
 
 let checkb = Alcotest.(check bool)
 let checki = Alcotest.(check int)
+
+let contains needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
 
 let hist m name =
   match List.assoc name (Metrics.items m) with
@@ -298,6 +309,355 @@ let test_sim_books_balance () =
   checkb "sim spans recorded" true
     (Tracer.total (Obs.tracer obs) > 0)
 
+(* ------------------------------------------------------------------ *)
+(* Flight-recorder journal                                              *)
+
+let test_journal_ring () =
+  let j = Journal.create ~capacity:8 () in
+  for i = 1 to 11 do
+    Journal.record j ~t_ns:i ~tid:0 ~req:(-1) ~a:i ~b:(-1) "journal.test.tick"
+  done;
+  checki "capacity" 8 (Journal.capacity j);
+  checki "total" 11 (Journal.total j);
+  checki "retained" 8 (Journal.retained j);
+  checki "dropped" 3 (Journal.dropped j);
+  (match Journal.events j with
+   | first :: _ ->
+     (* Oldest-first; three events overwritten, so the stream resumes at
+        seq 3 = the fourth record. *)
+     checki "oldest retained seq" 3 first.Journal.seq;
+     checki "oldest retained payload" 4 first.Journal.a
+   | [] -> Alcotest.fail "events expected");
+  let lines =
+    String.split_on_char '\n' (Journal.to_jsonl j)
+    |> List.filter (fun l -> l <> "")
+  in
+  checki "jsonl lines" 8 (List.length lines);
+  Alcotest.(check string) "jsonl field order"
+    "{\"seq\": 3, \"t_ns\": 4, \"tid\": 0, \"req\": -1, \
+     \"event\": \"journal.test.tick\", \"a\": 4, \"b\": -1}"
+    (List.hd lines);
+  Journal.clear j;
+  checki "cleared" 0 (Journal.total j);
+  checki "clear keeps capacity" 8 (Journal.capacity j)
+
+let test_dropped_counters () =
+  (* Ring wrap on both sinks surfaces as trace.dropped / journal.dropped
+     counters, matching the rings' own accounting. *)
+  let obs = Obs.create ~trace_capacity:4 ~journal_capacity:4 () in
+  for i = 0 to 9 do
+    let t0 = Obs.start obs in
+    Obs.stop obs "stage.refine" t0;
+    Obs.event obs ~a:i "journal.admit.ok"
+  done;
+  let m = Obs.metrics obs in
+  checki "trace.dropped counter" 6 (Metrics.counter m "trace.dropped");
+  checki "journal.dropped counter" 6 (Metrics.counter m "journal.dropped");
+  checki "tracer ring agrees" 6 (Tracer.dropped (Obs.tracer obs));
+  checki "journal ring agrees" 6 (Journal.dropped (Obs.journal obs));
+  (* Histograms are ring-independent: every stop was counted. *)
+  let h = hist m "stage.refine" in
+  checki "histogram saw every span" 10 h.Metrics.count
+
+let test_anomaly_sink () =
+  let obs = Obs.create () in
+  let dumps = ref [] in
+  Obs.set_anomaly_sink obs (fun reason jsonl ->
+      dumps := (reason, jsonl) :: !dumps);
+  Obs.set_request obs 7;
+  Obs.event obs ~a:4 "journal.admit.blocked";
+  Obs.anomaly obs "validator-reject";
+  Obs.clear_request obs;
+  match !dumps with
+  | [ (reason, jsonl) ] ->
+    Alcotest.(check string) "reason" "validator-reject" reason;
+    checkb "dump holds the triggering event" true
+      (contains "journal.admit.blocked" jsonl);
+    checkb "dump holds the anomaly marker" true
+      (contains "journal.anomaly" jsonl);
+    checkb "dump is request-attributed" true (contains "\"req\": 7" jsonl)
+  | _ -> Alcotest.fail "exactly one anomaly dump expected"
+
+(* ------------------------------------------------------------------ *)
+(* Request-scoped sampling                                              *)
+
+let test_sampling_deterministic () =
+  let obs = Obs.create ~sample:4 () in
+  for id = 0 to 7 do
+    Obs.set_request obs id;
+    let t0 = Obs.start obs in
+    Obs.stop obs "stage.refine" t0;
+    Obs.event obs ~a:id "journal.admit.ok";
+    Obs.clear_request obs
+  done;
+  (* 1-in-4 sampling is a pure function of the id: exactly requests 0
+     and 4 reach the tracer. *)
+  let spans = Tracer.spans (Obs.tracer obs) in
+  Alcotest.(check (list int)) "sampled request ids" [ 0; 4 ]
+    (List.map (fun s -> s.Tracer.req) spans);
+  (* Histograms and the journal are never sampled out. *)
+  let h = hist (Obs.metrics obs) "stage.refine" in
+  checki "histogram counts every request" 8 h.Metrics.count;
+  Alcotest.(check (list int)) "journal keeps every request"
+    [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+    (List.map
+       (fun (e : Journal.event) -> e.Journal.req)
+       (Journal.events (Obs.journal obs)));
+  (* Outside any request scope spans are always traced. *)
+  let t0 = Obs.start obs in
+  Obs.stop obs "stage.refine" t0;
+  checki "unscoped span traced" 3 (Tracer.total (Obs.tracer obs));
+  checkb "sample < 1 rejected" true
+    (try
+       ignore (Obs.create ~sample:0 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_fork_merge_request_scope () =
+  let parent = Obs.create () in
+  let t0 = Obs.start parent in
+  Obs.stop parent "stage.refine" t0;
+  let child = Obs.fork parent ~tid:3 in
+  Obs.set_request child 5;
+  let t1 = Obs.start child in
+  Obs.stop child "kernel.dijkstra" t1;
+  Obs.event child ~a:9 "journal.admit.ok";
+  Obs.clear_request child;
+  Obs.merge ~into:parent child;
+  let spans = Tracer.spans (Obs.tracer parent) in
+  checki "spans merged" 2 (List.length spans);
+  let worker_span = List.nth spans 1 in
+  checki "merged span keeps worker tid" 3 worker_span.Tracer.tid;
+  checki "merged span keeps request id" 5 worker_span.Tracer.req;
+  (match Journal.events (Obs.journal parent) with
+   | [ e ] ->
+     checki "merged event tid" 3 e.Journal.tid;
+     checki "merged event req" 5 e.Journal.req;
+     checki "merged event payload" 9 e.Journal.a
+   | _ -> Alcotest.fail "one journal event expected");
+  (* Chrome export after the merge: the parent's tid-0 span precedes the
+     worker's tid-3 span, and request attribution survives as args. *)
+  let tr = Export.chrome_trace spans in
+  let idx needle =
+    let n = String.length needle and h = String.length tr in
+    let rec go i =
+      if i + n > h then Alcotest.failf "%S not in trace" needle
+      else if String.sub tr i n = needle then i
+      else go (i + 1)
+    in
+    go 0
+  in
+  checkb "tid 0 before tid 3" true (idx "\"tid\": 0" < idx "\"tid\": 3");
+  checkb "request id exported as args" true
+    (contains "\"args\": {\"req\": 5}" tr);
+  checkb "unscoped span has no args" true
+    (not (contains "\"args\": {\"req\": -1}" tr))
+
+(* ------------------------------------------------------------------ *)
+(* Sliding window                                                       *)
+
+let test_window_rotation () =
+  (* window_ns 400 over 4 slots -> 100 ns per slot; time is driven by
+     hand so expiry is exact. *)
+  let w = Window.create ~slots:4 ~window_ns:400 () in
+  checki "window_ns" 400 (Window.window_ns w);
+  checki "empty count" 0 (Window.count w ~now_ns:0);
+  checki "empty quantile is 0" 0 (Window.quantile_ns w ~now_ns:0 0.99);
+  Alcotest.(check (float 1e-9)) "empty mean is 0" 0.0
+    (Window.mean_ns w ~now_ns:0);
+  for _ = 1 to 9 do
+    Window.observe_ns w ~now_ns:50 1000
+  done;
+  Window.observe_ns w ~now_ns:150 8000;
+  checki "all samples live inside the window" 10 (Window.count w ~now_ns:399);
+  checki "p50 is the 1000ns bucket bound" 1024
+    (Window.quantile_ns w ~now_ns:399 0.5);
+  checki "p99 reaches the tail sample" 8000
+    (Window.quantile_ns w ~now_ns:399 0.99);
+  (* Crossing 400 ns expires the epoch-0 slot: only the 8000 ns sample
+     recorded at 150 survives. *)
+  checki "old slot expires" 1 (Window.count w ~now_ns:420);
+  checki "survivor drives the quantile" 8000
+    (Window.quantile_ns w ~now_ns:420 0.5);
+  checki "everything expires eventually" 0 (Window.count w ~now_ns:2000);
+  (* Slots are reused lazily after expiry. *)
+  Window.observe_ns w ~now_ns:2050 500;
+  checki "slot reused" 1 (Window.count w ~now_ns:2050);
+  let v = Window.view w ~now_ns:2050 in
+  checki "view count" 1 v.Metrics.count;
+  checki "view sum" 500 v.Metrics.sum_ns;
+  checkb "invalid geometry rejected" true
+    (try
+       ignore (Window.create ~slots:0 ~window_ns:400 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_window_behind_obs () =
+  (* stop_admit feeds the window configured at Obs.create. *)
+  let obs = Obs.create ~window_ns:1_000_000_000 () in
+  let t0 = Obs.start obs in
+  Obs.stop_admit obs t0;
+  match Obs.window obs with
+  | Some w ->
+    checki "admit sample in window" 1 (Window.count w ~now_ns:(Obs.now_ns ()));
+    let h = hist (Obs.metrics obs) "req.admit" in
+    checki "req.admit histogram fed" 1 h.Metrics.count
+  | None -> Alcotest.fail "window expected"
+
+(* ------------------------------------------------------------------ *)
+(* Exporter edge cases                                                  *)
+
+let test_export_edge_cases () =
+  Alcotest.(check string) "help escaping" "a\\\\b\\nc"
+    (Export.escape_help "a\\b\nc");
+  Alcotest.(check string) "label escaping" "a\\\\b\\\"c\\nd"
+    (Export.escape_label_value "a\\b\"c\nd");
+  Alcotest.(check string) "empty registry exports empty" ""
+    (Export.prometheus (Metrics.create ()));
+  let m = Metrics.create () in
+  Metrics.add m "admit.ok" 2;
+  Metrics.observe_ns m "stage.refine" 700;
+  let prom = Export.prometheus ~labels:[ ("host", "a\"b") ] m in
+  checkb "label attached and escaped" true
+    (contains "rr_admit_ok_total{host=\"a\\\"b\"} 2" prom);
+  checkb "histogram buckets merge labels with le" true
+    (contains "{host=\"a\\\"b\",le=\"+Inf\"} 1" prom);
+  checkb "help carries the dotted name" true
+    (contains "# HELP rr_admit_ok counter admit.ok" prom);
+  (* A zero-sample histogram view (an empty window) is well-defined. *)
+  let v =
+    {
+      Metrics.count = 0; sum_ns = 0; min_ns = max_int; max_ns = 0;
+      buckets = Array.make Metrics.n_buckets 0;
+    }
+  in
+  checki "zero-sample quantile" 0 (Metrics.quantile_ns v 0.99);
+  Alcotest.(check (float 1e-9)) "zero-sample mean" 0.0 (Metrics.mean_ns v)
+
+(* ------------------------------------------------------------------ *)
+(* HTTP endpoint                                                        *)
+
+let test_http_handle () =
+  let metrics () = "m 1\n" in
+  let resp = Obs_http.handle ~metrics "GET /metrics HTTP/1.1\r\nHost: x\r\n\r\n" in
+  checkb "200 on /metrics" true (String.starts_with ~prefix:"HTTP/1.1 200" resp);
+  checkb "prometheus content type" true
+    (contains "Content-Type: text/plain; version=0.0.4; charset=utf-8" resp);
+  checkb "content length" true (contains "Content-Length: 4" resp);
+  checkb "body after blank line" true (contains "\r\n\r\nm 1\n" resp);
+  checkb "query string ignored" true
+    (String.starts_with ~prefix:"HTTP/1.1 200"
+       (Obs_http.handle ~metrics "GET /metrics?debug=1 HTTP/1.1\r\n\r\n"));
+  let healthz = Obs_http.handle ~metrics "GET /healthz HTTP/1.1\r\n\r\n" in
+  checkb "healthz ok" true
+    (String.starts_with ~prefix:"HTTP/1.1 200" healthz && contains "ok\n" healthz);
+  checkb "404 on unknown path" true
+    (String.starts_with ~prefix:"HTTP/1.1 404"
+       (Obs_http.handle ~metrics "GET /nope HTTP/1.1\r\n\r\n"));
+  checkb "405 on non-GET" true
+    (String.starts_with ~prefix:"HTTP/1.1 405"
+       (Obs_http.handle ~metrics "POST /metrics HTTP/1.1\r\n\r\n"));
+  checkb "400 on garbage" true
+    (String.starts_with ~prefix:"HTTP/1.1 400" (Obs_http.handle ~metrics "garbage\r\n"))
+
+let test_http_socket () =
+  let obs = Obs.create () in
+  Obs.add obs "admit.ok" 3;
+  let metrics () = Export.prometheus (Obs.metrics obs) in
+  let fd = Obs_http.listen ~port:0 () in
+  let port = Obs_http.bound_port fd in
+  checkb "ephemeral port assigned" true (port > 0);
+  (* Single-threaded request/response: the listen backlog holds the
+     connection and the socket buffer the request until serve_once runs. *)
+  let fetch path =
+    let c = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.connect c (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    let req = Printf.sprintf "GET %s HTTP/1.1\r\n\r\n" path in
+    ignore (Unix.write_substring c req 0 (String.length req));
+    Obs_http.serve_once ~metrics fd;
+    let buf = Buffer.create 1024 in
+    let b = Bytes.create 1024 in
+    let rec drain () =
+      let n = Unix.read c b 0 (Bytes.length b) in
+      if n > 0 then begin
+        Buffer.add_subbytes buf b 0 n;
+        drain ()
+      end
+    in
+    (try drain () with Unix.Unix_error _ -> ());
+    Unix.close c;
+    Buffer.contents buf
+  in
+  let scrape = fetch "/metrics" in
+  checkb "scrape is 200" true (String.starts_with ~prefix:"HTTP/1.1 200" scrape);
+  checkb "scrape body is live prometheus" true
+    (contains "rr_admit_ok_total 3" scrape);
+  checkb "healthz over the socket" true (contains "ok" (fetch "/healthz"));
+  Unix.close fd
+
+(* ------------------------------------------------------------------ *)
+(* rr_cli obs subcommands                                               *)
+
+let cli = Filename.concat (Filename.concat ".." "bin") "rr_cli.exe"
+
+let run_cli_out args =
+  let out = Filename.temp_file "rr_obs_cli" ".out" in
+  let code =
+    Sys.command
+      (Filename.quote_command cli args ~stdout:out ~stderr:Filename.null)
+  in
+  let ic = open_in_bin out in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove out;
+  (code, s)
+
+let test_cli_obs_trace () =
+  (* The acceptance scenario: replay a corpus instance, pick the first
+     blocked admission, print its stage spans and blocking cause. *)
+  let code, out =
+    run_cli_out
+      [ "obs"; "trace"; "blocked"; "--file";
+        Filename.concat "corpus" "nsfnet_seed47_p50.wdm" ]
+  in
+  checki "obs trace exits 0" 0 code;
+  checkb "names the blocking cause" true (contains "route.block." out);
+  checkb "prints stage spans" true (contains "stage." out);
+  checkb "prints the whole-admission span" true (contains "req.admit" out);
+  checkb "prints the journal event" true (contains "journal.admit.blocked" out);
+  (* A request id past the replay is a runtime error (exit 1). *)
+  let code, _ =
+    run_cli_out
+      [ "obs"; "trace"; "999999"; "--file";
+        Filename.concat "corpus" "nsfnet_seed47_p50.wdm" ]
+  in
+  checki "out-of-range id exits 1" 1 code
+
+let test_cli_obs_summary_and_diff () =
+  let tmp suffix = Filename.temp_file "rr_obs_cli" suffix in
+  let j = tmp ".jsonl" and m1 = tmp ".json" and m2 = tmp ".json" in
+  let sim seed metrics_file =
+    let code, _ =
+      run_cli_out
+        [ "simulate"; "--duration"; "60"; "--erlang"; "30"; "--seed"; seed;
+          "--journal"; j; "--metrics"; metrics_file; "--trace-sample"; "4" ]
+    in
+    checki ("simulate --seed " ^ seed ^ " exits 0") 0 code
+  in
+  sim "11" m1;
+  sim "12" m2;
+  let code, out = run_cli_out [ "obs"; "summary"; j ] in
+  checki "obs summary exits 0" 0 code;
+  checkb "summary counts admissions" true (contains "journal.admit" out);
+  checkb "summary reports retention" true (contains "retained" out);
+  let code, out = run_cli_out [ "obs"; "diff"; m1; m2 ] in
+  checkb "obs diff exits 0" true (code = 0);
+  checkb "different seeds differ" true (contains "changed" out);
+  let code, out = run_cli_out [ "obs"; "diff"; m1; m1 ] in
+  checkb "self-diff exits 0" true (code = 0);
+  checkb "self-diff is empty" true (contains "no differences" out);
+  List.iter Sys.remove [ j; m1; m2 ]
+
 let suite =
   [
     ( "obs.metrics",
@@ -309,10 +669,48 @@ let suite =
       ] );
     ( "obs.tracer",
       [ Alcotest.test_case "ring retention" `Quick test_tracer_ring ] );
+    ( "obs.journal",
+      [
+        Alcotest.test_case "ring retention and jsonl" `Quick test_journal_ring;
+        Alcotest.test_case "dropped counters on ring wrap" `Quick
+          test_dropped_counters;
+        Alcotest.test_case "anomaly sink dumps the journal" `Quick
+          test_anomaly_sink;
+      ] );
+    ( "obs.request",
+      [
+        Alcotest.test_case "deterministic 1-in-N sampling" `Quick
+          test_sampling_deterministic;
+        Alcotest.test_case "fork/merge keeps request scope" `Quick
+          test_fork_merge_request_scope;
+      ] );
+    ( "obs.window",
+      [
+        Alcotest.test_case "rotation, quantiles, expiry" `Quick
+          test_window_rotation;
+        Alcotest.test_case "stop_admit feeds the window" `Quick
+          test_window_behind_obs;
+      ] );
     ( "obs.disabled",
       [ Alcotest.test_case "no spans, no allocation" `Quick test_disabled_mode ] );
     ( "obs.export",
-      [ Alcotest.test_case "prometheus/json/chrome" `Quick test_exporters ] );
+      [
+        Alcotest.test_case "prometheus/json/chrome" `Quick test_exporters;
+        Alcotest.test_case "escaping, labels, empty and zero-sample" `Quick
+          test_export_edge_cases;
+      ] );
+    ( "obs.http",
+      [
+        Alcotest.test_case "request handling is pure" `Quick test_http_handle;
+        Alcotest.test_case "loopback scrape" `Quick test_http_socket;
+      ] );
+    ( "obs.cli",
+      [
+        Alcotest.test_case "obs trace replays a blocked admission" `Slow
+          test_cli_obs_trace;
+        Alcotest.test_case "obs summary and diff" `Slow
+          test_cli_obs_summary_and_diff;
+      ] );
     ( "obs.parallel",
       [
         Alcotest.test_case "deterministic merge across jobs" `Slow
