@@ -1761,6 +1761,94 @@ let run_perf_routing () =
       "  OBS GATE FAILED: disabled share %.2f%% (max 3%%), enabled ratio \
        %.3f (max 1.10)\n"
       (100.0 *. disabled_share) enabled_ratio;
+  (* ---- service-path gate: daemon vs library over loopback ------------ *)
+  (* The same Poisson op script is replayed twice: once through the
+     rr_serve daemon over a real loopback socket in blocking lockstep
+     (every admission round trip timed), once by direct library calls on
+     an identical network copy.  The admit outcomes must match exactly —
+     the daemon is a transport, not a policy — and the socket path must
+     hold a steady-state throughput floor.  Like the obs gate, a failed
+     first measurement is retried once: loopback latency shares the
+     machine with the rest of CI. *)
+  let module Sv = Rr_serve.Server in
+  let module Sc = Rr_serve.Core in
+  let module Lg = Rr_serve.Loadgen in
+  let serve_requests = if !fast then 120 else 400 in
+  let serve_floor_rps = 500.0 in
+  let measure_serve () =
+    let snet = perf_net ~w:16 ~preload:0.25 71 in
+    let ref_net = Net.copy snet in
+    let sobs = Obs.create ~window_ns:1_000_000_000 () in
+    let server = Sv.create ~port:0 (Sc.create ~obs:sobs snet) in
+    let sdom = Domain.spawn (fun () -> Sv.run server) in
+    let ops =
+      Lg.script ~seed:71 ~n_nodes:(Net.n_nodes ref_net)
+        ~requests:serve_requests
+        (Rr_sim.Workload.make ~arrival_rate:20.0 ~mean_holding:1.0)
+    in
+    let lr = Lg.run ~shutdown:true ~port:(Sv.port server) ops in
+    Domain.join sdom;
+    (* Direct-library replay of the same script on the untouched copy. *)
+    let sols = Array.make (max 1 serve_requests) None in
+    let direct = Array.make (max 1 serve_requests) "blocked" in
+    let ai = ref 0 in
+    Array.iter
+      (fun op ->
+        match op with
+        | Lg.Op_admit { src; dst } -> (
+          let i = !ai in
+          incr ai;
+          match
+            Router.admit ~workspace:ws ref_net Router.Cost_approx
+              ~source:src ~target:dst
+          with
+          | Some sol ->
+            sols.(i) <- Some sol;
+            direct.(i) <- "admitted"
+          | None -> ())
+        | Lg.Op_release { admit } -> (
+          match sols.(admit) with
+          | Some sol ->
+            Types.release ref_net sol;
+            sols.(admit) <- None
+          | None -> ()))
+      ops;
+    let identical =
+      Array.length lr.Lg.lg_outcomes = !ai
+      &&
+      let ok = ref true in
+      Array.iteri
+        (fun i o -> if not (String.equal o direct.(i)) then ok := false)
+        lr.Lg.lg_outcomes;
+      !ok
+    in
+    let dropped = OM.counter (Obs.metrics sobs) "journal.dropped" in
+    (lr, identical, dropped)
+  in
+  let serve_pass (lr, identical, _) =
+    identical && Lg.throughput_rps lr >= serve_floor_rps
+  in
+  let serve_first = measure_serve () in
+  let serve_verdict =
+    if serve_pass serve_first then serve_first else measure_serve ()
+  in
+  let serve_report, serve_identical, serve_dropped = serve_verdict in
+  let serve_ok = serve_pass serve_verdict in
+  let serve_p50 = Lg.quantile_ns serve_report 0.5 in
+  let serve_p99 = Lg.quantile_ns serve_report 0.99 in
+  let serve_rps = Lg.throughput_rps serve_report in
+  Printf.printf
+    "  serve: %d requests over loopback: %d admitted, %d blocked, %d \
+     errors; admit p50 %s, p99 %s, %.0f req/s (floor %.0f); outcomes %s, \
+     journal dropped %d  [%s]\n"
+    serve_report.Lg.lg_requests serve_report.Lg.lg_admitted
+    serve_report.Lg.lg_blocked serve_report.Lg.lg_errors
+    (ns_cell (float_of_int serve_p50))
+    (ns_cell (float_of_int serve_p99))
+    serve_rps serve_floor_rps
+    (if serve_identical then "identical to library" else "DIVERGED")
+    serve_dropped
+    (if serve_ok then "OK" else "FAIL");
   (* The legacy "batch" JSON key reports the top point of the curve. *)
   let top_jobs, top_eff, top_ns, top_sp, _, _, _ =
     List.nth curve (List.length curve - 1)
@@ -1858,6 +1946,17 @@ let run_perf_routing () =
       (ctr "admit.reject.validator")
       (ctr "refine.nonsimple");
     Printf.fprintf oc
+      "  \"serve\": { \"workload\": \"poisson loadgen over loopback, \
+       blocking lockstep\", \"requests\": %d, \"admitted\": %d, \
+       \"blocked\": %d, \"errors\": %d, \"journal_dropped\": %d, \
+       \"p50_ns\": %d, \"p99_ns\": %d, \"throughput_rps\": %.1f, \
+       \"throughput_floor_rps\": %.1f, \"identical_to_library\": %b, \
+       \"ok\": %b },\n"
+      serve_report.Lg.lg_requests serve_report.Lg.lg_admitted
+      serve_report.Lg.lg_blocked serve_report.Lg.lg_errors serve_dropped
+      serve_p50 serve_p99 serve_rps serve_floor_rps serve_identical
+      serve_ok;
+    Printf.fprintf oc
       "  \"obs_gate\": { \"workload\": \"steady-state admit+release\", \
        \"probe_ns\": %.2f, \"spans_per_request\": %.1f, \
        \"disabled_ns\": %.1f, \"enabled_ns\": %.1f, \
@@ -1886,7 +1985,12 @@ let run_perf_routing () =
             (if id then "identical" else "DIVERGED from sequential")
             sp fl)
       curve;
-  if not (obs_gate_ok && aux_ok && batch_ok) then exit 1
+  if not serve_ok then
+    Printf.printf
+      "  SERVE GATE FAILED: outcomes %s, %.0f req/s (floor %.0f)\n"
+      (if serve_identical then "identical" else "DIVERGED from library")
+      serve_rps serve_floor_rps;
+  if not (obs_gate_ok && aux_ok && batch_ok && serve_ok) then exit 1
 
 (* ------------------------------------------------------------------ *)
 (* ILP-X                                                                *)

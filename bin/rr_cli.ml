@@ -929,6 +929,154 @@ let obs_diff_cmd =
        ~doc:"Diff two JSON metrics dumps: counter and histogram-count deltas.")
     Term.(const run $ a_arg $ b_arg)
 
+(* ------------------------------------------------------------------ *)
+(* serve / loadgen                                                      *)
+
+let serve_cmd =
+  let port_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "port" ]
+          ~doc:
+            "Control port on 127.0.0.1 (0 picks an ephemeral port; the bound \
+             port is printed on stdout as $(b,serve: port=N)).")
+  in
+  let http_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "http-port" ]
+          ~doc:
+            "Also serve $(b,/metrics) and $(b,/healthz) on this loopback \
+             port (0 = ephemeral, printed as $(b,serve: http=N)).")
+  in
+  let queue_arg =
+    Arg.(
+      value
+      & opt int Rr_serve.Server.default_queue_capacity
+      & info [ "queue" ]
+          ~doc:
+            "Bounded admission-queue capacity per event-loop round; requests \
+             beyond it are answered $(b,busy).")
+  in
+  let restore_arg =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "restore" ] ~docv:"SNAPSHOT"
+          ~doc:
+            "Boot from a snapshot file (as returned by the $(b,snapshot) \
+             request) instead of --topo/--file.")
+  in
+  let run topo file policy w seed port http_port queue restore =
+    if queue < 1 then die "--queue must be at least 1 (got %d)" queue;
+    let obs = Rr_obs.Obs.create ~window_ns:1_000_000_000 () in
+    let core =
+      match restore with
+      | Some path -> (
+        let text = In_channel.with_open_bin path In_channel.input_all in
+        match Rr_serve.Core.of_snapshot ~policy ~obs text with
+        | Ok core -> core
+        | Error e -> die "restore %s: %s" path e)
+      | None -> Rr_serve.Core.create ~policy ~obs (resolve_net file topo w seed)
+    in
+    let srv =
+      try Rr_serve.Server.create ~queue_capacity:queue ?http_port ~port core
+      with Unix.Unix_error (e, _, _) -> die "bind: %s" (Unix.error_message e)
+    in
+    Printf.printf "serve: port=%d\n" (Rr_serve.Server.port srv);
+    (match Rr_serve.Server.http_port srv with
+     | Some p -> Printf.printf "serve: http=%d\n" p
+     | None -> ());
+    Printf.printf "serve: policy=%s nodes=%d ready\n%!"
+      (Router.policy_name policy)
+      (Net.n_nodes (Rr_serve.Core.network core));
+    Rr_serve.Server.run srv;
+    Printf.printf "serve: bye (%d connections held at shutdown)\n"
+      (List.length (Rr_serve.Core.connections core))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the routing daemon: admit/release/fail/repair/query/snapshot \
+          requests over a length-prefixed JSON protocol on loopback TCP, \
+          with live state (network, incremental auxiliary cache, workspace \
+          pool) resident across requests.")
+    Term.(
+      const run $ topo_arg $ file_arg $ policy_arg $ wavelengths_arg $ seed_arg
+      $ port_arg $ http_arg $ queue_arg $ restore_arg)
+
+let loadgen_cmd =
+  let port_arg =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "port" ] ~doc:"Control port of a running $(b,rr serve).")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "requests"; "n" ]
+          ~doc:"Admission requests to offer (0 with --shutdown just stops the server).")
+  in
+  let erlang_arg =
+    Arg.(
+      value & opt float 20.0
+      & info [ "erlang" ] ~doc:"Offered load (arrival rate x mean holding time).")
+  in
+  let csv_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE"
+          ~doc:"Write per-request admit latencies as CSV (request,outcome,latency_ns).")
+  in
+  let shutdown_arg =
+    Arg.(value & flag & info [ "shutdown" ] ~doc:"Send a shutdown request after the run.")
+  in
+  let run port requests erlang seed csv shutdown =
+    if requests < 0 then die "--requests must be non-negative";
+    let stats =
+      try Rr_serve.Loadgen.query ~port with
+      | Unix.Unix_error (e, _, _) ->
+        die "connect 127.0.0.1:%d: %s" port (Unix.error_message e)
+      | Rr_serve.Loadgen.Protocol_failure m -> die "query: %s" m
+    in
+    let model = Rr_sim.Workload.make ~arrival_rate:erlang ~mean_holding:1.0 in
+    let ops =
+      Rr_serve.Loadgen.script ~seed ~n_nodes:stats.Rr_serve.Protocol.st_nodes
+        ~requests model
+    in
+    match Rr_serve.Loadgen.run ~shutdown ~port ops with
+    | r ->
+      Printf.printf
+        "loadgen: %d requests  admitted %d  blocked %d (%.1f%% blocking)  errors %d\n"
+        r.Rr_serve.Loadgen.lg_requests r.Rr_serve.Loadgen.lg_admitted
+        r.Rr_serve.Loadgen.lg_blocked
+        (100.0 *. Rr_serve.Loadgen.blocking_rate r)
+        r.Rr_serve.Loadgen.lg_errors;
+      if r.Rr_serve.Loadgen.lg_requests > 0 then
+        Printf.printf "loadgen: p50 %.3f ms  p99 %.3f ms  %.0f req/s\n"
+          (float_of_int (Rr_serve.Loadgen.quantile_ns r 0.5) /. 1e6)
+          (float_of_int (Rr_serve.Loadgen.quantile_ns r 0.99) /. 1e6)
+          (Rr_serve.Loadgen.throughput_rps r);
+      (match csv with
+       | None -> ()
+       | Some path -> write_sink path (Rr_serve.Loadgen.csv r))
+    | exception Rr_serve.Loadgen.Protocol_failure m -> die "loadgen: %s" m
+    | exception Unix.Unix_error (e, _, _) ->
+      die "loadgen: socket error: %s" (Unix.error_message e)
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Hammer a running $(b,rr serve) with the simulator's Poisson \
+          traffic over a real socket and report admit-latency quantiles \
+          and the blocking rate.")
+    Term.(
+      const run $ port_arg $ requests_arg $ erlang_arg $ seed_arg $ csv_arg
+      $ shutdown_arg)
+
 let obs_cmd =
   Cmd.group
     (Cmd.info "obs"
@@ -948,4 +1096,5 @@ let () =
           [
             topo_cmd; route_cmd; simulate_cmd; audit_cmd; analyze_cmd;
             batch_cmd; provision_cmd; dot_cmd; check_cmd; obs_cmd;
+            serve_cmd; loadgen_cmd;
           ]))

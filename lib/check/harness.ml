@@ -153,6 +153,27 @@ let cases =
             prop = Invariants.check_batch_parallel;
           };
     };
+    {
+      id = 14;
+      name = "serve";
+      doc =
+        "rr_serve pure handler vs direct library calls: responses, \
+         snapshots, mid-script restore and bounded-queue ordering";
+      (* ~20 admissions server-side plus the same again in the reference,
+         and a snapshot re-print per step *)
+      trial_cost = 2;
+      kind =
+        Net
+          {
+            gen =
+              (fun rng ~max_n ->
+                Gen.instance
+                  ~policies:
+                    Robust_routing.Router.[ Cost_approx; Load_aware; Load_cost ]
+                  rng ~max_n);
+            prop = Invariants.check_serve;
+          };
+    };
   ]
 
 let case_names = List.map (fun c -> c.name) cases

@@ -673,3 +673,206 @@ let check_batch_parallel inst =
           else None)
       None [ 2; 4; 8 ]
   end
+
+(* ------------------------------------------------------------------ *)
+(* rr_serve pure handler vs direct library calls                       *)
+
+module Sp = Rr_serve.Protocol
+module Sc = Rr_serve.Core
+
+(* Error messages are presentation, not semantics: normalise them away
+   before byte-comparing encodings. *)
+let serve_repr (r : Sp.response) =
+  Sp.encode_response
+    (match r with Sp.Error { kind; msg = _ } -> Sp.Error { kind; msg = "" } | r -> r)
+
+let check_serve inst =
+  let net_ref = Instance.network inst in
+  let n = Net.n_nodes net_ref in
+  let m = Net.n_links net_ref in
+  if m = 0 then None
+  else begin
+    let policy = inst.Instance.policy in
+    let core = ref (Sc.create ~policy (Instance.network inst)) in
+    (* Deterministic function of the instance (the shrinker replays it). *)
+    let rng =
+      Rng.create
+        (Hashtbl.hash
+           ( n,
+             inst.Instance.n_wavelengths,
+             m,
+             inst.Instance.source,
+             inst.Instance.target,
+             14 ))
+    in
+    (* Reference service state, maintained with plain library calls — no
+       aux cache, no workspace, no obs — on an independent network copy. *)
+    let ref_conns : (int, Types.solution) Hashtbl.t = Hashtbl.create 16 in
+    let next_id = ref 0 in
+    let admitted_total = ref 0 in
+    let blocked_total = ref 0 in
+    let ref_stats () =
+      let failed = ref [] in
+      for e = m - 1 downto 0 do
+        if Net.is_failed net_ref e then failed := e :: !failed
+      done;
+      {
+        Sp.st_nodes = n;
+        st_links = m;
+        st_wavelengths = Net.n_wavelengths net_ref;
+        st_connections = Hashtbl.length ref_conns;
+        st_in_use = Net.total_in_use net_ref;
+        st_load = Net.network_load net_ref;
+        st_failed_links = !failed;
+        st_admitted_total = !admitted_total;
+        st_blocked_total = !blocked_total;
+      }
+    in
+    let ref_snapshot () =
+      let conns =
+        Hashtbl.fold (fun id sol acc -> (id, sol) :: acc) ref_conns []
+        |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+        |> List.map (fun (id, sol) -> (id, sol.Types.primary, sol.Types.backup))
+      in
+      Rr_wdm.Network_io.print_snapshot net_ref ~conns
+      ^ Printf.sprintf "# rr-serve meta next_id=%d admitted=%d blocked=%d\n"
+          !next_id !admitted_total !blocked_total
+    in
+    (* Mirror of [Core.handle]'s contract in direct library calls. *)
+    let expect (req : Sp.request) : Sp.response =
+      match req with
+      | Sp.Ping -> Sp.Pong
+      | Sp.Query -> Sp.Stats (ref_stats ())
+      | Sp.Admit { src; dst; policy = p } ->
+        if src < 0 || src >= n || dst < 0 || dst >= n then
+          Sp.Error { kind = Sp.Bad_request; msg = "" }
+        else if src = dst then Sp.Error { kind = Sp.Bad_request; msg = "" }
+        else begin
+          let p = Option.value p ~default:policy in
+          let rid = !next_id in
+          incr next_id;
+          match Router.admit net_ref p ~source:src ~target:dst with
+          | Some sol ->
+            Hashtbl.replace ref_conns rid sol;
+            incr admitted_total;
+            Sp.Admitted { id = rid; cost = Types.total_cost net_ref sol }
+          | None ->
+            incr blocked_total;
+            Sp.Blocked { cause = "unknown" }
+        end
+      | Sp.Release { id } -> (
+        match Hashtbl.find_opt ref_conns id with
+        | None -> Sp.Error { kind = Sp.Unknown_id; msg = "" }
+        | Some sol ->
+          Types.release net_ref sol;
+          Hashtbl.remove ref_conns id;
+          Sp.Released { id })
+      | Sp.Fail_link { link } ->
+        if link < 0 || link >= m || Net.is_failed net_ref link then
+          Sp.Error { kind = Sp.Bad_state; msg = "" }
+        else begin
+          Net.fail_link net_ref link;
+          Sp.Link_failed { link }
+        end
+      | Sp.Repair_link { link } ->
+        if link < 0 || link >= m || not (Net.is_failed net_ref link) then
+          Sp.Error { kind = Sp.Bad_state; msg = "" }
+        else begin
+          Net.repair_link net_ref link;
+          Sp.Link_repaired { link }
+        end
+      | Sp.Snapshot -> Sp.Snapshot_state { state = ref_snapshot () }
+      | Sp.Restore _ | Sp.Shutdown -> Sp.Error { kind = Sp.Bad_request; msg = "" }
+    in
+    let random_pair () =
+      let s = Rng.int rng n in
+      let d = Rng.int rng (n - 1) in
+      (s, if d >= s then d + 1 else d)
+    in
+    let gen_request () =
+      let r = Rng.uniform rng in
+      if r < 0.45 then begin
+        let s, d = random_pair () in
+        Sp.Admit { src = s; dst = d; policy = None }
+      end
+      else if r < 0.50 then
+        (* Degenerate pair: exercises the validation error path. *)
+        Sp.Admit { src = 0; dst = 0; policy = None }
+      else if r < 0.65 then Sp.Release { id = Rng.int rng (max 1 !next_id) }
+      else if r < 0.80 then begin
+        let e = Rng.int rng m in
+        if Net.is_failed net_ref e then Sp.Repair_link { link = e }
+        else Sp.Fail_link { link = e }
+      end
+      else if r < 0.90 then Sp.Query
+      else Sp.Ping
+    in
+    let steps = 20 in
+    let restart_at = steps / 2 in
+    let err = ref None in
+    let i = ref 0 in
+    while !err = None && !i < steps do
+      incr i;
+      let req = gen_request () in
+      let got = Sc.handle !core req in
+      let want = expect req in
+      if serve_repr got <> serve_repr want then
+        err :=
+          fail "server response differs from library at step %d: %s vs %s" !i
+            (serve_repr got) (serve_repr want)
+      else begin
+        (* Snapshot byte-identity against the independently maintained
+           reference state, checked at every step. *)
+        let snap = Sc.snapshot !core in
+        if snap <> ref_snapshot () then
+          err := fail "snapshot text diverges from reference at step %d" !i
+        else if !i = restart_at then begin
+          (* Mid-script restart: the restored core must continue the run
+             byte-identically. *)
+          match Sc.of_snapshot ~policy snap with
+          | Ok core' -> core := core'
+          | Error msg -> err := fail "restore failed at step %d: %s" !i msg
+        end
+      end
+    done;
+    let* () = !err in
+    let* () =
+      if used_state (Sc.network !core) <> used_state net_ref then
+        fail "final per-link used/failed state differs from reference"
+      else None
+    in
+    (* Bounded-queue ordering: the first [cap] requests of a round are
+       answered in FIFO order, the overflow is Busy, positions align. *)
+    let cap = 1 + Rng.int rng 4 in
+    let extra = Rng.int rng 4 in
+    let round =
+      let acc = ref [] in
+      for _ = 1 to cap + extra do
+        acc := gen_request () :: !acc
+      done;
+      List.rev !acc
+    in
+    let expected = List.mapi (fun i req -> (i, req)) round in
+    let got = Sc.handle_round !core ~queue_capacity:cap round in
+    if List.length got <> cap + extra then
+      fail "handle_round answered %d of %d requests" (List.length got)
+        (cap + extra)
+    else
+      List.fold_left
+        (fun acc ((i, req), resp) ->
+          let* () = acc in
+          if i < cap then begin
+            let want = expect req in
+            if serve_repr resp <> serve_repr want then
+              fail "queued response %d differs: %s vs %s" i (serve_repr resp)
+                (serve_repr want)
+            else None
+          end
+          else begin
+            match resp with
+            | Sp.Error { kind = Sp.Busy; _ } -> None
+            | r -> fail "overflow position %d not Busy: %s" i (serve_repr r)
+          end)
+        None
+        (List.combine expected got)
+  end

@@ -72,3 +72,15 @@ val check_batch_parallel : Instance.t -> string option
     state.  Pools are created with [~oversubscribe:true] so multi-domain
     scheduling and the grouped commit are exercised even on small
     machines. *)
+
+val check_serve : Instance.t -> string option
+(** The rr_serve pure handler is a faithful facade over the library: a
+    randomized admit/release/fail/repair/query script produces responses
+    byte-identical (modulo error-message text) to direct [Router.admit] /
+    [Network] calls on an independent copy of the network — the server
+    path adds an aux cache, a workspace pool and id bookkeeping, none of
+    which may change results.  Every step also pins the snapshot text
+    against the reference state, the run is restarted mid-script from
+    its own snapshot (restore must resume byte-identically), and a final
+    [Core.handle_round] round checks bounded-queue semantics: FIFO
+    responses aligned with request positions, overflow answered [Busy]. *)

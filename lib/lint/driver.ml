@@ -63,6 +63,19 @@ let rec walk_all root rel acc =
           else acc)
       acc entries
 
+(* A cmt speaks for a source only when it lives under that source's own
+   directory tree (dune: lib/graph/.rr_graph.objs/byte/... for
+   lib/graph/dijkstra.ml).  Rules out look-alike cmts compiled from
+   fixture copies staged elsewhere under the root (the lint test suite
+   stages lib/graph/dijkstra.ml inside test/lint_scratch/, and its cmt
+   records the same relative source path). *)
+let cmt_near_source cmt_rel src =
+  let sdir = Filename.dirname src and cdir = Filename.dirname cmt_rel in
+  sdir = cdir
+  || String.length cdir > String.length sdir + 1
+     && String.sub cdir 0 (String.length sdir) = sdir
+     && cdir.[String.length sdir] = '/'
+
 let under_dirs dirs file =
   List.exists
     (fun d ->
@@ -168,6 +181,7 @@ let run cfg =
                   when Filename.check_suffix src ".ml"
                        && under_dirs cfg.dirs src
                        && Source_info.file_exists source_info src
+                       && cmt_near_source cmt_rel src
                        && not (Hashtbl.mem covered src) ->
                   Hashtbl.replace covered src ();
                   incr typed;

@@ -74,7 +74,23 @@
                    requested with more workers than
                    [Domain.recommended_domain_count ()]).  Host-dependent
                    by design: *excluded* from cross-[jobs] determinism
-                   comparisons *)
+                   comparisons
+    - [serve.*]    routing-daemon counters ({!Rr_serve}):
+                   [serve.requests] (frames decoded into a request and
+                   dispatched, including those answered [busy]),
+                   [serve.errors] (frames answered with a typed error of
+                   any kind), [serve.clients] (gauge: currently
+                   connected clients)
+    - [queue.*]    daemon admission-queue telemetry: [queue.depth]
+                   (gauge: requests accepted into the current pump
+                   round, at most the configured capacity) and
+                   [queue.rejected] (requests answered [busy] because
+                   the round was already full).  The daemon also emits
+                   [journal.link.fail] / [journal.link.repair] on
+                   operator link transitions and feeds [req.admit]
+                   through the shared {!stop_admit} path, so service
+                   latency lands in the same histogram and sliding
+                   window as library admissions *)
 
 type t
 

@@ -1,0 +1,287 @@
+module Net = Rr_wdm.Network
+module Router = Robust_routing.Router
+module Types = Robust_routing.Types
+module Obs = Rr_obs.Obs
+module Metrics = Rr_obs.Metrics
+
+type t = {
+  mutable net : Net.t;
+  mutable aux_cache : Rr_wdm.Aux_cache.t;
+  workspace : Rr_util.Workspace.t;
+  obs : Obs.t;
+  default_policy : Router.policy;
+  conns : (int, Types.solution) Hashtbl.t;
+  mutable next_id : int;
+  mutable admitted_total : int;
+  mutable blocked_total : int;
+  mutable stopping : bool;
+}
+
+let create ?(policy = Router.Cost_approx) ?(obs = Obs.null) net =
+  {
+    net;
+    aux_cache = Rr_wdm.Aux_cache.create net;
+    workspace = Rr_util.Workspace.create ();
+    obs;
+    default_policy = policy;
+    conns = Hashtbl.create 64;
+    next_id = 0;
+    admitted_total = 0;
+    blocked_total = 0;
+    stopping = false;
+  }
+
+let network t = t.net
+let obs t = t.obs
+let stopping t = t.stopping
+let default_policy t = t.default_policy
+
+let connections t =
+  (* lint: ordered — folded to a list and sorted by id before use *)
+  Hashtbl.fold (fun id sol acc -> (id, sol) :: acc) t.conns []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot text: the Network_io state description plus one serve-level
+   metadata comment, so a restored server resumes id assignment and its
+   service counters exactly where the snapshot left them.               *)
+
+let meta_prefix = "# rr-serve meta "
+
+let snapshot t =
+  let conns =
+    List.map
+      (fun (id, sol) -> (id, sol.Types.primary, sol.Types.backup))
+      (connections t)
+  in
+  Rr_wdm.Network_io.print_snapshot t.net ~conns
+  ^ Printf.sprintf "%snext_id=%d admitted=%d blocked=%d\n" meta_prefix
+      t.next_id t.admitted_total t.blocked_total
+
+let parse_meta text =
+  let from_line line =
+    let rest =
+      String.sub line (String.length meta_prefix)
+        (String.length line - String.length meta_prefix)
+    in
+    let kv tok =
+      match String.split_on_char '=' tok with
+      | [ k; v ] -> (
+        match int_of_string_opt v with Some i -> Some (k, i) | None -> None)
+      | _ -> None
+    in
+    let fields =
+      String.split_on_char ' ' rest
+      |> List.filter (fun s -> not (String.equal s ""))
+      |> List.filter_map kv
+    in
+    let get k = List.assoc_opt k fields in
+    match (get "next_id", get "admitted", get "blocked") with
+    | Some n, Some a, Some b -> Some (n, a, b)
+    | _ -> None
+  in
+  List.fold_left
+    (fun acc line ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+        if String.starts_with ~prefix:meta_prefix line then from_line line
+        else None)
+    None
+    (String.split_on_char '\n' text)
+
+let load_snapshot t text =
+  match Rr_wdm.Network_io.parse_snapshot text with
+  | Error m -> Error m
+  | Ok { Rr_wdm.Network_io.snap_net; snap_conns } ->
+    t.net <- snap_net;
+    t.aux_cache <- Rr_wdm.Aux_cache.create snap_net;
+    Hashtbl.reset t.conns;
+    List.iter
+      (fun (id, primary, backup) ->
+        Hashtbl.replace t.conns id { Types.primary; backup })
+      snap_conns;
+    let max_id =
+      List.fold_left (fun acc (id, _, _) -> max acc id) (-1) snap_conns
+    in
+    (match parse_meta text with
+     | Some (next_id, admitted, blocked) ->
+       t.next_id <- max next_id (max_id + 1);
+       t.admitted_total <- admitted;
+       t.blocked_total <- blocked
+     | None ->
+       t.next_id <- max_id + 1;
+       t.admitted_total <- List.length snap_conns;
+       t.blocked_total <- 0);
+    Ok (List.length snap_conns)
+
+let of_snapshot ?policy ?obs text =
+  (* The throwaway 1-node network is replaced before the state escapes. *)
+  let placeholder =
+    Net.create ~n_nodes:2 ~n_wavelengths:1
+      ~links:
+        [ { Net.ls_src = 0; ls_dst = 1; ls_lambdas = [ 0 ]; ls_weight = (fun _ -> 1.0) } ]
+      ~converters:(fun _ -> Rr_wdm.Conversion.Full 0.0)
+  in
+  let t = create ?policy ?obs placeholder in
+  match load_snapshot t text with Ok _ -> Ok t | Error m -> Error m
+
+(* ------------------------------------------------------------------ *)
+(* Request dispatch                                                     *)
+
+let stats t =
+  let failed = ref [] in
+  for e = Net.n_links t.net - 1 downto 0 do
+    if Net.is_failed t.net e then failed := e :: !failed
+  done;
+  {
+    Protocol.st_nodes = Net.n_nodes t.net;
+    st_links = Net.n_links t.net;
+    st_wavelengths = Net.n_wavelengths t.net;
+    st_connections = Hashtbl.length t.conns;
+    st_in_use = Net.total_in_use t.net;
+    st_load = Net.network_load t.net;
+    st_failed_links = !failed;
+    st_admitted_total = t.admitted_total;
+    st_blocked_total = t.blocked_total;
+  }
+
+(* Blocking-cause attribution, same counter-diff trick as Router.admit's
+   journal payload: three counter reads per blocked admission, and only
+   when the context is live (cause reads "unknown" on a disabled one). *)
+let blocked_cause t before_pair before_wave before_route before_val =
+  if not (Obs.enabled t.obs) then "unknown"
+  else begin
+    let m = Obs.metrics t.obs in
+    if Metrics.counter m "route.block.no_disjoint_pair" > before_pair then
+      "no_disjoint_pair"
+    else if Metrics.counter m "route.block.no_wavelength" > before_wave then
+      "no_wavelength"
+    else if Metrics.counter m "route.block.no_route" > before_route then
+      "no_route"
+    else if Metrics.counter m "admit.reject.validator" > before_val then
+      "validator_reject"
+    else "unknown"
+  end
+
+let handle t (req : Protocol.request) : Protocol.response =
+  let err kind fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Obs.add t.obs "serve.errors" 1;
+        Protocol.Error { kind; msg })
+      fmt
+  in
+  match req with
+  | Protocol.Ping -> Protocol.Pong
+  | Protocol.Shutdown ->
+    t.stopping <- true;
+    Protocol.Bye
+  | Protocol.Query -> Protocol.Stats (stats t)
+  | Protocol.Admit { src; dst; policy } ->
+    let n = Net.n_nodes t.net in
+    if src < 0 || src >= n || dst < 0 || dst >= n then
+      err Protocol.Bad_request "node out of range in %d -> %d (n = %d)" src dst n
+    else if src = dst then err Protocol.Bad_request "source equals destination (%d)" src
+    else begin
+      let policy = Option.value policy ~default:t.default_policy in
+      let rid = t.next_id in
+      t.next_id <- rid + 1;
+      let live = Obs.enabled t.obs in
+      let m = Obs.metrics t.obs in
+      let b_pair = if live then Metrics.counter m "route.block.no_disjoint_pair" else 0 in
+      let b_wave = if live then Metrics.counter m "route.block.no_wavelength" else 0 in
+      let b_route = if live then Metrics.counter m "route.block.no_route" else 0 in
+      let b_val = if live then Metrics.counter m "admit.reject.validator" else 0 in
+      match
+        Router.admit ~aux_cache:t.aux_cache ~workspace:t.workspace ~obs:t.obs
+          ~req:rid t.net policy ~source:src ~target:dst
+      with
+      | Some sol ->
+        Hashtbl.replace t.conns rid sol;
+        t.admitted_total <- t.admitted_total + 1;
+        Protocol.Admitted { id = rid; cost = Types.total_cost t.net sol }
+      | None ->
+        t.blocked_total <- t.blocked_total + 1;
+        Protocol.Blocked { cause = blocked_cause t b_pair b_wave b_route b_val }
+    end
+  | Protocol.Release { id } -> (
+    match Hashtbl.find_opt t.conns id with
+    | None -> err Protocol.Unknown_id "no connection %d" id
+    | Some sol ->
+      Types.release t.net sol;
+      Hashtbl.remove t.conns id;
+      Protocol.Released { id })
+  | Protocol.Fail_link { link } ->
+    if link < 0 || link >= Net.n_links t.net then
+      err Protocol.Bad_state "link %d out of range" link
+    else if Net.is_failed t.net link then
+      err Protocol.Bad_state "link %d already failed" link
+    else begin
+      Net.fail_link t.net link;
+      Obs.event t.obs ~a:link "journal.link.fail";
+      Protocol.Link_failed { link }
+    end
+  | Protocol.Repair_link { link } ->
+    if link < 0 || link >= Net.n_links t.net then
+      err Protocol.Bad_state "link %d out of range" link
+    else if not (Net.is_failed t.net link) then
+      err Protocol.Bad_state "link %d is not failed" link
+    else begin
+      Net.repair_link t.net link;
+      Obs.event t.obs ~a:link "journal.link.repair";
+      Protocol.Link_repaired { link }
+    end
+  | Protocol.Snapshot -> (
+    match snapshot t with
+    | state -> Protocol.Snapshot_state { state }
+    | exception Invalid_argument msg -> err Protocol.Bad_state "%s" msg)
+  | Protocol.Restore { state } -> (
+    match load_snapshot t state with
+    | Ok connections -> Protocol.Restored { connections }
+    | Error msg -> err Protocol.Bad_state "%s" msg)
+
+(* ------------------------------------------------------------------ *)
+(* Frame- and round-level entry points                                  *)
+
+let handle_frame t payload =
+  Obs.add t.obs "serve.requests" 1;
+  match Protocol.decode_request payload with
+  | Ok req -> Protocol.encode_response (handle t req)
+  | Error (kind, msg) ->
+    Obs.add t.obs "serve.errors" 1;
+    Protocol.encode_response (Protocol.Error { kind; msg })
+
+let handle_round t ~queue_capacity reqs =
+  if queue_capacity < 1 then invalid_arg "Core.handle_round: queue_capacity < 1";
+  let queued = ref 0 in
+  let rejected = ref 0 in
+  (* Admission-or-busy is decided for the whole round up front (the queue
+     is bounded at enqueue time), then the accepted prefix is processed
+     in FIFO order — responses line up with requests positionally. *)
+  let marked =
+    List.map
+      (fun req ->
+        if !queued >= queue_capacity then begin
+          incr rejected;
+          None
+        end
+        else begin
+          incr queued;
+          Some req
+        end)
+      reqs
+  in
+  Obs.gauge t.obs "queue.depth" (float_of_int !queued);
+  if !rejected > 0 then Obs.add t.obs "queue.rejected" !rejected;
+  List.map
+    (fun slot ->
+      match slot with
+      | Some req ->
+        Obs.add t.obs "serve.requests" 1;
+        handle t req
+      | None ->
+        Obs.add t.obs "serve.errors" 1;
+        Protocol.Error
+          { kind = Protocol.Busy; msg = "admission queue full — retry" })
+    marked

@@ -1,0 +1,268 @@
+(* Minimal JSON: just enough for the rr_serve wire protocol, with a
+   canonical printer (objects keep insertion order, floats via %.17g) so
+   encode/decode round-trips are byte-identical and the golden tests can
+   pin exact frames.  Hand-rolled to keep the daemon dependency-free. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                             *)
+
+let escape_into buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e16 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.17g" f
+
+let rec add_json buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | String s ->
+    Buffer.add_char buf '"';
+    escape_into buf s;
+    Buffer.add_char buf '"'
+  | List xs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_string buf ", ";
+        add_json buf x)
+      xs;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string buf ", ";
+        Buffer.add_char buf '"';
+        escape_into buf k;
+        Buffer.add_string buf "\": ";
+        add_json buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 64 in
+  add_json buf v;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                              *)
+
+exception Parse_error of string
+
+let parse_error fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+type cursor = { text : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.text then Some c.text.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let skip_ws c =
+  let rec go () =
+    match peek c with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance c;
+      go ()
+    | _ -> ()
+  in
+  go ()
+
+let expect c ch =
+  match peek c with
+  | Some x when Char.equal x ch -> advance c
+  | Some x -> parse_error "expected %C at offset %d, got %C" ch c.pos x
+  | None -> parse_error "expected %C, got end of input" ch
+
+let parse_literal c word value =
+  let n = String.length word in
+  if
+    c.pos + n <= String.length c.text
+    && String.equal (String.sub c.text c.pos n) word
+  then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else parse_error "invalid literal at offset %d" c.pos
+
+let parse_string_body c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek c with
+    | None -> parse_error "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' -> (
+      advance c;
+      match peek c with
+      | None -> parse_error "unterminated escape"
+      | Some e ->
+        advance c;
+        (match e with
+         | '"' -> Buffer.add_char buf '"'
+         | '\\' -> Buffer.add_char buf '\\'
+         | '/' -> Buffer.add_char buf '/'
+         | 'n' -> Buffer.add_char buf '\n'
+         | 'r' -> Buffer.add_char buf '\r'
+         | 't' -> Buffer.add_char buf '\t'
+         | 'b' -> Buffer.add_char buf '\b'
+         | 'f' -> Buffer.add_char buf '\012'
+         | 'u' ->
+           if c.pos + 4 > String.length c.text then
+             parse_error "truncated \\u escape";
+           let hex = String.sub c.text c.pos 4 in
+           let code =
+             match int_of_string_opt ("0x" ^ hex) with
+             | Some v -> v
+             | None -> parse_error "bad \\u escape %S" hex
+           in
+           c.pos <- c.pos + 4;
+           (* The protocol only escapes control characters; decode the
+              ASCII range and reject anything wider (no UTF-16 pairs). *)
+           if code < 0x80 then Buffer.add_char buf (Char.chr code)
+           else parse_error "\\u escape beyond ASCII (%04x)" code
+         | e -> parse_error "unknown escape \\%c" e);
+        go ())
+    | Some ch ->
+      advance c;
+      Buffer.add_char buf ch;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let is_float = ref false in
+  let rec go () =
+    match peek c with
+    | Some ('0' .. '9' | '-' | '+') ->
+      advance c;
+      go ()
+    | Some ('.' | 'e' | 'E') ->
+      is_float := true;
+      advance c;
+      go ()
+    | _ -> ()
+  in
+  go ();
+  let s = String.sub c.text start (c.pos - start) in
+  if !is_float then
+    match float_of_string_opt s with
+    | Some f -> Float f
+    | None -> parse_error "bad number %S" s
+  else
+    match int_of_string_opt s with
+    | Some i -> Int i
+    | None -> parse_error "bad number %S" s
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> parse_error "unexpected end of input"
+  | Some '{' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some '}' then begin
+      advance c;
+      Obj []
+    end
+    else begin
+      let fields = ref [] in
+      let rec members () =
+        skip_ws c;
+        let key = parse_string_body c in
+        skip_ws c;
+        expect c ':';
+        let v = parse_value c in
+        fields := (key, v) :: !fields;
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          members ()
+        | Some '}' -> advance c
+        | _ -> parse_error "expected ',' or '}' at offset %d" c.pos
+      in
+      members ();
+      Obj (List.rev !fields)
+    end
+  | Some '[' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some ']' then begin
+      advance c;
+      List []
+    end
+    else begin
+      let items = ref [] in
+      let rec elements () =
+        let v = parse_value c in
+        items := v :: !items;
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          advance c;
+          elements ()
+        | Some ']' -> advance c
+        | _ -> parse_error "expected ',' or ']' at offset %d" c.pos
+      in
+      elements ();
+      List (List.rev !items)
+    end
+  | Some '"' -> String (parse_string_body c)
+  | Some 't' -> parse_literal c "true" (Bool true)
+  | Some 'f' -> parse_literal c "false" (Bool false)
+  | Some 'n' -> parse_literal c "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some ch -> parse_error "unexpected character %C at offset %d" ch c.pos
+
+let of_string text =
+  let c = { text; pos = 0 } in
+  match parse_value c with
+  | v ->
+    skip_ws c;
+    if c.pos < String.length text then
+      Error (Printf.sprintf "trailing garbage at offset %d" c.pos)
+    else Ok v
+  | exception Parse_error m -> Error m
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                            *)
+
+let member key = function
+  | Obj fields ->
+    (* lint-free linear scan; wire objects are tiny *)
+    List.fold_left
+      (fun acc (k, v) ->
+        match acc with Some _ -> acc | None -> if String.equal k key then Some v else None)
+      None fields
+  | _ -> None
+
+let to_int = function Int i -> Some i | _ -> None
+
+let to_float = function Float f -> Some f | Int i -> Some (float_of_int i) | _ -> None
+
+let to_str = function String s -> Some s | _ -> None

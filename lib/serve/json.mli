@@ -1,0 +1,32 @@
+(** Minimal JSON for the rr_serve wire protocol.
+
+    Hand-rolled (no external dependency) with a canonical printer: object
+    fields keep insertion order, strings escape only what the grammar
+    requires, integral floats print as [x.0] and other floats via
+    [%.17g].  [of_string (to_string v)] is the identity, and for
+    canonically-printed text [to_string] after [of_string] is
+    byte-identical — the protocol golden tests rely on both. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+(** Strict: rejects trailing garbage, unterminated strings and non-ASCII
+    [\u] escapes (the canonical printer never emits them). *)
+
+val member : string -> t -> t option
+(** First field of that name when the value is an object. *)
+
+val to_int : t -> int option
+val to_float : t -> float option
+(** Accepts an [Int] too — [12] and [12.0] are the same wire number. *)
+
+val to_str : t -> string option

@@ -1,0 +1,183 @@
+module Rng = Rr_util.Rng
+module Workload = Rr_sim.Workload
+module Obs = Rr_obs.Obs
+
+type op =
+  | Op_admit of { src : int; dst : int }
+  | Op_release of { admit : int }
+
+(* ------------------------------------------------------------------ *)
+(* Script generation: the simulator's traffic model (Poisson arrivals,
+   exponential holding, uniform distinct pairs) flattened into a
+   deterministic op sequence — arrivals and the departures they schedule
+   merged in time order.  A function of (seed, n_nodes, requests, model)
+   alone.                                                               *)
+
+let script ~seed ~n_nodes ~requests model =
+  if n_nodes < 2 then invalid_arg "Loadgen.script: n_nodes < 2";
+  if requests < 0 then invalid_arg "Loadgen.script: requests < 0";
+  let rng = Rng.create seed in
+  let events = ref [] in
+  let clock = ref 0.0 in
+  for i = 0 to requests - 1 do
+    clock := !clock +. Workload.interarrival rng model;
+    let src, dst = Workload.random_pair rng ~n_nodes in
+    let depart = !clock +. Workload.holding rng model in
+    events := (!clock, (2 * i), Op_admit { src; dst }) :: !events;
+    events := (depart, (2 * i) + 1, Op_release { admit = i }) :: !events
+  done;
+  List.sort
+    (fun (t1, s1, _) (t2, s2, _) ->
+      match Float.compare t1 t2 with 0 -> Int.compare s1 s2 | c -> c)
+    !events
+  |> List.map (fun (_, _, op) -> op)
+  |> Array.of_list
+
+(* ------------------------------------------------------------------ *)
+(* Socket client                                                        *)
+
+type report = {
+  lg_requests : int;       (** admit ops sent *)
+  lg_admitted : int;
+  lg_blocked : int;
+  lg_released : int;
+  lg_errors : int;         (** protocol-level [Error] replies *)
+  lg_latencies_ns : int array;  (** wire round-trip per admit, send order *)
+  lg_outcomes : string array;   (** aligned with [lg_latencies_ns] *)
+  lg_elapsed_ns : int;
+}
+
+let blocking_rate r =
+  if r.lg_requests = 0 then 0.0
+  else float_of_int r.lg_blocked /. float_of_int r.lg_requests
+
+let quantile_ns r q =
+  let n = Array.length r.lg_latencies_ns in
+  if n = 0 then 0
+  else begin
+    let sorted = Array.copy r.lg_latencies_ns in
+    Array.sort Int.compare sorted;
+    let idx = int_of_float (q *. float_of_int n) in
+    sorted.(max 0 (min (n - 1) idx))
+  end
+
+let throughput_rps r =
+  if r.lg_elapsed_ns = 0 then 0.0
+  else
+    float_of_int (Array.length r.lg_latencies_ns)
+    /. (float_of_int r.lg_elapsed_ns /. 1e9)
+
+exception Protocol_failure of string
+
+let connect ~port =
+  let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+   with e -> (try Unix.close sock with Unix.Unix_error _ -> ()); raise e);
+  sock
+
+(* Blocking lockstep RPC: one framed request out, one framed reply in. *)
+let rpc sock framer req =
+  let payload = Protocol.frame (Protocol.encode_request req) in
+  let len = String.length payload in
+  let written = ref 0 in
+  while !written < len do
+    written := !written + Unix.write_substring sock payload !written (len - !written)
+  done;
+  let buf = Bytes.create 4096 in
+  let rec await () =
+    match Protocol.Framer.next framer with
+    | Some (Ok reply) -> (
+      match Protocol.decode_response reply with
+      | Ok r -> r
+      | Error m -> raise (Protocol_failure ("bad reply: " ^ m)))
+    | Some (Error fe) -> raise (Protocol_failure (Protocol.frame_error_message fe))
+    | None ->
+      let n = Unix.read sock buf 0 (Bytes.length buf) in
+      if n = 0 then raise (Protocol_failure "server closed the connection");
+      Protocol.Framer.feed framer (Bytes.sub_string buf 0 n);
+      await ()
+  in
+  await ()
+
+let query ~port =
+  let sock = connect ~port in
+  let framer = Protocol.Framer.create () in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      match rpc sock framer Protocol.Query with
+      | Protocol.Stats s -> s
+      | _ -> raise (Protocol_failure "unexpected reply to query"))
+
+let run ?(shutdown = false) ~port ops =
+  let sock = connect ~port in
+  let framer = Protocol.Framer.create () in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
+    (fun () ->
+      let n_admits =
+        Array.fold_left
+          (fun acc op -> match op with Op_admit _ -> acc + 1 | Op_release _ -> acc)
+          0 ops
+      in
+      let ids = Array.make (max 1 n_admits) None in
+      let latencies = Array.make (max 1 n_admits) 0 in
+      let outcomes = Array.make (max 1 n_admits) "skipped" in
+      let admitted = ref 0 and blocked = ref 0 and released = ref 0 and errors = ref 0 in
+      let admit_i = ref 0 in
+      let t_start = Obs.now_ns () in
+      Array.iter
+        (fun op ->
+          match op with
+          | Op_admit { src; dst } ->
+            let i = !admit_i in
+            incr admit_i;
+            let t0 = Obs.now_ns () in
+            let reply = rpc sock framer (Protocol.Admit { src; dst; policy = None }) in
+            latencies.(i) <- Obs.now_ns () - t0;
+            (match reply with
+             | Protocol.Admitted { id; _ } ->
+               ids.(i) <- Some id;
+               incr admitted;
+               outcomes.(i) <- "admitted"
+             | Protocol.Blocked _ ->
+               incr blocked;
+               outcomes.(i) <- "blocked"
+             | Protocol.Error { kind; _ } ->
+               incr errors;
+               outcomes.(i) <- Protocol.error_kind_name kind
+             | _ -> raise (Protocol_failure "unexpected reply to admit"))
+          | Op_release { admit } -> (
+            match ids.(admit) with
+            | None -> ()  (* blocked or errored admission: nothing to release *)
+            | Some id -> (
+              ids.(admit) <- None;
+              match rpc sock framer (Protocol.Release { id }) with
+              | Protocol.Released _ -> incr released
+              | Protocol.Error _ -> incr errors
+              | _ -> raise (Protocol_failure "unexpected reply to release"))))
+        ops;
+      let elapsed = Obs.now_ns () - t_start in
+      if shutdown then begin
+        match rpc sock framer Protocol.Shutdown with
+        | Protocol.Bye -> ()
+        | _ -> raise (Protocol_failure "unexpected reply to shutdown")
+      end;
+      {
+        lg_requests = n_admits;
+        lg_admitted = !admitted;
+        lg_blocked = !blocked;
+        lg_released = !released;
+        lg_errors = !errors;
+        lg_latencies_ns = (if n_admits = 0 then [||] else Array.sub latencies 0 n_admits);
+        lg_outcomes = (if n_admits = 0 then [||] else Array.sub outcomes 0 n_admits);
+        lg_elapsed_ns = elapsed;
+      })
+
+let csv r =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "request,outcome,latency_ns\n";
+  Array.iteri
+    (fun i lat -> Buffer.add_string b (Printf.sprintf "%d,%s,%d\n" i r.lg_outcomes.(i) lat))
+    r.lg_latencies_ns;
+  Buffer.contents b

@@ -1,0 +1,52 @@
+(** Socket-level load generator for the daemon.
+
+    Traffic comes from the simulator's model ({!Rr_sim.Workload}):
+    Poisson arrivals, exponential holding times, uniform distinct pairs —
+    flattened into a deterministic op script (a pure function of the
+    seed), then replayed over a real loopback connection in blocking
+    lockstep, timing every admission round trip. *)
+
+type op =
+  | Op_admit of { src : int; dst : int }
+  | Op_release of { admit : int }
+      (** Release of the connection admitted by the [admit]-th [Op_admit]
+          (skipped at run time if that admission was blocked). *)
+
+val script :
+  seed:int -> n_nodes:int -> requests:int -> Rr_sim.Workload.model -> op array
+(** Arrivals and the departures they schedule, merged in time order.
+    Deterministic. *)
+
+type report = {
+  lg_requests : int;       (** admit ops sent *)
+  lg_admitted : int;
+  lg_blocked : int;
+  lg_released : int;
+  lg_errors : int;         (** protocol-level [Error] replies *)
+  lg_latencies_ns : int array;  (** wire round-trip per admit, send order *)
+  lg_outcomes : string array;   (** aligned with [lg_latencies_ns] *)
+  lg_elapsed_ns : int;
+}
+
+exception Protocol_failure of string
+(** The server broke the protocol (closed mid-reply, wrong reply shape) —
+    distinct from in-protocol [Error] replies, which are counted in
+    [lg_errors]. *)
+
+val query : port:int -> Protocol.stats
+(** One-off [query] round trip — how the CLI discovers the served
+    network's node count before generating traffic. *)
+
+val run : ?shutdown:bool -> port:int -> op array -> report
+(** Connect to [127.0.0.1:port] and replay the script.  [shutdown] sends
+    a final [shutdown] request (for CI teardown). *)
+
+val blocking_rate : report -> float
+val quantile_ns : report -> float -> int
+(** Exact sorted quantile of the admit latencies; [quantile_ns r 0.5] is
+    the p50, [quantile_ns r 0.99] the p99. *)
+
+val throughput_rps : report -> float
+
+val csv : report -> string
+(** [request,outcome,latency_ns] rows — the CI artifact. *)

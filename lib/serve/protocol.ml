@@ -1,0 +1,392 @@
+module Router = Robust_routing.Router
+
+type request =
+  | Ping
+  | Admit of { src : int; dst : int; policy : Router.policy option }
+  | Release of { id : int }
+  | Fail_link of { link : int }
+  | Repair_link of { link : int }
+  | Query
+  | Snapshot
+  | Restore of { state : string }
+  | Shutdown
+
+type stats = {
+  st_nodes : int;
+  st_links : int;
+  st_wavelengths : int;
+  st_connections : int;
+  st_in_use : int;
+  st_load : float;
+  st_failed_links : int list;
+  st_admitted_total : int;
+  st_blocked_total : int;
+}
+
+type error_kind =
+  | Bad_frame
+  | Bad_json
+  | Unknown_op
+  | Bad_request
+  | Unknown_id
+  | Bad_state
+  | Busy
+
+type response =
+  | Pong
+  | Admitted of { id : int; cost : float }
+  | Blocked of { cause : string }
+  | Released of { id : int }
+  | Link_failed of { link : int }
+  | Link_repaired of { link : int }
+  | Stats of stats
+  | Snapshot_state of { state : string }
+  | Restored of { connections : int }
+  | Bye
+  | Error of { kind : error_kind; msg : string }
+
+let error_kind_name = function
+  | Bad_frame -> "bad_frame"
+  | Bad_json -> "bad_json"
+  | Unknown_op -> "unknown_op"
+  | Bad_request -> "bad_request"
+  | Unknown_id -> "unknown_id"
+  | Bad_state -> "bad_state"
+  | Busy -> "busy"
+
+let error_kind_of_name s =
+  match s with
+  | "bad_frame" -> Some Bad_frame
+  | "bad_json" -> Some Bad_json
+  | "unknown_op" -> Some Unknown_op
+  | "bad_request" -> Some Bad_request
+  | "unknown_id" -> Some Unknown_id
+  | "bad_state" -> Some Bad_state
+  | "busy" -> Some Busy
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Encoding: one canonical JSON text per value.                         *)
+
+let encode_request r =
+  Json.to_string
+    (match r with
+     | Ping -> Json.Obj [ ("op", Json.String "ping") ]
+     | Admit { src; dst; policy } ->
+       Json.Obj
+         ([ ("op", Json.String "admit"); ("src", Json.Int src); ("dst", Json.Int dst) ]
+         @
+         match policy with
+         | None -> []
+         | Some p -> [ ("policy", Json.String (Router.policy_name p)) ])
+     | Release { id } -> Json.Obj [ ("op", Json.String "release"); ("id", Json.Int id) ]
+     | Fail_link { link } ->
+       Json.Obj [ ("op", Json.String "fail"); ("link", Json.Int link) ]
+     | Repair_link { link } ->
+       Json.Obj [ ("op", Json.String "repair"); ("link", Json.Int link) ]
+     | Query -> Json.Obj [ ("op", Json.String "query") ]
+     | Snapshot -> Json.Obj [ ("op", Json.String "snapshot") ]
+     | Restore { state } ->
+       Json.Obj [ ("op", Json.String "restore"); ("state", Json.String state) ]
+     | Shutdown -> Json.Obj [ ("op", Json.String "shutdown") ])
+
+let encode_response r =
+  Json.to_string
+    (match r with
+     | Pong -> Json.Obj [ ("ok", Json.String "pong") ]
+     | Admitted { id; cost } ->
+       Json.Obj
+         [ ("ok", Json.String "admitted"); ("id", Json.Int id); ("cost", Json.Float cost) ]
+     | Blocked { cause } ->
+       Json.Obj [ ("ok", Json.String "blocked"); ("cause", Json.String cause) ]
+     | Released { id } ->
+       Json.Obj [ ("ok", Json.String "released"); ("id", Json.Int id) ]
+     | Link_failed { link } ->
+       Json.Obj [ ("ok", Json.String "failed"); ("link", Json.Int link) ]
+     | Link_repaired { link } ->
+       Json.Obj [ ("ok", Json.String "repaired"); ("link", Json.Int link) ]
+     | Stats s ->
+       Json.Obj
+         [
+           ("ok", Json.String "stats");
+           ("nodes", Json.Int s.st_nodes);
+           ("links", Json.Int s.st_links);
+           ("wavelengths", Json.Int s.st_wavelengths);
+           ("connections", Json.Int s.st_connections);
+           ("in_use", Json.Int s.st_in_use);
+           ("load", Json.Float s.st_load);
+           ("failed_links", Json.List (List.map (fun e -> Json.Int e) s.st_failed_links));
+           ("admitted_total", Json.Int s.st_admitted_total);
+           ("blocked_total", Json.Int s.st_blocked_total);
+         ]
+     | Snapshot_state { state } ->
+       Json.Obj [ ("ok", Json.String "snapshot"); ("state", Json.String state) ]
+     | Restored { connections } ->
+       Json.Obj [ ("ok", Json.String "restored"); ("connections", Json.Int connections) ]
+     | Bye -> Json.Obj [ ("ok", Json.String "bye") ]
+     | Error { kind; msg } ->
+       Json.Obj
+         [ ("error", Json.String (error_kind_name kind)); ("msg", Json.String msg) ])
+
+(* ------------------------------------------------------------------ *)
+(* Decoding: malformed input maps to a typed [Error], never an           *)
+(* exception.                                                            *)
+
+(* [response]'s [Error] constructor shadows [result]'s; the annotations
+   below keep the decoder bodies on the stdlib constructors. *)
+
+let field_int j name : (int, string) result =
+  match Json.member name j with
+  | Some v -> (
+    match Json.to_int v with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "field %S must be an integer" name))
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let field_str j name : (string, string) result =
+  match Json.member name j with
+  | Some v -> (
+    match Json.to_str v with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "field %S must be a string" name))
+  | None -> Error (Printf.sprintf "missing field %S" name)
+
+let ( let* ) r f =
+  match r with Result.Ok v -> f v | Result.Error e -> Result.Error e
+
+let decode_request text =
+  match Json.of_string text with
+  | Error m -> Result.Error (Bad_json, m)
+  | Ok j -> (
+    let req : (request, string) result =
+      match Json.member "op" j with
+      | None -> Error "missing field \"op\""
+      | Some op -> (
+        match Json.to_str op with
+        | None -> Error "field \"op\" must be a string"
+        | Some "ping" -> Ok Ping
+        | Some "admit" ->
+          let* src = field_int j "src" in
+          let* dst = field_int j "dst" in
+          let* policy =
+            match Json.member "policy" j with
+            | None -> Ok None
+            | Some v -> (
+              match Json.to_str v with
+              | None -> Error "field \"policy\" must be a string"
+              | Some name -> (
+                match Router.policy_of_string name with
+                | Some p -> Ok (Some p)
+                | None -> Error (Printf.sprintf "unknown policy %S" name)))
+          in
+          Ok (Admit { src; dst; policy })
+        | Some "release" ->
+          let* id = field_int j "id" in
+          Ok (Release { id })
+        | Some "fail" ->
+          let* link = field_int j "link" in
+          Ok (Fail_link { link })
+        | Some "repair" ->
+          let* link = field_int j "link" in
+          Ok (Repair_link { link })
+        | Some "query" -> Ok Query
+        | Some "snapshot" -> Ok Snapshot
+        | Some "restore" ->
+          let* state = field_str j "state" in
+          Ok (Restore { state })
+        | Some "shutdown" -> Ok Shutdown
+        | Some other -> Error (Printf.sprintf "unknown op %S" other))
+    in
+    match req with
+    | Ok r -> Result.Ok r
+    | Error m -> (
+      (* An unknown op is its own error kind; everything else about a
+         well-formed JSON object is a bad request. *)
+      match Json.member "op" j with
+      | Some (Json.String op)
+        when not
+               (List.exists (String.equal op)
+                  [
+                    "ping"; "admit"; "release"; "fail"; "repair"; "query";
+                    "snapshot"; "restore"; "shutdown";
+                  ]) ->
+        Result.Error (Unknown_op, m)
+      | _ -> Result.Error (Bad_request, m)))
+
+let decode_response text =
+  match Json.of_string text with
+  | Error m -> Result.Error m
+  | Ok j -> (
+    match Json.member "error" j with
+    | Some v -> (
+      match Json.to_str v with
+      | None -> Result.Error "field \"error\" must be a string"
+      | Some kind_s -> (
+        match error_kind_of_name kind_s with
+        | None -> Result.Error (Printf.sprintf "unknown error kind %S" kind_s)
+        | Some kind -> (
+          match field_str j "msg" with
+          | Ok msg -> Result.Ok (Error { kind; msg })
+          | Error m -> Result.Error m)))
+    | None -> (
+      let r : (response, string) result =
+        match Json.member "ok" j with
+        | None -> Error "missing field \"ok\""
+        | Some ok -> (
+          match Json.to_str ok with
+          | None -> Error "field \"ok\" must be a string"
+          | Some "pong" -> Ok Pong
+          | Some "admitted" ->
+            let* id = field_int j "id" in
+            let* cost =
+              match Json.member "cost" j with
+              | Some v -> (
+                match Json.to_float v with
+                | Some f -> Ok f
+                | None -> Error "field \"cost\" must be a number")
+              | None -> Error "missing field \"cost\""
+            in
+            Ok (Admitted { id; cost })
+          | Some "blocked" ->
+            let* cause = field_str j "cause" in
+            Ok (Blocked { cause })
+          | Some "released" ->
+            let* id = field_int j "id" in
+            Ok (Released { id })
+          | Some "failed" ->
+            let* link = field_int j "link" in
+            Ok (Link_failed { link })
+          | Some "repaired" ->
+            let* link = field_int j "link" in
+            Ok (Link_repaired { link })
+          | Some "stats" ->
+            let* st_nodes = field_int j "nodes" in
+            let* st_links = field_int j "links" in
+            let* st_wavelengths = field_int j "wavelengths" in
+            let* st_connections = field_int j "connections" in
+            let* st_in_use = field_int j "in_use" in
+            let* st_load =
+              match Json.member "load" j with
+              | Some v -> (
+                match Json.to_float v with
+                | Some f -> Ok f
+                | None -> Error "field \"load\" must be a number")
+              | None -> Error "missing field \"load\""
+            in
+            let* st_failed_links =
+              match Json.member "failed_links" j with
+              | Some (Json.List xs) ->
+                List.fold_left
+                  (fun (acc : (int list, string) result) x ->
+                    let* acc = acc in
+                    match Json.to_int x with
+                    | Some i -> Ok (i :: acc)
+                    | None -> Error "failed_links must hold integers")
+                  (Ok []) xs
+                |> Result.map List.rev
+              | _ -> Error "missing or malformed \"failed_links\""
+            in
+            let* st_admitted_total = field_int j "admitted_total" in
+            let* st_blocked_total = field_int j "blocked_total" in
+            Ok
+              (Stats
+                 {
+                   st_nodes; st_links; st_wavelengths; st_connections;
+                   st_in_use; st_load; st_failed_links; st_admitted_total;
+                   st_blocked_total;
+                 })
+          | Some "snapshot" ->
+            let* state = field_str j "state" in
+            Ok (Snapshot_state { state })
+          | Some "restored" ->
+            let* connections = field_int j "connections" in
+            Ok (Restored { connections })
+          | Some "bye" -> Ok Bye
+          | Some other -> Error (Printf.sprintf "unknown ok tag %S" other))
+      in
+      match r with Ok v -> Result.Ok v | Error m -> Result.Error m))
+
+(* ------------------------------------------------------------------ *)
+(* Framing: "<decimal payload length>\n<payload>".                      *)
+
+let max_frame_default = 16 * 1024 * 1024
+
+let frame payload = string_of_int (String.length payload) ^ "\n" ^ payload
+
+type frame_error =
+  | Bad_prefix of string
+  | Frame_too_large of int
+
+let frame_error_message = function
+  | Bad_prefix s -> Printf.sprintf "malformed length prefix %S" s
+  | Frame_too_large n -> Printf.sprintf "frame of %d bytes exceeds the limit" n
+
+module Framer = struct
+  type t = {
+    mutable buf : Buffer.t;
+    max_frame : int;
+    mutable dead : frame_error option;
+  }
+
+  let create ?(max_frame = max_frame_default) () =
+    { buf = Buffer.create 256; max_frame; dead = None }
+
+  let feed t s = if t.dead = None then Buffer.add_string t.buf s
+
+  (* The prefix may only hold digits; anything else poisons the stream
+     (framing can't resync after garbage). *)
+  let next t : (string, frame_error) result option =
+    match t.dead with
+    | Some e -> Some (Error e)
+    | None -> (
+      let data = Buffer.contents t.buf in
+      match String.index_opt data '\n' with
+      | None ->
+        let bad =
+          String.exists
+            (fun c -> not (c >= '0' && c <= '9'))
+            data
+        in
+        if bad || String.length data > 20 then begin
+          t.dead <- Some (Bad_prefix data);
+          Some (Error (Bad_prefix data))
+        end
+        else None
+      | Some nl -> (
+        let prefix = String.sub data 0 nl in
+        let digits_only =
+          (not (String.equal prefix ""))
+          && String.for_all (fun c -> c >= '0' && c <= '9') prefix
+        in
+        match (if digits_only then int_of_string_opt prefix else None) with
+        | None ->
+          t.dead <- Some (Bad_prefix prefix);
+          Some (Error (Bad_prefix prefix))
+        | Some len when len > t.max_frame ->
+          t.dead <- Some (Frame_too_large len);
+          Some (Error (Frame_too_large len))
+        | Some len ->
+          let avail = String.length data - nl - 1 in
+          if avail < len then None
+          else begin
+            let payload = String.sub data (nl + 1) len in
+            let rest = String.sub data (nl + 1 + len) (avail - len) in
+            let nbuf = Buffer.create (max 256 (String.length rest)) in
+            Buffer.add_string nbuf rest;
+            t.buf <- nbuf;
+            Some (Ok payload)
+          end))
+
+  let pending t = Buffer.length t.buf > 0 && t.dead = None
+end
+
+let decode_frames text =
+  let f = Framer.create () in
+  Framer.feed f text;
+  let rec go (acc : (string, frame_error) result list) =
+    match Framer.next f with
+    | None -> List.rev acc
+    | Some (Error e) -> List.rev (Result.Error e :: acc)
+    | Some (Ok p) -> go (Result.Ok p :: acc)
+  in
+  go []

@@ -1,0 +1,210 @@
+module Obs = Rr_obs.Obs
+module Obs_http = Rr_obs.Obs_http
+
+type client = {
+  fd : Unix.file_descr;
+  framer : Protocol.Framer.t;
+  out : Buffer.t;
+  mutable closing : bool;  (* close once [out] drains *)
+}
+
+type t = {
+  core : Core.t;
+  lsock : Unix.file_descr;
+  http : Unix.file_descr option;
+  queue_capacity : int;
+  mutable clients : client list;
+  rbuf : Bytes.t;
+}
+
+let default_queue_capacity = 64
+
+let create ?(queue_capacity = default_queue_capacity) ?(max_frame = Protocol.max_frame_default)
+    ?http_port ~port core =
+  if queue_capacity < 1 then invalid_arg "Server.create: queue_capacity < 1";
+  let lsock = Obs_http.listen ~port () in
+  Unix.set_nonblock lsock;
+  let http =
+    Option.map
+      (fun p ->
+        let fd = Obs_http.listen ~port:p () in
+        Unix.set_nonblock fd;
+        fd)
+      http_port
+  in
+  ignore max_frame;
+  { core; lsock; http; queue_capacity; clients = []; rbuf = Bytes.create 4096 }
+
+let core t = t.core
+let port t = Obs_http.bound_port t.lsock
+let http_port t = Option.map Obs_http.bound_port t.http
+
+let metrics_page t () =
+  Rr_obs.Export.prometheus (Obs.metrics (Core.obs t.core))
+
+let close_client t c =
+  t.clients <- List.filter (fun c' -> c' != c) t.clients;
+  (try Unix.close c.fd with Unix.Unix_error _ -> ());
+  Obs.gauge (Core.obs t.core) "serve.clients" (float_of_int (List.length t.clients))
+
+let enqueue c payload = Buffer.add_string c.out (Protocol.frame payload)
+
+(* One nonblocking write attempt; unsent bytes stay buffered. *)
+let flush_client t c =
+  let data = Buffer.contents c.out in
+  let len = String.length data in
+  if len > 0 then begin
+    match Unix.write_substring c.fd data 0 len with
+    | n ->
+      Buffer.clear c.out;
+      if n < len then Buffer.add_substring c.out data n (len - n)
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> close_client t c
+  end;
+  if c.closing && Buffer.length c.out = 0 then close_client t c
+
+let accept_clients t =
+  let rec go () =
+    match Unix.accept t.lsock with
+    | fd, _ ->
+      Unix.set_nonblock fd;
+      t.clients <-
+        t.clients
+        @ [ { fd; framer = Protocol.Framer.create (); out = Buffer.create 256; closing = false } ];
+      go ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+  in
+  go ();
+  Obs.gauge (Core.obs t.core) "serve.clients" (float_of_int (List.length t.clients))
+
+let serve_http_once t fd =
+  match Unix.accept fd with
+  | conn, _ -> (
+    (* One small blocking exchange — a Prometheus scrape. *)
+    Unix.clear_nonblock conn;
+    Fun.protect
+      ~finally:(fun () -> try Unix.close conn with Unix.Unix_error _ -> ())
+      (fun () ->
+        let buf = Bytes.create 4096 in
+        let n = try Unix.read conn buf 0 4096 with Unix.Unix_error _ -> 0 in
+        if n > 0 then begin
+          let resp = Obs_http.handle ~metrics:(metrics_page t) (Bytes.sub_string buf 0 n) in
+          let _ =
+            try Unix.write_substring conn resp 0 (String.length resp)
+            with Unix.Unix_error _ -> 0
+          in
+          ()
+        end))
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+
+(* Read every ready client and collect this round's work items in arrival
+   order.  An item is either an already-encoded immediate reply (decode
+   or framing error) or a decoded request; keeping both in one ordered
+   list is what preserves per-client response order across the queue. *)
+let read_round t ready =
+  let obs = Core.obs t.core in
+  let items = ref [] in
+  List.iter
+    (fun c ->
+      if (not c.closing) && List.exists (fun fd -> fd == c.fd) ready then begin
+        match Unix.read c.fd t.rbuf 0 (Bytes.length t.rbuf) with
+        | 0 -> close_client t c
+        | n ->
+          Protocol.Framer.feed c.framer (Bytes.sub_string t.rbuf 0 n);
+          let rec drain () =
+            match Protocol.Framer.next c.framer with
+            | None -> ()
+            | Some (Error fe) ->
+              Obs.add obs "serve.requests" 1;
+              Obs.add obs "serve.errors" 1;
+              let resp =
+                Protocol.encode_response
+                  (Protocol.Error
+                     { kind = Protocol.Bad_frame; msg = Protocol.frame_error_message fe })
+              in
+              items := (c, `Imm resp) :: !items;
+              (* Framing errors poison the stream: reply, then close. *)
+              c.closing <- true
+            | Some (Ok payload) ->
+              (match Protocol.decode_request payload with
+               | Ok req -> items := (c, `Req req) :: !items
+               | Error (kind, msg) ->
+                 Obs.add obs "serve.requests" 1;
+                 Obs.add obs "serve.errors" 1;
+                 items :=
+                   (c, `Imm (Protocol.encode_response (Protocol.Error { kind; msg })))
+                   :: !items);
+              drain ()
+          in
+          drain ()
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> ()
+        | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> close_client t c
+      end)
+    t.clients;
+  List.rev !items
+
+let handle_items t items =
+  let reqs = List.filter_map (function _, `Req r -> Some r | _, `Imm _ -> None) items in
+  let resps = Core.handle_round t.core ~queue_capacity:t.queue_capacity reqs in
+  let remaining = ref resps in
+  List.iter
+    (fun (c, item) ->
+      match item with
+      | `Imm payload -> enqueue c payload
+      | `Req _ -> (
+        match !remaining with
+        | resp :: rest ->
+          remaining := rest;
+          enqueue c (Protocol.encode_response resp)
+        | [] -> assert false))
+    items
+
+let pump ?(timeout = 0.05) t =
+  let listen_fds = t.lsock :: (match t.http with Some h -> [ h ] | None -> []) in
+  let read_fds = listen_fds @ List.map (fun c -> c.fd) t.clients in
+  let write_fds =
+    List.filter_map (fun c -> if Buffer.length c.out > 0 then Some c.fd else None) t.clients
+  in
+  let ready_r, ready_w, _ =
+    try Unix.select read_fds write_fds [] timeout
+    with Unix.Unix_error (Unix.EINTR, _, _) -> ([], [], [])
+  in
+  if List.exists (fun fd -> fd == t.lsock) ready_r then accept_clients t;
+  (match t.http with
+   | Some h when List.exists (fun fd -> fd == h) ready_r -> serve_http_once t h
+   | _ -> ());
+  let items = read_round t ready_r in
+  handle_items t items;
+  List.iter
+    (fun c ->
+      if Buffer.length c.out > 0 || c.closing then
+        if List.exists (fun fd -> fd == c.fd) ready_w || Buffer.length c.out > 0 then
+          flush_client t c)
+    t.clients
+
+let shutdown t =
+  List.iter (fun c -> try Unix.close c.fd with Unix.Unix_error _ -> ()) t.clients;
+  t.clients <- [];
+  (try Unix.close t.lsock with Unix.Unix_error _ -> ());
+  match t.http with
+  | Some h -> ( try Unix.close h with Unix.Unix_error _ -> ())
+  | None -> ()
+
+let run ?timeout t =
+  (* Broken pipes surface as write errors, not signals. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  while not (Core.stopping t.core) do
+    pump ?timeout t
+  done;
+  (* Drain goodbye replies before tearing the sockets down. *)
+  let rounds = ref 0 in
+  while
+    !rounds < 50
+    && List.exists (fun c -> Buffer.length c.out > 0) t.clients
+  do
+    incr rounds;
+    List.iter (fun c -> flush_client t c) t.clients;
+    if List.exists (fun c -> Buffer.length c.out > 0) t.clients then
+      ignore (try Unix.select [] [] [] 0.01 with Unix.Unix_error _ -> ([], [], []))
+  done;
+  shutdown t

@@ -1,0 +1,48 @@
+(** The daemon's socket layer: a single-threaded [select] loop over
+    loopback TCP, one {!Protocol.Framer} per client, and a bounded
+    admission queue per pump round.
+
+    All protocol and routing semantics live in {!Core} — this module only
+    moves bytes: it reads ready clients, collects the round's frames in
+    arrival order, hands the decoded requests to {!Core.handle_round}
+    (which applies the queue bound and answers the overflow [Busy]), and
+    writes the replies back non-blockingly, preserving per-client
+    response order even when immediate decode errors interleave with
+    queued requests.
+
+    When [http_port] is given, a second listener serves [/metrics] and
+    [/healthz] from the core's {!Rr_obs.Obs} registry (via
+    {!Rr_obs.Obs_http.handle}) inside the same loop. *)
+
+type t
+
+val default_queue_capacity : int
+(** 64 requests per pump round. *)
+
+val create :
+  ?queue_capacity:int ->
+  ?max_frame:int ->
+  ?http_port:int ->
+  port:int ->
+  Core.t ->
+  t
+(** Bind [127.0.0.1:port] ([0] picks an ephemeral port — read it back
+    with {!port}).  Raises [Invalid_argument] if [queue_capacity < 1],
+    [Unix.Unix_error] on bind failure. *)
+
+val port : t -> int
+val http_port : t -> int option
+val core : t -> Core.t
+
+val pump : ?timeout:float -> t -> unit
+(** One event-loop round: select (default 50 ms), accept, read, handle,
+    write.  Exposed for in-process tests that interleave client and
+    server deterministically. *)
+
+val run : ?timeout:float -> t -> unit
+(** {!pump} until a [shutdown] request lands, then drain pending replies
+    and close every socket.  Returns normally — the CLI exits 0. *)
+
+val shutdown : t -> unit
+(** Close all sockets immediately (without waiting for [shutdown] on the
+    wire). *)

@@ -146,6 +146,186 @@ let print net =
   done;
   Buffer.contents buf
 
+(* ------------------------------------------------------------------ *)
+(* Snapshots: full dynamic state (usage, failures, admitted connection
+   set) for rr_serve's restart-without-cold-rebuild path.               *)
+
+type snapshot = {
+  snap_net : Network.t;
+  snap_conns : (int * Semilightpath.t * Semilightpath.t option) list;
+}
+
+let hops_to_string hops =
+  String.concat ","
+    (List.map
+       (fun h -> Printf.sprintf "%d:%d" h.Semilightpath.edge h.Semilightpath.lambda)
+       hops)
+
+let print_snapshot net ~conns =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "# rr-serve snapshot v1\n";
+  Buffer.add_string buf (print net);
+  for e = 0 to Network.n_links net - 1 do
+    if Network.is_failed net e then
+      Buffer.add_string buf (Printf.sprintf "failed %d\n" e)
+  done;
+  let conns = List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b) conns in
+  (* Wavelengths held by connections, per link, to split explicit [used]
+     lines (preload not owned by any connection) from implied ones. *)
+  let conn_used = Array.make (Network.n_links net) [] in
+  let note path =
+    List.iter
+      (fun h -> conn_used.(h.Semilightpath.edge) <-
+          h.Semilightpath.lambda :: conn_used.(h.Semilightpath.edge))
+      path.Semilightpath.hops
+  in
+  List.iter
+    (fun (id, primary, backup) ->
+      note primary;
+      Option.iter note backup;
+      Buffer.add_string buf
+        (Printf.sprintf "conn %d primary %s%s\n" id
+           (hops_to_string primary.Semilightpath.hops)
+           (match backup with
+            | None -> ""
+            | Some b -> " backup " ^ hops_to_string b.Semilightpath.hops)))
+    conns;
+  for e = 0 to Network.n_links net - 1 do
+    let extra =
+      List.filter
+        (fun l -> not (List.exists (Int.equal l) conn_used.(e)))
+        (Bitset.to_list (Network.used net e))
+    in
+    match extra with
+    | [] -> ()
+    | extra ->
+      Buffer.add_string buf
+        (Printf.sprintf "used %d %s\n" e
+           (String.concat "," (List.map string_of_int extra)))
+  done;
+  Buffer.contents buf
+
+let parse_snapshot text =
+  let exception Fail of string in
+  let fail lineno fmt =
+    Printf.ksprintf (fun m -> raise (Fail (Printf.sprintf "line %d: %s" lineno m))) fmt
+  in
+  try
+    let lines = String.split_on_char '\n' text in
+    (* Split state directives from the structural description, keeping the
+       1-based position of each for error messages. *)
+    let state_lines = ref [] and net_lines = ref [] in
+    List.iteri
+      (fun i raw ->
+        let first_token =
+          match
+            String.split_on_char ' ' (String.trim raw)
+            |> List.filter (fun s -> not (String.equal s ""))
+          with
+          | tok :: _ -> tok
+          | [] -> ""
+        in
+        if
+          String.equal first_token "failed"
+          || String.equal first_token "used"
+          || String.equal first_token "conn"
+        then state_lines := (i + 1, String.trim raw) :: !state_lines
+        else net_lines := raw :: !net_lines)
+      lines;
+    let state_lines = List.rev !state_lines in
+    match parse (String.concat "\n" (List.rev !net_lines)) with
+    | Error m -> Error m
+    | Ok net ->
+      let m = Network.n_links net in
+      let int_of lineno s =
+        match int_of_string_opt s with
+        | Some v -> v
+        | None -> fail lineno "expected integer, got %S" s
+      in
+      let link_of lineno s =
+        let e = int_of lineno s in
+        if e < 0 || e >= m then fail lineno "link %d out of range" e;
+        e
+      in
+      let hops_of lineno s =
+        let hops =
+          String.split_on_char ',' s
+          |> List.filter (fun x -> not (String.equal x ""))
+          |> List.map (fun pair ->
+                 match String.split_on_char ':' pair with
+                 | [ e; l ] ->
+                   {
+                     Semilightpath.edge = link_of lineno e;
+                     lambda = int_of lineno l;
+                   }
+                 | _ -> fail lineno "expected <link>:<lambda>, got %S" pair)
+        in
+        match hops with
+        | [] -> fail lineno "empty hop list"
+        | _ -> { Semilightpath.hops }
+      in
+      let conns = ref [] and failed = ref [] in
+      (* Connections allocate first, explicit preload second, failures
+         last (allocation on a failed link would raise). *)
+      List.iter
+        (fun (lineno, line) ->
+          let tokens =
+            String.split_on_char ' ' line
+            |> List.filter (fun s -> not (String.equal s ""))
+          in
+          match tokens with
+          | [ "failed"; e ] -> failed := link_of lineno e :: !failed
+          | [ "used"; e; ls ] ->
+            let e = link_of lineno e in
+            List.iter
+              (fun l ->
+                match Network.allocate net e l with
+                | () -> ()
+                | exception Invalid_argument msg ->
+                  fail lineno "cannot mark %d used on link %d: %s" l e msg)
+              (String.split_on_char ',' ls
+              |> List.filter (fun x -> not (String.equal x ""))
+              |> List.map (int_of lineno))
+          | "conn" :: id :: "primary" :: rest -> (
+            let id = int_of lineno id in
+            if List.exists (fun (i, _, _) -> Int.equal i id) !conns then
+              fail lineno "duplicate connection id %d" id;
+            let apply path =
+              let src = Semilightpath.source net path in
+              let dst = Semilightpath.target net path in
+              (match
+                 Semilightpath.validate net ~source:src ~target:dst path
+               with
+               | Ok () -> ()
+               | Error msg -> fail lineno "connection %d: %s" id msg);
+              Semilightpath.allocate net path
+            in
+            match rest with
+            | [ p ] ->
+              let primary = hops_of lineno p in
+              apply primary;
+              conns := (id, primary, None) :: !conns
+            | [ p; "backup"; b ] ->
+              let primary = hops_of lineno p in
+              let backup = hops_of lineno b in
+              apply primary;
+              apply backup;
+              conns := (id, primary, Some backup) :: !conns
+            | _ ->
+              fail lineno "usage: conn <id> primary <e:l,...> [backup <e:l,...>]")
+          | _ -> fail lineno "malformed state directive %S" line)
+        state_lines;
+      List.iter (fun e -> Network.fail_link net e) !failed;
+      Ok
+        {
+          snap_net = net;
+          snap_conns =
+            List.sort (fun (a, _, _) (b, _, _) -> Int.compare a b) !conns;
+        }
+  with
+  | Fail msg -> Error msg
+  | Invalid_argument msg -> Error msg
+
 let to_dot ?(highlight = []) net =
   let buf = Buffer.create 512 in
   Buffer.add_string buf "digraph wdm {\n  rankdir=LR;\n  node [shape=circle];\n";

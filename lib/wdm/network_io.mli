@@ -29,6 +29,43 @@ val print : Network.t -> string
     emitted as [none]/[full]/[range]; [Table] converters are not
     serialisable and raise [Invalid_argument]). *)
 
+(** {1 Snapshots}
+
+    Full dynamic state for [rr_serve]'s restart path: the structural
+    description of {!print} extended with three directives —
+
+    {v
+    failed <link>
+    conn <id> primary <e:l,e:l,...> [backup <e:l,e:l,...>]
+    used <link> <l1,l2,...>
+    v}
+
+    [conn] carries an admitted connection's paths as [link:lambda] hop
+    lists; [used] carries residual usage owned by no connection
+    (preload).  Printing is canonical — failures ascending by link,
+    connections ascending by id, extra usage ascending by link — so
+    [parse_snapshot] then [print_snapshot] is byte-identical, the
+    property the [test/corpus/*.snap] round-trip tests pin. *)
+
+type snapshot = {
+  snap_net : Network.t;
+      (** usage (connections + extra [used] lines) and failures applied *)
+  snap_conns : (int * Semilightpath.t * Semilightpath.t option) list;
+      (** [(id, primary, backup)], ascending by id *)
+}
+
+val print_snapshot :
+  Network.t ->
+  conns:(int * Semilightpath.t * Semilightpath.t option) list ->
+  string
+(** Raises [Invalid_argument] on [Table] converters or per-wavelength
+    weights (inherited from {!print}). *)
+
+val parse_snapshot : string -> (snapshot, string) result
+(** Rebuild the network and re-allocate every connection.  Each [conn]
+    path is validated (chaining, availability) before allocation;
+    failures are applied last.  Errors mention the offending line. *)
+
 val to_dot :
   ?highlight:(int * string) list ->
   Network.t ->

@@ -4,4 +4,4 @@ let () =
    @ Test_topo.suite @ Test_core.suite @ Test_sim.suite @ Test_extensions.suite
    @ Test_analysis.suite @ Test_network_io.suite @ Test_perf.suite
    @ Test_obs.suite @ Test_aux_cache.suite @ Test_check.suite
-   @ Test_lint.suite)
+   @ Test_lint.suite @ Test_serve.suite)
