@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# wait_ready.sh LOG PATTERN [TIMEOUT_SECONDS]
+#
+# Bounded readiness poll for a daemon that announces itself by writing
+# PATTERN to LOG: polls every 100 ms until the pattern appears, and on
+# timeout dumps the captured log to stderr and exits 1 so the CI step
+# fails with the daemon's actual output instead of a bare grep error.
+set -euo pipefail
+
+log=${1:?usage: wait_ready.sh LOG PATTERN [TIMEOUT_SECONDS]}
+pattern=${2:?usage: wait_ready.sh LOG PATTERN [TIMEOUT_SECONDS]}
+timeout=${3:-30}
+
+deadline=$(($(date +%s) + timeout))
+until grep -q "$pattern" "$log" 2>/dev/null; do
+  if [ "$(date +%s)" -ge "$deadline" ]; then
+    echo "wait_ready: no '$pattern' in $log after ${timeout}s" >&2
+    echo "--- $log ---" >&2
+    cat "$log" >&2 2>/dev/null || echo "(log missing)" >&2
+    exit 1
+  fi
+  sleep 0.1
+done

@@ -232,6 +232,101 @@ let route_cmd =
 (* ------------------------------------------------------------------ *)
 (* simulate                                                             *)
 
+(* --failures "link=0.02,hardened=0:1,mttr=25,srlg=0.01,region=0.002:1"
+   parsed into the simulator's failure-process fields.  [file_groups] are
+   srlg tags read from a --file network description (preferred over
+   synthetic conduits when present). *)
+let apply_failure_spec net ~seed ~file_groups spec cfg =
+  let fail fmt = Printf.ksprintf (fun m -> die "--failures: %s" m) fmt in
+  let m = Net.n_links net in
+  let link = ref None and srlg_rate = ref None and region = ref None in
+  let repair = ref None and mttr = ref None in
+  let hardened = ref [] and conduits = ref 8 and node = ref None in
+  let float_v key v =
+    match float_of_string_opt v with
+    | Some f when f >= 0.0 -> f
+    | _ -> fail "%s expects a non-negative number, got %S" key v
+  in
+  let tokens =
+    String.split_on_char ',' spec |> List.map String.trim
+    |> List.filter (fun s -> not (String.equal s ""))
+  in
+  if List.is_empty tokens then fail "empty spec";
+  List.iter
+    (fun tok ->
+      match String.index_opt tok '=' with
+      | None -> fail "token %S is not key=value" tok
+      | Some i -> (
+        let key = String.sub tok 0 i in
+        let v = String.sub tok (i + 1) (String.length tok - i - 1) in
+        match key with
+        | "link" -> link := Some (float_v key v)
+        | "node" -> node := Some (float_v key v)
+        | "srlg" -> srlg_rate := Some (float_v key v)
+        | "repair" -> repair := Some (float_v key v)
+        | "mttr" ->
+          let t = float_v key v in
+          if t <= 0.0 then fail "mttr must be positive";
+          mttr := Some t
+        | "region" -> (
+          match String.split_on_char ':' v with
+          | [ r; rad ] -> (
+            match (float_of_string_opt r, int_of_string_opt rad) with
+            | Some r, Some rad when r >= 0.0 && rad >= 0 ->
+              region := Some (r, rad)
+            | _ -> fail "region expects RATE:RADIUS")
+          | _ -> fail "region expects RATE:RADIUS")
+        | "hardened" ->
+          hardened :=
+            List.map
+              (fun s ->
+                match int_of_string_opt s with
+                | Some e when e >= 0 && e < m -> e
+                | _ -> fail "hardened link %S out of range (0..%d)" s (m - 1))
+              (String.split_on_char ':' v)
+        | "conduits" -> (
+          match int_of_string_opt v with
+          | Some c when c >= 1 -> conduits := c
+          | _ -> fail "conduits expects a positive integer")
+        | k -> fail "unknown key %S" k))
+    tokens;
+  let link_fail_rates =
+    match (!link, !hardened) with
+    | None, [] -> None
+    | None, _ :: _ -> fail "hardened=... requires link=RATE"
+    | Some r, h ->
+      let a = Array.make m r in
+      List.iter (fun e -> a.(e) <- 0.0) h;
+      Some a
+  in
+  let link_repair_rates =
+    Option.map (fun t -> Array.make m (1.0 /. t)) !mttr
+  in
+  let srlg =
+    match !srlg_rate with
+    | None -> None
+    | Some r ->
+      let groups =
+        match file_groups with
+        | Some g -> g
+        | None ->
+          RR.Srlg.conduits_of_topology
+            ~rng:(Rr_util.Rng.create (seed + 7))
+            net ~conduits:!conduits
+      in
+      Some (groups, r)
+  in
+  {
+    cfg with
+    Rr_sim.Simulator.link_fail_rates;
+    link_repair_rates;
+    srlg;
+    regional = !region;
+    node_failure_rate =
+      Option.value ~default:cfg.Rr_sim.Simulator.node_failure_rate !node;
+    repair_time = Option.value ~default:cfg.Rr_sim.Simulator.repair_time !repair;
+  }
+
 let simulate_cmd =
   let erlang =
     Arg.(value & opt float 20.0 & info [ "erlang" ] ~doc:"Offered load (arrival rate x holding).")
@@ -248,10 +343,48 @@ let simulate_cmd =
   let reprovision =
     Arg.(value & flag & info [ "reprovision" ] ~doc:"Re-provision backups after switch-over.")
   in
-  let run topo policy w seed erlang duration failure_rate node_failure_rate
-      reprovision metrics trace journal sample =
+  let failures_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "failures" ] ~docv:"SPEC"
+          ~doc:
+            "Correlated-failure scenario as comma-separated key=value \
+             tokens.  $(b,link=R) arms an independent exponential failure \
+             clock of rate R on every fibre; $(b,hardened=I:J:K) zeroes \
+             the rate on the listed links; $(b,mttr=T) repairs each \
+             failure after an exponential delay of mean T (otherwise the \
+             constant $(b,repair=T), default 40); $(b,srlg=R) cuts a \
+             whole shared-risk group at rate R ($(b,conduits=N) synthetic \
+             trenches, default 8, or the srlg directives of --file); \
+             $(b,region=R:D) fails every node within D hops of a random \
+             centre at rate R; $(b,node=R) equals --node-failure-rate.")
+  in
+  let partial =
+    Arg.(
+      value & flag
+      & info [ "partial" ]
+          ~doc:
+            "Partial path protection: reserve backup detours only for the \
+             failure-exposed sub-segments of each primary (the links with \
+             a non-zero failure rate under $(b,--failures); every link \
+             when exposure cannot be inferred), falling back to the full \
+             edge-disjoint pair when segmentation does not pay.")
+  in
+  let run topo file policy w seed erlang duration failure_rate node_failure_rate
+      reprovision failures partial metrics trace journal sample =
     let obs = obs_of metrics trace journal sample in
-    let net = build_net topo w seed in
+    let net, file_groups =
+      match file with
+      | None -> (build_net topo w seed, None)
+      | Some path -> (
+        let text = In_channel.with_open_bin path In_channel.input_all in
+        match Rr_wdm.Network_io.parse_srlg text with
+        | Ok (net, groups) ->
+          let tagged = Array.exists (fun gs -> not (List.is_empty gs)) groups in
+          (net, if tagged then Some groups else None)
+        | Error e -> die "%s: %s" path e)
+    in
     let workload =
       Rr_sim.Workload.make ~arrival_rate:(erlang /. 10.0) ~mean_holding:10.0
     in
@@ -266,6 +399,21 @@ let simulate_cmd =
         repair_time = 40.0;
       }
     in
+    let cfg =
+      match failures with
+      | None -> cfg
+      | Some spec -> apply_failure_spec net ~seed ~file_groups spec cfg
+    in
+    let cfg =
+      if not partial then cfg
+      else
+        let exposure =
+          match cfg.Rr_sim.Simulator.link_fail_rates with
+          | Some rates -> RR.Partial_protect.exposure_of_rates rates
+          | None -> RR.Partial_protect.All
+        in
+        { cfg with Rr_sim.Simulator.partial_protection = Some exposure }
+    in
     let r = Rr_sim.Simulator.run ~obs net cfg in
     export_obs obs metrics trace journal;
     let c = r.Rr_sim.Simulator.counters in
@@ -276,24 +424,29 @@ let simulate_cmd =
       (100.0 *. Rr_sim.Metrics.blocking_probability c);
     Printf.printf "mean network load %.3f (peak %.3f)\n" r.mean_load r.peak_load;
     Printf.printf "reconfig triggers %d\n" c.reconfigurations;
-    if failure_rate > 0.0 || node_failure_rate > 0.0 then begin
-      Printf.printf "failures          %d (node outages %d)\n" c.failures_injected
-        r.node_failures;
+    Printf.printf "backup hops       %d\n" r.backup_hops_reserved;
+    if failure_rate > 0.0 || node_failure_rate > 0.0 || Option.is_some failures
+    then begin
+      Printf.printf "failures          %d (node outages %d, srlg cuts %d, regional %d)\n"
+        c.failures_injected r.node_failures r.srlg_failures r.regional_failures;
       Printf.printf "switch-overs      %d\n" c.restorations_ok;
       Printf.printf "passive reroutes  %d\n" c.passive_reroutes_ok;
       Printf.printf "endpoint losses   %d\n" c.endpoint_losses;
       Printf.printf "dropped           %d\n" r.dropped;
       Printf.printf "reprovisioned     %d\n" r.backups_reprovisioned;
       Printf.printf "restoration       %.1f%%\n"
-        (100.0 *. Rr_sim.Metrics.restoration_success c)
+        (100.0 *. Rr_sim.Metrics.restoration_success c);
+      Printf.printf "availability      %.6f (carried %.1f, lost %.1f Erlang-time)\n"
+        r.availability r.carried_time r.lost_time
     end
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Run a dynamic-traffic simulation.")
     Term.(
-      const run $ topo_arg $ policy_arg $ wavelengths_arg $ seed_arg $ erlang
-      $ duration $ failure_rate $ node_failure_rate $ reprovision $ metrics_arg
-      $ trace_arg $ journal_arg $ sample_arg)
+      const run $ topo_arg $ file_arg $ policy_arg $ wavelengths_arg $ seed_arg
+      $ erlang $ duration $ failure_rate $ node_failure_rate $ reprovision
+      $ failures_arg $ partial $ metrics_arg $ trace_arg $ journal_arg
+      $ sample_arg)
 
 (* ------------------------------------------------------------------ *)
 (* audit                                                                *)
@@ -1077,6 +1230,107 @@ let loadgen_cmd =
       const run $ port_arg $ requests_arg $ erlang_arg $ seed_arg $ csv_arg
       $ shutdown_arg)
 
+let admin_cmd =
+  let port_arg =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "port" ] ~doc:"Control port of a running $(b,rr serve).")
+  in
+  let fail_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fail" ] ~docv:"LINKS"
+          ~doc:
+            "Fail the comma-separated link ids atomically and run \
+             restoration over the resident connections (switch to intact \
+             backups, re-route the rest, drop what cannot re-route).")
+  in
+  let repair_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "repair" ] ~docv:"LINKS"
+          ~doc:"Repair the comma-separated link ids atomically.")
+  in
+  let query_arg =
+    Arg.(value & flag & info [ "query" ] ~doc:"Print server stats (default when no burst is given).")
+  in
+  let run port fail_links repair_links query =
+    let links_of flag s =
+      let links =
+        String.split_on_char ',' s |> List.map String.trim
+        |> List.filter (fun x -> not (String.equal x ""))
+        |> List.map (fun x ->
+               match int_of_string_opt x with
+               | Some e when e >= 0 -> e
+               | _ -> die "--%s: bad link id %S" flag x)
+      in
+      if List.is_empty links then die "--%s expects at least one link id" flag;
+      links
+    in
+    let send req =
+      try Rr_serve.Loadgen.request ~port req with
+      | Unix.Unix_error (e, _, _) ->
+        die "connect 127.0.0.1:%d: %s" port (Unix.error_message e)
+      | Rr_serve.Loadgen.Protocol_failure m -> die "admin: %s" m
+    in
+    let show_links links = String.concat "," (List.map string_of_int links) in
+    let acted = ref false in
+    (match fail_links with
+     | None -> ()
+     | Some s -> (
+       acted := true;
+       match send (Rr_serve.Protocol.Fail_burst { links = links_of "fail" s }) with
+       | Rr_serve.Protocol.Burst_failed { links; switched; rerouted; dropped } ->
+         Printf.printf "failed %s: switched %d  rerouted %d  dropped %d\n"
+           (show_links links) switched rerouted dropped
+       | Rr_serve.Protocol.Error { kind; msg } ->
+         die "fail burst rejected (%s): %s"
+           (Rr_serve.Protocol.error_kind_name kind) msg
+       | _ -> die "unexpected reply to fail burst"));
+    (match repair_links with
+     | None -> ()
+     | Some s -> (
+       acted := true;
+       match
+         send (Rr_serve.Protocol.Repair_burst { links = links_of "repair" s })
+       with
+       | Rr_serve.Protocol.Burst_repaired { links } ->
+         Printf.printf "repaired %s\n" (show_links links)
+       | Rr_serve.Protocol.Error { kind; msg } ->
+         die "repair burst rejected (%s): %s"
+           (Rr_serve.Protocol.error_kind_name kind) msg
+       | _ -> die "unexpected reply to repair burst"));
+    if query || not !acted then begin
+      match send Rr_serve.Protocol.Query with
+      | Rr_serve.Protocol.Stats s ->
+        Printf.printf
+          "nodes %d  links %d  wavelengths %d\nconnections %d  in-use %d  \
+           load %.3f\nadmitted %d  blocked %d\nfailed links: %s\n"
+          s.Rr_serve.Protocol.st_nodes s.Rr_serve.Protocol.st_links
+          s.Rr_serve.Protocol.st_wavelengths s.Rr_serve.Protocol.st_connections
+          s.Rr_serve.Protocol.st_in_use s.Rr_serve.Protocol.st_load
+          s.Rr_serve.Protocol.st_admitted_total
+          s.Rr_serve.Protocol.st_blocked_total
+          (match s.Rr_serve.Protocol.st_failed_links with
+           | [] -> "none"
+           | l -> show_links l)
+      | Rr_serve.Protocol.Error { kind; msg } ->
+        die "query rejected (%s): %s" (Rr_serve.Protocol.error_kind_name kind) msg
+      | _ -> die "unexpected reply to query"
+    end
+  in
+  Cmd.v
+    (Cmd.info "admin"
+       ~doc:
+         "Administer a running $(b,rr serve): inject correlated failure \
+          bursts ($(b,--fail 3,7)), repair them ($(b,--repair 3,7)) and \
+          query live stats.  A burst is validated as a unit — any bad \
+          link rejects the whole burst with no state change.")
+    Term.(const run $ port_arg $ fail_arg $ repair_arg $ query_arg)
+
 let obs_cmd =
   Cmd.group
     (Cmd.info "obs"
@@ -1096,5 +1350,5 @@ let () =
           [
             topo_cmd; route_cmd; simulate_cmd; audit_cmd; analyze_cmd;
             batch_cmd; provision_cmd; dot_cmd; check_cmd; obs_cmd;
-            serve_cmd; loadgen_cmd;
+            serve_cmd; loadgen_cmd; admin_cmd;
           ]))

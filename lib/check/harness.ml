@@ -174,6 +174,27 @@ let cases =
             prop = Invariants.check_serve;
           };
     };
+    {
+      id = 15;
+      name = "survive";
+      doc =
+        "restoration under failure bursts: Eq.1/Eq.2 invariants and \
+         allocation books vs from-scratch re-allocation of the survivors";
+      (* up to ten admissions, then eight burst/restore/re-allocate rounds
+         (each with a full fresh-network books comparison) per trial *)
+      trial_cost = 2;
+      kind =
+        Net
+          {
+            gen =
+              (fun rng ~max_n ->
+                Gen.instance
+                  ~policies:
+                    Robust_routing.Router.[ Cost_approx; Load_aware; Load_cost ]
+                  rng ~max_n);
+            prop = Invariants.check_survive;
+          };
+    };
   ]
 
 let case_names = List.map (fun c -> c.name) cases

@@ -782,7 +782,11 @@ let check_serve inst =
           Sp.Link_repaired { link }
         end
       | Sp.Snapshot -> Sp.Snapshot_state { state = ref_snapshot () }
-      | Sp.Restore _ | Sp.Shutdown -> Sp.Error { kind = Sp.Bad_request; msg = "" }
+      (* Not generated by this script: bursts are covered differentially
+         by the survive case (restoration semantics), restore/shutdown by
+         the dedicated snapshot and service tests. *)
+      | Sp.Fail_burst _ | Sp.Repair_burst _ | Sp.Restore _ | Sp.Shutdown ->
+        Sp.Error { kind = Sp.Bad_request; msg = "" }
     in
     let random_pair () =
       let s = Rng.int rng n in
@@ -875,4 +879,237 @@ let check_serve inst =
           end)
         None
         (List.combine expected got)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Survivability: restoration under scripted failure bursts            *)
+
+type surv_conn = {
+  sc_src : int;
+  sc_dst : int;
+  mutable sc_active : Slp.t;
+  mutable sc_prot : RR.Partial_protect.protection;
+}
+
+(* Restoration must never corrupt the books.  A scripted failure/repair
+   sequence drives {!Robust_routing.Restore} over a mixed population of
+   fully-protected, partially-protected and effectively-unprotected
+   connections; after every step the surviving state is checked against
+   the Eq. 1 / Eq. 2 invariants, and the network's whole allocation state
+   must equal a from-scratch re-allocation of the surviving working and
+   protection paths onto a fresh copy of the instance network (the
+   strongest possible statement that releases and splices returned
+   exactly the resources they should have). *)
+let check_survive inst =
+  let module Protect = RR.Partial_protect in
+  let module Restore = RR.Restore in
+  let net = Instance.network inst in
+  let n = Net.n_nodes net in
+  let m = Net.n_links net in
+  if m = 0 || n < 2 then None
+  else begin
+    (* Deterministic function of the instance, like check_aux_cache; the
+       trailing 15 is the case id. *)
+    let rng =
+      Rng.create
+        (Hashtbl.hash
+           ( n,
+             inst.Instance.n_wavelengths,
+             m,
+             inst.Instance.source,
+             inst.Instance.target,
+             15 ))
+    in
+    let policy = inst.Instance.policy in
+    let aux_cache = Rr_wdm.Aux_cache.create net in
+    let exposure =
+      if Rng.uniform rng < 0.5 then Protect.All
+      else begin
+        let s = ref (Bitset.create m) in
+        for e = 0 to m - 1 do
+          if Rng.uniform rng < 0.6 then s := Bitset.add !s e
+        done;
+        Protect.Only !s
+      end
+    in
+    let conns : (int, surv_conn) Hashtbl.t = Hashtbl.create 16 in
+    let next_id = ref 0 in
+    let random_pair () =
+      let s = Rng.int rng n in
+      let d = Rng.int rng (n - 1) in
+      (s, if d >= s then d + 1 else d)
+    in
+    (* Alternate admission mechanisms so restoration sees every protection
+       shape: classic full pairs and partial (segment) protection. *)
+    let admit_one () =
+      let s, d = random_pair () in
+      let id = !next_id in
+      incr next_id;
+      let admitted =
+        if id land 1 = 0 then
+          match Router.admit ~aux_cache ~req:id net policy ~source:s ~target:d with
+          | Some sol ->
+            let prot =
+              match sol.Types.backup with
+              | Some b -> Protect.Full b
+              | None -> Protect.Unprotected
+            in
+            Some (sol.Types.primary, prot)
+          | None -> None
+        else Protect.admit ~aux_cache ~exposure net ~source:s ~target:d
+      in
+      match admitted with
+      | None -> ()
+      | Some (primary, prot) ->
+        Hashtbl.replace conns id
+          { sc_src = s; sc_dst = d; sc_active = primary; sc_prot = prot }
+    in
+    (* lint: ordered — sorted by connection id below *)
+    let sorted_conns () =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) conns []
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+    in
+    let restore_pass () =
+      List.iter
+        (fun (id, c) ->
+          if
+            Hashtbl.mem conns id
+            && List.exists (Net.is_failed net) (Slp.links c.sc_active)
+          then begin
+            let rid = !next_id in
+            incr next_id;
+            match
+              Restore.restore ~aux_cache ~req:rid
+                ~reprovision:(Rng.uniform rng < 0.3)
+                net policy
+                ~request:{ Types.src = c.sc_src; dst = c.sc_dst }
+                ~primary:c.sc_active ~protection:c.sc_prot
+            with
+            | Restore.Switched (p, prot) | Restore.Rerouted (p, prot) ->
+              c.sc_active <- p;
+              c.sc_prot <- prot
+            | Restore.Dropped -> Hashtbl.remove conns id
+          end)
+        (sorted_conns ())
+    in
+    let scan () =
+      List.fold_left
+        (fun acc (id, c) ->
+          let* () = acc in
+          let* () =
+            if not (Slp.link_simple c.sc_active) then
+              fail "conn %d: working path repeats a physical link" id
+            else None
+          in
+          let* () =
+            match List.find_opt (Net.is_failed net) (Slp.links c.sc_active) with
+            | Some e -> fail "conn %d: working path crosses failed link %d" id e
+            | None -> None
+          in
+          let* () =
+            match manual_cost net c.sc_active with
+            | Error msg -> fail "conn %d: %s" id msg
+            | Ok expected ->
+              let got = Slp.cost net c.sc_active in
+              if not (Float.is_finite got) then
+                fail "conn %d: non-finite working cost" id
+              else if not (close got expected) then
+                fail "conn %d: Eq.1 mismatch (%.9g vs manual %.9g)" id got
+                  expected
+              else None
+          in
+          match c.sc_prot with
+          | Protect.Unprotected -> None
+          | Protect.Full b ->
+            if not (Slp.link_simple b) then
+              fail "conn %d: backup repeats a physical link" id
+            else if not (Slp.edge_disjoint c.sc_active b) then
+              fail "conn %d: full backup shares a link with the working path"
+                id
+            else None
+          | Protect.Segments segs ->
+            List.fold_left
+              (fun acc seg ->
+                let* () = acc in
+                if not (Slp.link_simple seg.Protect.seg_detour) then
+                  fail "conn %d: segment detour repeats a physical link" id
+                else None)
+              None segs)
+        None (sorted_conns ())
+    in
+    (* Eq. 2 books balance: the live allocation state must be exactly what
+       re-allocating every surviving path onto a fresh network produces
+       (failure flags applied last, as in snapshot restore). *)
+    let books () =
+      let fresh = Instance.network inst in
+      match
+        List.iter
+          (fun (_, c) ->
+            Slp.allocate fresh c.sc_active;
+            match c.sc_prot with
+            | Protect.Unprotected -> ()
+            | Protect.Full b -> Slp.allocate fresh b
+            | Protect.Segments segs ->
+              List.iter
+                (fun seg -> Slp.allocate fresh seg.Protect.seg_detour)
+                segs)
+          (sorted_conns ())
+      with
+      | () ->
+        for e = 0 to m - 1 do
+          if Net.is_failed net e then Net.fail_link fresh e
+        done;
+        let live = used_state net and replayed = used_state fresh in
+        if live <> replayed then begin
+          let diff =
+            List.mapi
+              (fun e ((lu, lf), (ru, rf)) ->
+                if lu <> ru || not (Bool.equal lf rf) then
+                  Printf.sprintf "link %d live used=[%s]%s vs replay used=[%s]%s"
+                    e
+                    (String.concat ";" (List.map string_of_int lu))
+                    (if lf then " failed" else "")
+                    (String.concat ";" (List.map string_of_int ru))
+                    (if rf then " failed" else "")
+                else "")
+              (List.combine live replayed)
+            |> List.filter (fun s -> not (String.equal s ""))
+          in
+          fail
+            "post-restoration allocation state differs from a from-scratch \
+             re-allocation of the surviving connections: %s"
+            (String.concat "; " diff)
+        end
+        else None
+      | exception Invalid_argument msg ->
+        fail "surviving state does not re-allocate on a fresh network: %s" msg
+    in
+    for _ = 1 to min 10 (2 * n) do
+      admit_one ()
+    done;
+    let err = ref (match scan () with Some _ as s -> s | None -> books ()) in
+    let step = ref 0 in
+    while !err = None && !step < 8 do
+      incr step;
+      (* lint: ordered — ascending by construction *)
+      let down = List.filter (Net.is_failed net) (List.init m Fun.id) in
+      if (not (List.is_empty down)) && Rng.uniform rng < 0.35 then
+        (* repair burst: bring most of the plant back *)
+        List.iter
+          (fun e -> if Rng.uniform rng < 0.7 then Net.repair_link net e)
+          down
+      else begin
+        (* failure burst: one to three correlated cuts, then restoration
+           in ascending connection-id order *)
+        let burst = 1 + Rng.int rng (min 3 m) in
+        for _ = 1 to burst do
+          let e = Rng.int rng m in
+          if not (Net.is_failed net e) then Net.fail_link net e
+        done;
+        restore_pass ()
+      end;
+      if Rng.uniform rng < 0.5 then admit_one ();
+      err := (match scan () with Some _ as s -> s | None -> books ())
+    done;
+    !err
   end

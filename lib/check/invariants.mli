@@ -84,3 +84,15 @@ val check_serve : Instance.t -> string option
     its own snapshot (restore must resume byte-identically), and a final
     [Core.handle_round] round checks bounded-queue semantics: FIFO
     responses aligned with request positions, overflow answered [Busy]. *)
+
+val check_survive : Instance.t -> string option
+(** Survivability: a scripted failure/repair burst sequence over a mixed
+    population of fully-protected, partially-protected (segment detours)
+    and unprotected connections, with {!Robust_routing.Restore} run after
+    every burst in ascending connection-id order.  After every step, every
+    surviving working path must be link-simple, avoid every failed link
+    and re-price exactly (Eq. 1); [Full] backups must stay edge-disjoint
+    from their working paths; and the network's whole allocation state
+    (Eq. 2) must equal a from-scratch re-allocation of the surviving
+    working and protection paths onto a fresh copy of the instance
+    network — restoration may never leak or double-book a wavelength. *)

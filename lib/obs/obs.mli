@@ -18,6 +18,20 @@
     spans enter the tracer.  Sampling gates only the tracer: histograms
     and the journal always see every request.
 
+    Probe-name grammar.  A probe or event name is a dotted path of two
+    or more lowercase segments, [seg ("." seg)+] with
+    [seg = [a-z][a-z0-9_]*]: the first segment names the subsystem
+    namespace, the rest narrow to an operation and (optionally) an
+    outcome, e.g. [restore.ok] or [route.block.no_route].  Names must be
+    static string literals at the call site — rr_lint R4 extracts every
+    literal passed to {!stop}, {!count} and {!event} from the compiled
+    artefacts and diffs the set against
+    [tools/rr_lint/probes.manifest]; a name absent from the manifest
+    (or a stale manifest entry) fails CI, so regenerate the manifest
+    ([rr_lint --emit-manifest lib bin]) whenever probes are added or
+    removed.  Journal event names live in the same manifest under the
+    [journal.] prefix.
+
     Naming conventions used across the repository:
     - [stage.*]    per-stage latency histograms of the Section 3.3
                    pipeline (aux_graph, disjoint_pair, induce, refine,
@@ -27,7 +41,11 @@
     - [kernel.*]   latency histograms of the search kernels (dijkstra,
                    suurballe, layered, layered_bounded)
     - [sim.*]      simulator event-loop spans (arrival, epoch, departure,
-                   fail_link, fail_node, repair)
+                   fail_link, fail_node, repair; [sim.fail_srlg] and
+                   [sim.fail_region] cover the correlated failure
+                   processes — a shared-risk conduit cut felling its
+                   whole link group, and a regional outage felling a
+                   node ball)
     - [admit.*]    admission counters: [admit.ok], [admit.blocked],
                    [admit.reject.validator]
     - [route.block.*]  blocking causes: [no_disjoint_pair],
@@ -45,12 +63,40 @@
                    [journal.batch.fallback] (a=request index),
                    [journal.link.fail] / [journal.link.repair] (a=link),
                    [journal.node.fail] (a=node),
+                   [journal.srlg.fail] (a=conduit group id) and
+                   [journal.region.fail] (a=center node, b=radius) for
+                   the correlated failure processes,
+                   [journal.restore.switch] / [journal.restore.reroute]
+                   / [journal.restore.drop] /
+                   [journal.restore.reprovision] (a=source, b=target)
+                   for restoration outcomes, and
+                   [journal.survive.splice] (a=source, b=target) when a
+                   segment detour is spliced into a working path,
                    [journal.aux.rebuild] (full auxiliary recompute);
                    [journal.anomaly] is recorded internally by
                    {!anomaly}.  [journal.dropped] counts events lost to
                    ring wrap, [trace.dropped] spans lost likewise
     - [window.*]   reserved for sliding-window read-outs in exports
                    (the window itself is queried via {!window})
+    - [restore.*]  restoration counters ({!Robust_routing.Restore}):
+                   [restore.attempt] (a primary lost a link),
+                   [restore.switch] (traffic moved onto the reserved
+                   backup or a spliced segment detour),
+                   [restore.reroute] (backup also dead; a fresh path was
+                   found on the residual network), [restore.ok]
+                   (switch + reroute), [restore.dropped] (no residual
+                   path: the connection is lost),
+                   [restore.reprovision] (a fresh backup was reserved
+                   after restoration)
+    - [survive.*]  partial path protection counters
+                   ({!Robust_routing.Partial_protect}):
+                   [survive.partial.segmented] (admission protected only
+                   the failure-exposed sub-segments),
+                   [survive.partial.full_fallback] (segmentation did not
+                   pay or found no detours; fell back to a full
+                   edge-disjoint backup), [survive.splice] (a detour was
+                   spliced into the working path after a segment
+                   failure)
     - [workspace.hit] / [workspace.miss]  scratch-state pooling counters
     - [aux.cache.*]  incremental auxiliary-graph engine counters:
                    [aux.cache.hit] (delta syncs), [aux.cache.rebuild]

@@ -1,6 +1,8 @@
 module Net = Rr_wdm.Network
 module Router = Robust_routing.Router
 module Types = Robust_routing.Types
+module Restore = Robust_routing.Restore
+module Protect = Robust_routing.Partial_protect
 module Obs = Rr_obs.Obs
 module Metrics = Rr_obs.Metrics
 
@@ -164,6 +166,33 @@ let blocked_cause t before_pair before_wave before_route before_val =
     else "unknown"
   end
 
+(* Burst pre-validation (links sorted/deduplicated by the caller): the
+   whole list must be in range and in the expected failure state before
+   any link is touched. *)
+let validate_burst t ~want_failed links =
+  let err kind fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Obs.add t.obs "serve.errors" 1;
+        Result.Error (Protocol.Error { kind; msg }))
+      fmt
+  in
+  match links with
+  | [] -> err Protocol.Bad_request "empty burst"
+  | _ ->
+    let rec check = function
+      | [] -> Result.Ok ()
+      | e :: rest ->
+        if e < 0 || e >= Net.n_links t.net then
+          err Protocol.Bad_state "link %d out of range" e
+        else if (not want_failed) && Net.is_failed t.net e then
+          err Protocol.Bad_state "link %d already failed" e
+        else if want_failed && not (Net.is_failed t.net e) then
+          err Protocol.Bad_state "link %d is not failed" e
+        else check rest
+    in
+    check links
+
 let handle t (req : Protocol.request) : Protocol.response =
   let err kind fmt =
     Printf.ksprintf
@@ -232,6 +261,84 @@ let handle t (req : Protocol.request) : Protocol.response =
       Obs.event t.obs ~a:link "journal.link.repair";
       Protocol.Link_repaired { link }
     end
+  | Protocol.Fail_burst { links } -> (
+    (* All-or-nothing validation: a bad link rejects the whole burst with
+       no state change, so the client never has to guess how much of a
+       scenario was applied. *)
+    let links = List.sort_uniq Int.compare links in
+    match validate_burst t ~want_failed:false links with
+    | Error resp -> resp
+    | Ok () ->
+      List.iter
+        (fun link ->
+          Net.fail_link t.net link;
+          Obs.event t.obs ~a:link "journal.link.fail")
+        links;
+      (* Restoration order is part of the decision sequence (each
+         re-route consumes residual wavelengths): process resident
+         connections in admission order, through the shared engine. *)
+      let switched = ref 0 and rerouted = ref 0 and dropped = ref 0 in
+      List.iter
+        (fun (id, sol) ->
+          let hit =
+            List.exists
+              (fun e -> List.exists (Int.equal e) links)
+              (Rr_wdm.Semilightpath.links sol.Types.primary)
+          in
+          if hit then begin
+            let src = Rr_wdm.Semilightpath.source t.net sol.Types.primary in
+            let dst = Rr_wdm.Semilightpath.target t.net sol.Types.primary in
+            let protection =
+              match sol.Types.backup with
+              | Some b -> Protect.Full b
+              | None -> Protect.Unprotected
+            in
+            let rid = t.next_id in
+            t.next_id <- rid + 1;
+            match
+              Restore.restore ~aux_cache:t.aux_cache ~workspace:t.workspace
+                ~obs:t.obs ~req:rid t.net t.default_policy
+                ~request:{ Types.src; dst } ~primary:sol.Types.primary
+                ~protection
+            with
+            | Restore.Switched (working, prot) ->
+              incr switched;
+              Hashtbl.replace t.conns id
+                {
+                  Types.primary = working;
+                  backup =
+                    (match prot with
+                     | Protect.Full b -> Some b
+                     | Protect.Unprotected | Protect.Segments _ -> None);
+                }
+            | Restore.Rerouted (working, prot) ->
+              incr rerouted;
+              Hashtbl.replace t.conns id
+                {
+                  Types.primary = working;
+                  backup =
+                    (match prot with
+                     | Protect.Full b -> Some b
+                     | Protect.Unprotected | Protect.Segments _ -> None);
+                }
+            | Restore.Dropped ->
+              incr dropped;
+              Hashtbl.remove t.conns id
+          end)
+        (connections t);
+      Protocol.Burst_failed
+        { links; switched = !switched; rerouted = !rerouted; dropped = !dropped })
+  | Protocol.Repair_burst { links } -> (
+    let links = List.sort_uniq Int.compare links in
+    match validate_burst t ~want_failed:true links with
+    | Error resp -> resp
+    | Ok () ->
+      List.iter
+        (fun link ->
+          Net.repair_link t.net link;
+          Obs.event t.obs ~a:link "journal.link.repair")
+        links;
+      Protocol.Burst_repaired { links })
   | Protocol.Snapshot -> (
     match snapshot t with
     | state -> Protocol.Snapshot_state { state }

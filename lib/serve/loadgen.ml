@@ -99,15 +99,17 @@ let rpc sock framer req =
   in
   await ()
 
-let query ~port =
+let request ~port req =
   let sock = connect ~port in
   let framer = Protocol.Framer.create () in
   Fun.protect
     ~finally:(fun () -> try Unix.close sock with Unix.Unix_error _ -> ())
-    (fun () ->
-      match rpc sock framer Protocol.Query with
-      | Protocol.Stats s -> s
-      | _ -> raise (Protocol_failure "unexpected reply to query"))
+    (fun () -> rpc sock framer req)
+
+let query ~port =
+  match request ~port Protocol.Query with
+  | Protocol.Stats s -> s
+  | _ -> raise (Protocol_failure "unexpected reply to query")
 
 let run ?(shutdown = false) ~port ops =
   let sock = connect ~port in

@@ -33,6 +33,12 @@ exception Protocol_failure of string
     distinct from in-protocol [Error] replies, which are counted in
     [lg_errors]. *)
 
+val request : port:int -> Protocol.request -> Protocol.response
+(** One-shot RPC: connect to [127.0.0.1:port], send the request, return
+    the typed reply, close.  The driver behind [rr admin] (burst
+    fail/repair scenarios against a live daemon) and any other
+    single-request administration. *)
+
 val query : port:int -> Protocol.stats
 (** One-off [query] round trip — how the CLI discovers the served
     network's node count before generating traffic. *)

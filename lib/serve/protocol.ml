@@ -6,6 +6,8 @@ type request =
   | Release of { id : int }
   | Fail_link of { link : int }
   | Repair_link of { link : int }
+  | Fail_burst of { links : int list }
+  | Repair_burst of { links : int list }
   | Query
   | Snapshot
   | Restore of { state : string }
@@ -39,6 +41,8 @@ type response =
   | Released of { id : int }
   | Link_failed of { link : int }
   | Link_repaired of { link : int }
+  | Burst_failed of { links : int list; switched : int; rerouted : int; dropped : int }
+  | Burst_repaired of { links : int list }
   | Stats of stats
   | Snapshot_state of { state : string }
   | Restored of { connections : int }
@@ -84,6 +88,18 @@ let encode_request r =
        Json.Obj [ ("op", Json.String "fail"); ("link", Json.Int link) ]
      | Repair_link { link } ->
        Json.Obj [ ("op", Json.String "repair"); ("link", Json.Int link) ]
+     | Fail_burst { links } ->
+       Json.Obj
+         [
+           ("op", Json.String "fail_burst");
+           ("links", Json.List (List.map (fun e -> Json.Int e) links));
+         ]
+     | Repair_burst { links } ->
+       Json.Obj
+         [
+           ("op", Json.String "repair_burst");
+           ("links", Json.List (List.map (fun e -> Json.Int e) links));
+         ]
      | Query -> Json.Obj [ ("op", Json.String "query") ]
      | Snapshot -> Json.Obj [ ("op", Json.String "snapshot") ]
      | Restore { state } ->
@@ -105,6 +121,21 @@ let encode_response r =
        Json.Obj [ ("ok", Json.String "failed"); ("link", Json.Int link) ]
      | Link_repaired { link } ->
        Json.Obj [ ("ok", Json.String "repaired"); ("link", Json.Int link) ]
+     | Burst_failed { links; switched; rerouted; dropped } ->
+       Json.Obj
+         [
+           ("ok", Json.String "burst_failed");
+           ("links", Json.List (List.map (fun e -> Json.Int e) links));
+           ("switched", Json.Int switched);
+           ("rerouted", Json.Int rerouted);
+           ("dropped", Json.Int dropped);
+         ]
+     | Burst_repaired { links } ->
+       Json.Obj
+         [
+           ("ok", Json.String "burst_repaired");
+           ("links", Json.List (List.map (fun e -> Json.Int e) links));
+         ]
      | Stats s ->
        Json.Obj
          [
@@ -154,6 +185,20 @@ let field_str j name : (string, string) result =
 let ( let* ) r f =
   match r with Result.Ok v -> f v | Result.Error e -> Result.Error e
 
+let field_int_list j name : (int list, string) result =
+  match Json.member name j with
+  | Some (Json.List xs) ->
+    List.fold_left
+      (fun (acc : (int list, string) result) x ->
+        let* acc = acc in
+        match Json.to_int x with
+        | Some i -> Result.Ok (i :: acc)
+        | None -> Result.Error (Printf.sprintf "%s must hold integers" name))
+      (Result.Ok []) xs
+    |> Result.map List.rev
+  | Some _ | None ->
+    Result.Error (Printf.sprintf "missing or malformed %S" name)
+
 let decode_request text =
   match Json.of_string text with
   | Error m -> Result.Error (Bad_json, m)
@@ -189,6 +234,12 @@ let decode_request text =
         | Some "repair" ->
           let* link = field_int j "link" in
           Ok (Repair_link { link })
+        | Some "fail_burst" ->
+          let* links = field_int_list j "links" in
+          Ok (Fail_burst { links })
+        | Some "repair_burst" ->
+          let* links = field_int_list j "links" in
+          Ok (Repair_burst { links })
         | Some "query" -> Ok Query
         | Some "snapshot" -> Ok Snapshot
         | Some "restore" ->
@@ -207,8 +258,9 @@ let decode_request text =
         when not
                (List.exists (String.equal op)
                   [
-                    "ping"; "admit"; "release"; "fail"; "repair"; "query";
-                    "snapshot"; "restore"; "shutdown";
+                    "ping"; "admit"; "release"; "fail"; "repair";
+                    "fail_burst"; "repair_burst"; "query"; "snapshot";
+                    "restore"; "shutdown";
                   ]) ->
         Result.Error (Unknown_op, m)
       | _ -> Result.Error (Bad_request, m)))
@@ -259,6 +311,15 @@ let decode_response text =
           | Some "repaired" ->
             let* link = field_int j "link" in
             Ok (Link_repaired { link })
+          | Some "burst_failed" ->
+            let* links = field_int_list j "links" in
+            let* switched = field_int j "switched" in
+            let* rerouted = field_int j "rerouted" in
+            let* dropped = field_int j "dropped" in
+            Ok (Burst_failed { links; switched; rerouted; dropped })
+          | Some "burst_repaired" ->
+            let* links = field_int_list j "links" in
+            Ok (Burst_repaired { links })
           | Some "stats" ->
             let* st_nodes = field_int j "nodes" in
             let* st_links = field_int j "links" in
@@ -273,19 +334,7 @@ let decode_response text =
                 | None -> Error "field \"load\" must be a number")
               | None -> Error "missing field \"load\""
             in
-            let* st_failed_links =
-              match Json.member "failed_links" j with
-              | Some (Json.List xs) ->
-                List.fold_left
-                  (fun (acc : (int list, string) result) x ->
-                    let* acc = acc in
-                    match Json.to_int x with
-                    | Some i -> Ok (i :: acc)
-                    | None -> Error "failed_links must hold integers")
-                  (Ok []) xs
-                |> Result.map List.rev
-              | _ -> Error "missing or malformed \"failed_links\""
-            in
+            let* st_failed_links = field_int_list j "failed_links" in
             let* st_admitted_total = field_int j "admitted_total" in
             let* st_blocked_total = field_int j "blocked_total" in
             Ok

@@ -8,7 +8,8 @@
     {b Wire format.}  A frame is the decimal ASCII byte length of the
     payload, a newline, then the payload — a single JSON object.
     Requests carry an ["op"] tag ([ping], [admit], [release], [fail],
-    [repair], [query], [snapshot], [restore], [shutdown]); responses
+    [repair], [fail_burst], [repair_burst], [query], [snapshot],
+    [restore], [shutdown]); responses
     either an ["ok"] tag or an ["error"] kind.  Encoding is canonical
     (fixed field order, [%.17g] floats), so encode/decode round-trips are
     byte-identical — pinned by the golden tests in [test_serve]. *)
@@ -19,7 +20,17 @@ type request =
       (** [policy] overrides the server's default for this request. *)
   | Release of { id : int }
   | Fail_link of { link : int }
+      (** flips link state only — resident connections are untouched *)
   | Repair_link of { link : int }
+  | Fail_burst of { links : int list }
+      (** correlated failure scenario: fail every listed link atomically,
+          then run restoration over the resident connections (switch to
+          intact backups, re-route the rest, drop what cannot re-route).
+          Validated as a unit: any bad link rejects the whole burst with
+          no state change. *)
+  | Repair_burst of { links : int list }
+      (** repair every listed link atomically (same all-or-nothing
+          validation). *)
   | Query
   | Snapshot
   | Restore of { state : string }
@@ -57,6 +68,10 @@ type response =
   | Released of { id : int }
   | Link_failed of { link : int }
   | Link_repaired of { link : int }
+  | Burst_failed of { links : int list; switched : int; rerouted : int; dropped : int }
+      (** [links] echoed ascending; the three counters partition the
+          resident connections whose working path the burst hit. *)
+  | Burst_repaired of { links : int list }  (** [links] echoed ascending *)
   | Stats of stats
   | Snapshot_state of { state : string }
   | Restored of { connections : int }

@@ -4,6 +4,8 @@ module Slp = Rr_wdm.Semilightpath
 module Obs = Rr_obs.Obs
 module Router = Robust_routing.Router
 module Types = Robust_routing.Types
+module Restore = Robust_routing.Restore
+module Protect = Robust_routing.Partial_protect
 module Rng = Rr_util.Rng
 
 let log_src = Logs.Src.create "rr.sim" ~doc:"robust-routing simulator"
@@ -24,6 +26,11 @@ type config = {
   batching : (float * Robust_routing.Batch.order) option;
   warmup : float;
   class_mix : (float * float) option;
+  link_fail_rates : float array option;
+  link_repair_rates : float array option;
+  srlg : (Robust_routing.Srlg.groups * float) option;
+  regional : (float * int) option;
+  partial_protection : Protect.exposure option;
 }
 
 type service_class = Premium | Standard | Best_effort
@@ -48,6 +55,11 @@ let default_config policy workload =
     batching = None;
     warmup = 0.0;
     class_mix = None;
+    link_fail_rates = None;
+    link_repair_rates = None;
+    srlg = None;
+    regional = None;
+    partial_protection = None;
   }
 
 type class_stats = {
@@ -64,10 +76,16 @@ type report = {
   dropped : int;
   completed : int;
   node_failures : int;
+  srlg_failures : int;
+  regional_failures : int;
   backups_reprovisioned : int;
   class_stats : class_stats list;
   preemptions : int;
   preempted_lost : int;
+  carried_time : float;
+  lost_time : float;
+  availability : float;
+  backup_hops_reserved : int;
 }
 
 type connection = {
@@ -75,8 +93,11 @@ type connection = {
   src : int;
   dst : int;
   klass : service_class;
+  counted : bool;
+  t_admit : float;
+  t_depart : float; (* scheduled departure time *)
   mutable active : Slp.t;
-  mutable backup : Slp.t option; (* reserved, still allocated *)
+  mutable protection : Protect.protection; (* reserved, still allocated *)
 }
 
 type event =
@@ -84,15 +105,91 @@ type event =
   | Epoch
   | Departure of int
   | Fail_link
+  | Fail_link_at of int
   | Fail_node
+  | Fail_srlg
+  | Fail_region
   | Repair_links of int list
-
-let path_intact net p =
-  List.for_all (fun e -> not (Net.is_failed net e)) (Slp.links p)
 
 let run ?(obs = Obs.null) net0 config =
   if config.duration <= 0.0 then invalid_arg "Simulator.run: duration must be positive";
   let net = Net.copy net0 in
+  let n_links = Net.n_links net in
+  (match config.link_fail_rates with
+   | Some rates when Array.length rates <> n_links ->
+     invalid_arg "Simulator.run: link_fail_rates length must equal the link count"
+   | Some rates when Array.exists (fun r -> r < 0.0) rates ->
+     invalid_arg "Simulator.run: link_fail_rates must be non-negative"
+   | Some _ | None -> ());
+  (match config.link_repair_rates with
+   | Some rates when Array.length rates <> n_links ->
+     invalid_arg "Simulator.run: link_repair_rates length must equal the link count"
+   | Some rates when Array.exists (fun r -> r < 0.0) rates ->
+     invalid_arg "Simulator.run: link_repair_rates must be non-negative"
+   | Some _ | None -> ());
+  (match config.srlg with
+   | Some (groups, _) -> (
+     match Robust_routing.Srlg.validate_groups net groups with
+     | Ok () -> ()
+     | Error m -> invalid_arg ("Simulator.run: " ^ m))
+   | None -> ());
+  (match config.regional with
+   | Some (_, radius) when radius < 0 ->
+     invalid_arg "Simulator.run: regional radius must be non-negative"
+   | Some _ | None -> ());
+  (* Risk groups indexed for the SRLG failure process: (group id, member
+     links ascending), groups ascending by id. *)
+  let srlg_groups =
+    match config.srlg with
+    | None -> [||]
+    | Some (groups, _) ->
+      let tbl = Hashtbl.create 16 in
+      Array.iteri
+        (fun e gs ->
+          List.iter
+            (fun g ->
+              let cur = Option.value ~default:[] (Hashtbl.find_opt tbl g) in
+              Hashtbl.replace tbl g (e :: cur))
+            gs)
+        groups;
+      (* lint: ordered — group ids sorted below *)
+      Hashtbl.fold (fun g members acc -> (g, List.sort Int.compare members) :: acc) tbl []
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+      |> Array.of_list
+  in
+  (* Undirected adjacency for the regional node-ball BFS, built in
+     ascending link order so the ball is deterministic. *)
+  let adjacency =
+    match config.regional with
+    | None -> [||]
+    | Some _ ->
+      let adj = Array.make (Net.n_nodes net) [] in
+      for e = n_links - 1 downto 0 do
+        let u = Net.link_src net e and v = Net.link_dst net e in
+        adj.(u) <- v :: adj.(u);
+        adj.(v) <- u :: adj.(v)
+      done;
+      adj
+  in
+  let node_ball center radius =
+    let n = Net.n_nodes net in
+    let dist = Array.make n (-1) in
+    dist.(center) <- 0;
+    let queue = Queue.create () in
+    Queue.add center queue;
+    while not (Queue.is_empty queue) do
+      let u = Queue.pop queue in
+      if dist.(u) < radius then
+        List.iter
+          (fun v ->
+            if dist.(v) < 0 then begin
+              dist.(v) <- dist.(u) + 1;
+              Queue.add v queue
+            end)
+          adjacency.(u)
+    done;
+    dist
+  in
   (* One incremental auxiliary-graph engine for the whole run: arrivals,
      reroutes and preemption probes all sync it against whatever the
      event loop (departures, failures, repairs) did to the residual state
@@ -105,8 +202,8 @@ let run ?(obs = Obs.null) net0 config =
   let connections : (int, connection) Hashtbl.t = Hashtbl.create 256 in
   let next_id = ref 0 in
   (* Request ids for request-scoped observability: every Router.admit in
-     the run — arrivals, batched epochs, passive reroutes — gets the next
-     id, so a blocked admission's spans and journal events are
+     the run — arrivals, batched epochs, restoration re-routes — gets the
+     next id, so a blocked admission's spans and journal events are
      attributable to one routing decision. *)
   let next_req = ref 0 in
   let fresh_req () =
@@ -117,9 +214,14 @@ let run ?(obs = Obs.null) net0 config =
   let dropped = ref 0 in
   let completed = ref 0 in
   let node_failures = ref 0 in
+  let srlg_failures = ref 0 in
+  let regional_failures = ref 0 in
   let backups_reprovisioned = ref 0 in
   let preemptions = ref 0 in
   let preempted_lost = ref 0 in
+  let carried_time = ref 0.0 in
+  let lost_time = ref 0.0 in
+  let backup_hops_reserved = ref 0 in
   let cls_offered = Hashtbl.create 4 and cls_blocked = Hashtbl.create 4 in
   let bump tbl k =
     Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
@@ -153,59 +255,62 @@ let run ?(obs = Obs.null) net0 config =
     | Some (hotspots, bias) ->
       Workload.hotspot_pair rng ~n_nodes:(Net.n_nodes net) ~hotspots ~bias
   in
-  (* After a switchover the connection runs unprotected; optionally try to
-     reserve a fresh backup disjoint from the new working path. *)
-  let try_reprovision conn =
-    if config.reprovision_backup then begin
-      let active_links = Hashtbl.create 8 in
-      List.iter (fun e -> Hashtbl.replace active_links e ()) (Slp.links conn.active);
-      let link_enabled e = not (Hashtbl.mem active_links e) in
-      match
-        Rr_wdm.Layered.optimal net ~link_enabled ~obs ~source:conn.src
-          ~target:conn.dst
-      with
-      | Some (b, _) when Slp.link_simple b ->
-        Slp.allocate net b;
-        conn.backup <- Some b;
-        incr backups_reprovisioned
-      | Some _ | None -> ()
+  let release_protection conn =
+    match conn.protection with
+    | Protect.Unprotected -> ()
+    | Protect.Full b -> Slp.release net b
+    | Protect.Segments segs ->
+      List.iter (fun s -> Slp.release net s.Protect.seg_detour) segs
+  in
+  (* Availability bookkeeping (counted connections only): a departure
+     carries its whole holding time; a drop carries what ran and loses
+     the scheduled remainder. *)
+  let note_carried time conn =
+    if conn.counted then
+      carried_time := !carried_time +. Float.max 0.0 (time -. conn.t_admit)
+  in
+  let note_drop time conn =
+    if conn.counted then begin
+      carried_time := !carried_time +. Float.max 0.0 (time -. conn.t_admit);
+      lost_time := !lost_time +. Float.max 0.0 (conn.t_depart -. time)
     end
   in
-  (* Re-route a failure-affected connection from scratch (passive
-     restoration).  Its resources must already be released. *)
-  let passive_reroute time conn =
-    match
-      Router.admit ~aux_cache ~obs ~req:(fresh_req ()) net config.policy
-        ~source:conn.src ~target:conn.dst
-    with
-    | Some sol ->
-      conn.active <- sol.Types.primary;
-      conn.backup <- sol.Types.backup;
-      counters.passive_reroutes_ok <- counters.passive_reroutes_ok + 1;
-      ignore (observe_load time)
+  (* Per-link exponential repairs when configured (a rate of 0 falls back
+     to the constant delay); one repair event per link so staggered
+     repairs interleave with failures deterministically. *)
+  let schedule_repairs time links =
+    match config.link_repair_rates with
     | None ->
-      Hashtbl.remove connections conn.id;
-      incr dropped;
-      counters.restorations_failed <- counters.restorations_failed + 1;
-      ignore (observe_load time)
+      Event_queue.schedule q (time +. config.repair_time) (Repair_links links)
+    | Some rates ->
+      List.iter
+        (fun e ->
+          let delay =
+            if rates.(e) > 0.0 then Rng.exponential rng rates.(e)
+            else config.repair_time
+          in
+          Event_queue.schedule q (time +. delay) (Repair_links [ e ]))
+        (List.sort Int.compare links)
   in
-  (* Fail a set of links simultaneously (one fibre cut, or every fibre of
-     a failed node), then restore affected connections. *)
-  let handle_failure time ?failed_node links =
+  (* Fail a set of links simultaneously (one fibre cut, a shared conduit,
+     every fibre of a failed node or region), then restore affected
+     connections through the shared restoration engine. *)
+  let handle_failure time ?(failed_nodes = []) links =
     Log.info (fun m ->
         m "t=%.2f failure of %d link(s)%s" time (List.length links)
-          (match failed_node with
-           | Some v -> Printf.sprintf " (node %d)" v
-           | None -> ""));
+          (match failed_nodes with
+           | [] -> ""
+           | vs ->
+             Printf.sprintf " (node%s %s)"
+               (if List.length vs > 1 then "s" else "")
+               (String.concat "," (List.map string_of_int vs))));
     List.iter
       (fun link ->
         Net.fail_link net link;
         Obs.event obs ~a:link "journal.link.fail")
       links;
-    (match failed_node with
-    | Some v -> Obs.event obs ~a:v "journal.node.fail"
-    | None -> ());
-    Event_queue.schedule q (time +. config.repair_time) (Repair_links links);
+    List.iter (fun v -> Obs.event obs ~a:v "journal.node.fail") failed_nodes;
+    schedule_repairs time links;
     (* Restoration order is part of the decision sequence (each reroute
        consumes residual wavelengths), so it must not depend on hash
        order: process connections in admission order. *)
@@ -214,45 +319,50 @@ let run ?(obs = Obs.null) net0 config =
       Hashtbl.fold (fun _ c acc -> c :: acc) connections []
       |> List.sort (fun a b -> Int.compare a.id b.id)
     in
-    let failed = Bitset.of_list (Net.n_links net) links in
+    let failed = Bitset.of_list n_links links in
     List.iter
       (fun conn ->
         if Hashtbl.mem connections conn.id then begin
           let hit p = List.exists (fun e -> Bitset.mem failed e) (Slp.links p) in
           let endpoint_down =
-            match failed_node with
-            | Some v -> v = conn.src || v = conn.dst
-            | None -> false
+            List.exists (fun v -> v = conn.src || v = conn.dst) failed_nodes
           in
           if endpoint_down then begin
             (* the endpoint itself is down: no protection scheme can help *)
             Slp.release net conn.active;
-            (match conn.backup with Some b -> Slp.release net b | None -> ());
+            release_protection conn;
             Hashtbl.remove connections conn.id;
             incr dropped;
+            note_drop time conn;
             counters.endpoint_losses <- counters.endpoint_losses + 1
           end
           else if hit conn.active then begin
-            match conn.backup with
-            | Some b when path_intact net b ->
-              (* Active restoration: instant switch to the reserved backup;
-                 the dead primary's resources are returned. *)
-              Slp.release net conn.active;
-              conn.active <- b;
-              conn.backup <- None;
+            match
+              Restore.restore ~aux_cache ~obs ~req:(fresh_req ())
+                ~reprovision:config.reprovision_backup net config.policy
+                ~request:{ Types.src = conn.src; dst = conn.dst }
+                ~primary:conn.active ~protection:conn.protection
+            with
+            | Restore.Switched (working, prot) ->
+              conn.active <- working;
+              conn.protection <- prot;
               counters.restorations_ok <- counters.restorations_ok + 1;
-              try_reprovision conn
-            | Some b ->
-              (* Backup also broken: give everything back and re-route. *)
-              Slp.release net conn.active;
-              Slp.release net b;
-              conn.backup <- None;
-              passive_reroute time conn
-            | None ->
-              Slp.release net conn.active;
-              passive_reroute time conn
+              (match prot with
+               | Protect.Full _ -> incr backups_reprovisioned
+               | Protect.Unprotected | Protect.Segments _ -> ())
+            | Restore.Rerouted (working, prot) ->
+              conn.active <- working;
+              conn.protection <- prot;
+              counters.passive_reroutes_ok <- counters.passive_reroutes_ok + 1;
+              ignore (observe_load time)
+            | Restore.Dropped ->
+              Hashtbl.remove connections conn.id;
+              incr dropped;
+              note_drop time conn;
+              counters.restorations_failed <- counters.restorations_failed + 1;
+              ignore (observe_load time)
           end
-          (* A hit on the reserved (inactive) backup needs no action: the
+          (* A hit on reserved (inactive) protection needs no action: the
              wavelengths stay reserved and the path becomes usable again
              after repair; intactness is re-checked at switch time. *)
         end)
@@ -260,7 +370,7 @@ let run ?(obs = Obs.null) net0 config =
     ignore (observe_load time)
   in
   let live_links () =
-    List.filter (fun e -> not (Net.is_failed net e)) (List.init (Net.n_links net) Fun.id)
+    List.filter (fun e -> not (Net.is_failed net e)) (List.init n_links Fun.id)
   in
   let schedule_next rate ev =
     if rate > 0.0 then Event_queue.schedule q (Rng.exponential rng rate) ev
@@ -274,19 +384,33 @@ let run ?(obs = Obs.null) net0 config =
     | Premium | Standard -> config.policy
     | Best_effort -> Router.Unprotected
   in
-  let register ?(counted = true) time klass src dst sol =
+  let register ?(counted = true) time klass src dst primary protection =
     if counted then begin
       counters.admitted <- counters.admitted + 1;
       counters.total_admitted_cost <-
-        counters.total_admitted_cost +. Types.total_cost net sol
+        counters.total_admitted_cost +. Slp.cost net primary
+        +. Protect.cost net protection;
+      backup_hops_reserved :=
+        !backup_hops_reserved + Protect.backup_hops protection
     end;
     let id = !next_id in
     incr next_id;
-    Hashtbl.replace connections id
-      { id; src; dst; klass; active = sol.Types.primary; backup = sol.Types.backup };
     let hold = Workload.holding rng config.workload in
+    Hashtbl.replace connections id
+      {
+        id; src; dst; klass; counted;
+        t_admit = time;
+        t_depart = time +. hold;
+        active = primary;
+        protection;
+      };
     Event_queue.schedule q (time +. hold) (Departure id);
     note_admission_load time
+  in
+  let protection_of_solution sol =
+    match sol.Types.backup with
+    | Some b -> Protect.Full b
+    | None -> Protect.Unprotected
   in
   (* A blocked premium request may evict best-effort connections: release
      them one at a time (oldest first) and retry; evicted connections try
@@ -319,7 +443,7 @@ let run ?(obs = Obs.null) net0 config =
   (* Give each evicted connection a chance to re-route; must run after the
      preempting premium solution has been allocated, so the victims cannot
      steal its wavelengths back. *)
-  let settle_evicted evicted =
+  let settle_evicted time evicted =
     List.iter
       (fun victim ->
         incr preemptions;
@@ -335,11 +459,12 @@ let run ?(obs = Obs.null) net0 config =
                | Error _ -> false) ->
           Types.allocate net s;
           victim.active <- s.Types.primary;
-          victim.backup <- s.Types.backup
+          victim.protection <- protection_of_solution s
         | _ ->
           Hashtbl.remove connections victim.id;
           incr preempted_lost;
-          incr dropped)
+          incr dropped;
+          note_drop time victim)
       evicted
   in
   (* Admission shared between immediate arrivals and epoch batches. *)
@@ -355,33 +480,57 @@ let run ?(obs = Obs.null) net0 config =
       counters.offered <- counters.offered + 1;
       bump cls_offered klass
     end;
-    match
-      Router.admit ~aux_cache ~obs ~req:(fresh_req ()) net (policy_for klass)
-        ~source:src ~target:dst
-    with
-    | Some sol ->
-      Log.debug (fun m ->
-          m "t=%.2f admit %s %d->%d cost %.1f" time (class_name klass) src dst
-            (Types.total_cost net sol));
-      register ~counted time klass src dst sol
-    | None -> (
-      match klass with
-      | Premium -> (
-        match try_preempt src dst with
-        | Some (sol, evicted) ->
-          Types.allocate net sol;
-          settle_evicted evicted;
-          register ~counted time klass src dst sol
-        | None ->
-          if counted then begin
-            counters.blocked <- counters.blocked + 1;
-            bump cls_blocked klass
-          end)
-      | Standard | Best_effort ->
+    let partial_exposure =
+      match (config.partial_protection, policy_for klass) with
+      | Some _, Router.Unprotected -> None (* best effort stays unprotected *)
+      | exposure, _ -> exposure
+    in
+    match partial_exposure with
+    | Some exposure -> (
+      match
+        Protect.admit ~aux_cache ~obs net ~exposure ~source:src ~target:dst
+      with
+      | Some (primary, protection) ->
+        Log.debug (fun m ->
+            m "t=%.2f admit %s %d->%d cost %.1f (partial)" time
+              (class_name klass) src dst
+              (Slp.cost net primary +. Protect.cost net protection));
+        register ~counted time klass src dst primary protection
+      | None ->
         if counted then begin
           counters.blocked <- counters.blocked + 1;
           bump cls_blocked klass
         end)
+    | None -> (
+      match
+        Router.admit ~aux_cache ~obs ~req:(fresh_req ()) net (policy_for klass)
+          ~source:src ~target:dst
+      with
+      | Some sol ->
+        Log.debug (fun m ->
+            m "t=%.2f admit %s %d->%d cost %.1f" time (class_name klass) src dst
+              (Types.total_cost net sol));
+        register ~counted time klass src dst sol.Types.primary
+          (protection_of_solution sol)
+      | None -> (
+        match klass with
+        | Premium -> (
+          match try_preempt src dst with
+          | Some (sol, evicted) ->
+            Types.allocate net sol;
+            settle_evicted time evicted;
+            register ~counted time klass src dst sol.Types.primary
+              (protection_of_solution sol)
+          | None ->
+            if counted then begin
+              counters.blocked <- counters.blocked + 1;
+              bump cls_blocked klass
+            end)
+        | Standard | Best_effort ->
+          if counted then begin
+            counters.blocked <- counters.blocked + 1;
+            bump cls_blocked klass
+          end))
   in
   (* Prime the event stream. *)
   Event_queue.schedule q (Workload.interarrival rng config.workload) Arrival;
@@ -391,6 +540,20 @@ let run ?(obs = Obs.null) net0 config =
    | None -> ());
   schedule_next config.failure_rate Fail_link;
   schedule_next config.node_failure_rate Fail_node;
+  (match config.link_fail_rates with
+   | None -> ()
+   | Some rates ->
+     Array.iteri
+       (fun e r ->
+         if r > 0.0 then
+           Event_queue.schedule q (Rng.exponential rng r) (Fail_link_at e))
+       rates);
+  (match config.srlg with
+   | Some (_, rate) -> schedule_next rate Fail_srlg
+   | None -> ());
+  (match config.regional with
+   | Some (rate, _) -> schedule_next rate Fail_region
+   | None -> ());
   Metrics.observe load_trace ~time:0.0 (Net.network_load net);
   let finished = ref false in
   while not !finished do
@@ -436,9 +599,10 @@ let run ?(obs = Obs.null) net0 config =
         | None -> () (* dropped earlier by a failure *)
         | Some conn ->
           Slp.release net conn.active;
-          (match conn.backup with Some b -> Slp.release net b | None -> ());
+          release_protection conn;
           Hashtbl.remove connections id;
           incr completed;
+          note_carried time conn;
           prev_load := Net.network_load net;
           ignore (observe_load time);
           Obs.stop obs "sim.departure" t0)
@@ -451,6 +615,22 @@ let run ?(obs = Obs.null) net0 config =
            handle_failure time [ Rng.pick rng (Array.of_list live) ]);
         reschedule time config.failure_rate Fail_link;
         Obs.stop obs "sim.fail_link" t0
+      | Fail_link_at e ->
+        let t0 = Obs.start obs in
+        (* Per-link exponential process: one outstanding clock per link,
+           always rearmed; a ring on a link that is already down is
+           censored (the next ring comes after its own repair). *)
+        (match config.link_fail_rates with
+         | Some rates when rates.(e) > 0.0 ->
+           if not (Net.is_failed net e) then begin
+             counters.failures_injected <- counters.failures_injected + 1;
+             handle_failure time [ e ]
+           end;
+           Event_queue.schedule q
+             (time +. Rng.exponential rng rates.(e))
+             (Fail_link_at e)
+         | Some _ | None -> ());
+        Obs.stop obs "sim.fail_link" t0
       | Fail_node ->
         let t0 = Obs.start obs in
         (* A node outage takes down every incident fibre at once; only a
@@ -461,16 +641,70 @@ let run ?(obs = Obs.null) net0 config =
             (fun e ->
               (not (Net.is_failed net e))
               && (Net.link_src net e = v || Net.link_dst net e = v))
-            (List.init (Net.n_links net) Fun.id)
+            (List.init n_links Fun.id)
         in
         (match incident with
          | [] -> ()
          | _ ->
            incr node_failures;
            counters.failures_injected <- counters.failures_injected + 1;
-           handle_failure time ~failed_node:v incident);
+           handle_failure time ~failed_nodes:[ v ] incident);
         reschedule time config.node_failure_rate Fail_node;
         Obs.stop obs "sim.fail_node" t0
+      | Fail_srlg ->
+        let t0 = Obs.start obs in
+        (match config.srlg with
+         | None -> ()
+         | Some (_, rate) ->
+           (if Array.length srlg_groups > 0 then begin
+              let g, members =
+                srlg_groups.(Rng.int rng (Array.length srlg_groups))
+              in
+              let live =
+                List.filter (fun e -> not (Net.is_failed net e)) members
+              in
+              match live with
+              | [] -> ()
+              | _ ->
+                (* the shared conduit is cut: every live member fails
+                   atomically *)
+                incr srlg_failures;
+                counters.failures_injected <- counters.failures_injected + 1;
+                Obs.event obs ~a:g "journal.srlg.fail";
+                handle_failure time live
+            end);
+           reschedule time rate Fail_srlg);
+        Obs.stop obs "sim.fail_srlg" t0
+      | Fail_region ->
+        let t0 = Obs.start obs in
+        (match config.regional with
+         | None -> ()
+         | Some (rate, radius) ->
+           (* A regional outage (power loss, disaster) takes down every
+              node within [radius] hops of a uniformly drawn centre, and
+              with them every incident fibre, atomically. *)
+           let center = Rng.int rng (Net.n_nodes net) in
+           let dist = node_ball center radius in
+           let in_ball v = dist.(v) >= 0 in
+           let links =
+             List.filter
+               (fun e ->
+                 (not (Net.is_failed net e))
+                 && (in_ball (Net.link_src net e) || in_ball (Net.link_dst net e)))
+               (List.init n_links Fun.id)
+           in
+           let nodes =
+             List.filter in_ball (List.init (Net.n_nodes net) Fun.id)
+           in
+           (match links with
+            | [] -> ()
+            | _ ->
+              incr regional_failures;
+              counters.failures_injected <- counters.failures_injected + 1;
+              Obs.event obs ~a:center ~b:radius "journal.region.fail";
+              handle_failure time ~failed_nodes:nodes links);
+           reschedule time rate Fail_region);
+        Obs.stop obs "sim.fail_region" t0
       | Repair_links links ->
         let t0 = Obs.start obs in
         List.iter
@@ -482,6 +716,16 @@ let run ?(obs = Obs.null) net0 config =
         Obs.stop obs "sim.repair" t0)
   done;
   Metrics.finish load_trace ~time:config.duration;
+  (* Connections still holding at the horizon carried their time so far;
+     nothing was lost (summed in id order for float determinism). *)
+  (* lint: ordered — sorted by connection id below *)
+  Hashtbl.fold (fun _ c acc -> c :: acc) connections []
+  |> List.sort (fun a b -> Int.compare a.id b.id)
+  |> List.iter (fun c -> note_carried config.duration c);
+  let availability =
+    let total = !carried_time +. !lost_time in
+    if total > 0.0 then !carried_time /. total else 1.0
+  in
   {
     counters;
     mean_load = Metrics.time_average load_trace;
@@ -490,6 +734,8 @@ let run ?(obs = Obs.null) net0 config =
     dropped = !dropped;
     completed = !completed;
     node_failures = !node_failures;
+    srlg_failures = !srlg_failures;
+    regional_failures = !regional_failures;
     backups_reprovisioned = !backups_reprovisioned;
     class_stats =
       List.filter_map
@@ -506,4 +752,8 @@ let run ?(obs = Obs.null) net0 config =
         [ Premium; Standard; Best_effort ];
     preemptions = !preemptions;
     preempted_lost = !preempted_lost;
+    carried_time = !carried_time;
+    lost_time = !lost_time;
+    availability;
+    backup_hops_reserved = !backup_hops_reserved;
   }

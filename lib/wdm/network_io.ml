@@ -7,11 +7,15 @@ type pre_link = {
   p_lambdas : int list option;
 }
 
-let parse text =
+(* Shared parser for [parse] and [parse_srlg]: srlg directives are
+   collected as raw [(lineno, link, groups)] triples and validated once
+   the link count is known (they may reference links declared later). *)
+let parse_core text =
   let lines = String.split_on_char '\n' text in
   let header = ref None in
   let converters : (int, Conversion.spec) Hashtbl.t = Hashtbl.create 16 in
   let links = ref [] in
+  let srlgs = ref [] in
   let exception Fail of string in
   try
     List.iteri
@@ -76,6 +80,20 @@ let parse text =
               }
               :: !links
           | _ -> fail "usage: link <src> <dst> <weight> [lambdas <i,j,...>]")
+        | "srlg" :: rest -> (
+          if Option.is_none !header then fail "srlg before wdm header";
+          match rest with
+          | [ e; gs ] ->
+            let groups =
+              String.split_on_char ',' gs
+              |> List.filter (fun s -> not (String.equal s ""))
+              |> List.map int_of
+            in
+            if List.exists (fun g -> g < 0) groups then
+              fail "srlg group ids must be non-negative";
+            if List.is_empty groups then fail "usage: srlg <link> <g1,g2,...>";
+            srlgs := (lineno, int_of e, groups) :: !srlgs
+          | _ -> fail "usage: srlg <link> <g1,g2,...>")
         | tok :: _ -> fail (Printf.sprintf "unknown directive %S" tok))
       lines;
     match !header with
@@ -98,10 +116,28 @@ let parse text =
         let converter v =
           Option.value ~default:(Conversion.Full 0.0) (Hashtbl.find_opt converters v)
         in
-        try Ok (Network.create ~n_nodes:n ~n_wavelengths:w ~links:specs ~converters:converter)
-        with Invalid_argument msg -> Error msg
+        match
+          Network.create ~n_nodes:n ~n_wavelengths:w ~links:specs ~converters:converter
+        with
+        | exception Invalid_argument msg -> Error msg
+        | net ->
+          let m = Network.n_links net in
+          let groups = Array.make m [] in
+          let fail lineno msg = raise (Fail (Printf.sprintf "line %d: %s" lineno msg)) in
+          List.iter
+            (fun (lineno, e, gs) ->
+              if e < 0 || e >= m then
+                fail lineno (Printf.sprintf "srlg link %d out of range" e);
+              if not (List.is_empty groups.(e)) then
+                fail lineno (Printf.sprintf "duplicate srlg directive for link %d" e);
+              groups.(e) <- List.sort_uniq Int.compare gs)
+            (List.rev !srlgs);
+          Ok (net, groups)
       end
   with Fail msg -> Error msg
+
+let parse text = Result.map fst (parse_core text)
+let parse_srlg text = parse_core text
 
 let parse_file path =
   match
@@ -144,6 +180,22 @@ let print net =
            (Network.link_dst net e) weight
            (String.concat "," (List.map string_of_int lambdas)))
   done;
+  Buffer.contents buf
+
+let print_srlg net groups =
+  if Array.length groups <> Network.n_links net then
+    invalid_arg "Network_io.print_srlg: groups array length must equal link count";
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf (print net);
+  Array.iteri
+    (fun e gs ->
+      match List.sort_uniq Int.compare gs with
+      | [] -> ()
+      | gs ->
+        Buffer.add_string buf
+          (Printf.sprintf "srlg %d %s\n" e
+             (String.concat "," (List.map string_of_int gs))))
+    groups;
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)

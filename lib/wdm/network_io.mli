@@ -11,23 +11,41 @@
     converter <node> full <cost>
     converter <node> range <radius> <cost>
     link <src> <dst> <weight> [lambdas <i,j,k>]
+    srlg <link> <g1,g2,...>
     v}
 
     - The [wdm] header must come first.
     - Unlisted nodes default to [full 0] converters.
     - [lambdas] defaults to the full complement; [weight] applies to every
       wavelength of the link (assumption (ii)).
-    - Links are directed; write both directions for a fibre. *)
+    - Links are directed; write both directions for a fibre.
+    - [srlg] tags a link with the shared-risk groups it belongs to
+      (conduits, ducts, amplifier huts — anything that fails as a unit).
+      A link may be tagged at most once; it may reference links declared
+      later in the file.  Group ids are arbitrary non-negative integers. *)
 
 val parse : string -> (Network.t, string) result
-(** Parse a description; the error mentions the offending line number. *)
+(** Parse a description; the error mentions the offending line number.
+    [srlg] directives are validated and discarded — use {!parse_srlg} to
+    keep them. *)
 
 val parse_file : string -> (Network.t, string) result
+
+val parse_srlg : string -> (Network.t * int list array, string) result
+(** Like {!parse}, but also returns per-link shared-risk group ids
+    (sorted ascending, deduplicated; [[]] for untagged links).  The array
+    is indexed by link id and has exactly [Network.n_links] entries. *)
 
 val print : Network.t -> string
 (** Canonical description round-tripping through {!parse} (converters are
     emitted as [none]/[full]/[range]; [Table] converters are not
     serialisable and raise [Invalid_argument]). *)
+
+val print_srlg : Network.t -> int list array -> string
+(** {!print} followed by canonical [srlg] lines: ascending by link id,
+    group ids sorted ascending and deduplicated, untagged links omitted —
+    so [parse_srlg] then [print_srlg] is byte-identical.  Raises
+    [Invalid_argument] if the array length differs from the link count. *)
 
 (** {1 Snapshots}
 

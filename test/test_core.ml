@@ -433,6 +433,150 @@ let prop_admit_matches_route_cost =
       | Some a, Some b -> Types.total_cost net a = Types.total_cost net b
       | _ -> false)
 
+(* ------------------------------------------------------------------ *)
+(* Partial path protection and restoration                              *)
+
+module Protect = RR.Partial_protect
+module Restore = RR.Restore
+module Bitset = Rr_util.Bitset
+
+(* A spine 0-1-2-3 whose only exposed hop (e1) has a dedicated detour
+   through node 4 — and no full edge-disjoint 0->3 pair exists (every
+   route uses e0 and e2), so segmentation is the only protection. *)
+let seg_net () =
+  Net.create ~n_nodes:5 ~n_wavelengths:2
+    ~links:
+      [
+        link 0 1;                        (* e0 spine *)
+        link 1 2;                        (* e1 spine, exposed *)
+        link 2 3;                        (* e2 spine *)
+        link 1 4 ~weight:(fun _ -> 2.0); (* e3 detour out *)
+        link 4 2 ~weight:(fun _ -> 2.0); (* e4 detour back *)
+      ]
+    ~converters:(fun _ -> Conv.Full 0.5)
+
+let only links = Protect.Only (List.fold_left Bitset.add (Bitset.create 8) links)
+
+let test_partial_exposure_of_rates () =
+  checkb "all positive -> All" true
+    (Protect.exposure_of_rates [| 0.1; 0.2 |] = Protect.All);
+  match Protect.exposure_of_rates [| 0.0; 0.2; 0.0 |] with
+  | Protect.All -> Alcotest.fail "hardened links must not be exposed"
+  | Protect.Only s ->
+    checkb "exposed member" true (Bitset.mem s 1);
+    checkb "hardened excluded" true
+      (not (Bitset.mem s 0) && not (Bitset.mem s 2))
+
+let test_partial_admit_segmented () =
+  let net = seg_net () in
+  match Protect.admit ~exposure:(only [ 1 ]) net ~source:0 ~target:3 with
+  | None -> Alcotest.fail "segmented admission expected"
+  | Some (primary, protection) ->
+    check Alcotest.(list int) "primary is the spine" [ 0; 1; 2 ]
+      (Slp.links primary);
+    (match protection with
+     | Protect.Segments [ seg ] ->
+       check Alcotest.int "run start" 1 seg.Protect.seg_lo;
+       check Alcotest.int "run end" 1 seg.Protect.seg_hi;
+       check Alcotest.(list int) "detour through node 4" [ 3; 4 ]
+         (Slp.links seg.Protect.seg_detour);
+       (* the spliced working path is ready to validate today *)
+       let spliced = Protect.splice primary seg in
+       check Alcotest.(list int) "splice surgery" [ 0; 3; 4; 2 ]
+         (Slp.links spliced)
+     | _ -> Alcotest.fail "expected exactly one segment");
+    check Alcotest.int "backup wavelength-links" 2
+      (Protect.backup_hops protection);
+    checkb "protection cost positive" true (Protect.cost net protection > 0.0);
+    (* primary (3 hops) + detour (2 hops) are allocated, nothing else *)
+    check Alcotest.int "allocation" 5 (Net.total_in_use net)
+
+let test_partial_admit_unexposed_needs_no_backup () =
+  let net = seg_net () in
+  match Protect.admit ~exposure:(only []) net ~source:0 ~target:3 with
+  | Some (primary, Protect.Segments []) ->
+    check Alcotest.int "spine only" 3 (List.length primary.Slp.hops);
+    check Alcotest.int "zero backup hops" 0
+      (Protect.backup_hops (Protect.Segments []));
+    check Alcotest.int "primary alone allocated" 3 (Net.total_in_use net)
+  | Some _ -> Alcotest.fail "no exposed hop must mean no backup"
+  | None -> Alcotest.fail "admission expected"
+
+let test_partial_admit_falls_back_to_full () =
+  (* On the trap there is no detour for the middle spine hop (links are
+     directed), so segmentation cannot cover the exposure and the classic
+     edge-disjoint pair takes over. *)
+  let net = trap_net () in
+  match Protect.admit ~exposure:(only [ 1 ]) net ~source:0 ~target:3 with
+  | None -> Alcotest.fail "fallback admission expected"
+  | Some (primary, Protect.Full b) ->
+    checkb "pair is edge-disjoint" true (Slp.edge_disjoint primary b);
+    checkb "backup validates" true
+      (Slp.validate ~require_available:false net ~source:0 ~target:3 b
+       = Ok ())
+  | Some _ -> Alcotest.fail "expected the full-pair fallback"
+
+let test_restore_splices_segment () =
+  let net = seg_net () in
+  match Protect.admit ~exposure:(only [ 1 ]) net ~source:0 ~target:3 with
+  | None -> Alcotest.fail "admission expected"
+  | Some (primary, protection) -> (
+    Net.fail_link net 1;
+    match
+      Restore.restore net RR.Router.Cost_approx
+        ~request:{ Types.src = 0; dst = 3 } ~primary ~protection
+    with
+    | Restore.Switched (working, after) ->
+      check Alcotest.(list int) "spliced working path" [ 0; 3; 4; 2 ]
+        (Slp.links working);
+      checkb "runs unprotected after the splice" true
+        (after = Protect.Unprotected);
+      (* dead hop e1 was released, detour absorbed into the working path *)
+      check Alcotest.int "books after splice" 4 (Net.total_in_use net)
+    | Restore.Rerouted _ -> Alcotest.fail "splice expected, not reroute"
+    | Restore.Dropped -> Alcotest.fail "splice expected, not drop")
+
+let test_restore_drops_when_residual_exhausted () =
+  let net = seg_net () in
+  match Protect.admit ~exposure:(only [ 1 ]) net ~source:0 ~target:3 with
+  | None -> Alcotest.fail "admission expected"
+  | Some (primary, protection) -> (
+    (* Fell both the exposed hop and its detour: nothing covers the
+       failure and no residual 0->3 route remains. *)
+    Net.fail_link net 1;
+    Net.fail_link net 4;
+    match
+      Restore.restore net RR.Router.Cost_approx
+        ~request:{ Types.src = 0; dst = 3 } ~primary ~protection
+    with
+    | Restore.Dropped ->
+      check Alcotest.int "every wavelength returned" 0 (Net.total_in_use net)
+    | Restore.Switched _ | Restore.Rerouted _ ->
+      Alcotest.fail "drop expected: exposure and detour both dead")
+
+let test_restore_switches_to_full_backup () =
+  let net = trap_net () in
+  match Protect.admit ~exposure:(only [ 1 ]) net ~source:0 ~target:3 with
+  | None -> Alcotest.fail "admission expected"
+  | Some (primary, protection) -> (
+    let b =
+      match protection with
+      | Protect.Full b -> b
+      | _ -> Alcotest.fail "trap admits via the full-pair fallback"
+    in
+    (match Slp.links primary with
+     | e :: _ -> Net.fail_link net e
+     | [] -> Alcotest.fail "primary has hops");
+    match
+      Restore.restore net RR.Router.Cost_approx
+        ~request:{ Types.src = 0; dst = 3 } ~primary ~protection
+    with
+    | Restore.Switched (working, _) ->
+      check Alcotest.(list int) "promoted the reserved backup"
+        (Slp.links b) (Slp.links working)
+    | Restore.Rerouted _ | Restore.Dropped ->
+      Alcotest.fail "intact backup must absorb the failure")
+
 let suite =
   [
     ( "core.types",
@@ -483,5 +627,22 @@ let suite =
         Alcotest.test_case "admit allocates" `Quick test_router_admit_allocates;
         Alcotest.test_case "admit respects capacity" `Quick test_router_admit_respects_capacity;
         qtest prop_admit_matches_route_cost;
+      ] );
+    ( "core.survivability",
+      [
+        Alcotest.test_case "exposure from rates" `Quick
+          test_partial_exposure_of_rates;
+        Alcotest.test_case "segmented admission" `Quick
+          test_partial_admit_segmented;
+        Alcotest.test_case "unexposed needs no backup" `Quick
+          test_partial_admit_unexposed_needs_no_backup;
+        Alcotest.test_case "full-pair fallback" `Quick
+          test_partial_admit_falls_back_to_full;
+        Alcotest.test_case "restore splices segment" `Quick
+          test_restore_splices_segment;
+        Alcotest.test_case "restore drops on exhaustion" `Quick
+          test_restore_drops_when_residual_exhausted;
+        Alcotest.test_case "restore promotes full backup" `Quick
+          test_restore_switches_to_full_backup;
       ] );
   ]

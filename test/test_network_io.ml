@@ -97,6 +97,77 @@ let prop_roundtrip_random =
         done;
         !ok)
 
+(* ------------------------------------------------------------------ *)
+(* srlg directives                                                      *)
+
+let srlg_sample = sample ^ "srlg 0 2,1\nsrlg 2 0\n"
+
+let test_srlg_parse () =
+  match Io.parse_srlg srlg_sample with
+  | Error e -> Alcotest.fail e
+  | Ok (net, groups) ->
+    check Alcotest.int "links" 3 (Net.n_links net);
+    check Alcotest.(array (list int)) "groups (sorted, deduped)"
+      [| [ 1; 2 ]; []; [ 0 ] |] groups;
+    (* Plain [parse] validates srlg directives but discards them. *)
+    (match Io.parse srlg_sample with
+     | Ok _ -> ()
+     | Error e -> Alcotest.fail ("plain parse rejected srlg: " ^ e))
+
+let test_srlg_roundtrip () =
+  match Io.parse_srlg srlg_sample with
+  | Error e -> Alcotest.fail e
+  | Ok (net, groups) -> (
+    let text = Io.print_srlg net groups in
+    match Io.parse_srlg text with
+    | Error e -> Alcotest.fail ("reparse: " ^ e)
+    | Ok (net2, groups2) ->
+      check Alcotest.(array (list int)) "groups survive" groups groups2;
+      (* Canonical print is a fixpoint: printing the reparse is
+         byte-identical. *)
+      check Alcotest.string "byte-identical" text (Io.print_srlg net2 groups2))
+
+let test_srlg_errors () =
+  expect_error "srlg 0 1" "before wdm header";
+  expect_error "wdm 2 2\nlink 0 1 1.0\nsrlg 0" "usage: srlg";
+  expect_error "wdm 2 2\nlink 0 1 1.0\nsrlg 0 ," "usage: srlg";
+  expect_error "wdm 2 2\nlink 0 1 1.0\nsrlg 5 1" "out of range";
+  expect_error "wdm 2 2\nlink 0 1 1.0\nsrlg 0 1\nsrlg 0 2" "duplicate srlg";
+  expect_error "wdm 2 2\nlink 0 1 1.0\nsrlg 0 -1" "non-negative";
+  expect_error "wdm 2 2\nlink 0 1 1.0\nsrlg abc 1" "expected integer";
+  (* print_srlg refuses a group array that does not cover the plant *)
+  match Io.parse sample with
+  | Error e -> Alcotest.fail e
+  | Ok net ->
+    Alcotest.check_raises "short groups array"
+      (Invalid_argument
+         "Network_io.print_srlg: groups array length must equal link count")
+      (fun () -> ignore (Io.print_srlg net [| [] |]))
+
+let prop_srlg_roundtrip_random =
+  QCheck.Test.make
+    ~name:"print_srlg/parse_srlg byte-identical on random tagged networks"
+    ~count:40 QCheck.small_int (fun seed ->
+      let rng = Rng.create (seed + 23) in
+      let topo = Rr_topo.Random_topo.degree_bounded ~rng ~n:8 ~degree:3 in
+      let net =
+        Rr_topo.Fitout.fit_out ~rng ~n_wavelengths:4 ~lambda_density:0.7 topo
+      in
+      let m = Net.n_links net in
+      let groups =
+        Array.init m (fun _ ->
+            if Rng.uniform rng < 0.5 then []
+            else List.init (1 + Rng.int rng 3) (fun _ -> Rng.int rng 6))
+      in
+      let text = Io.print_srlg net groups in
+      match Io.parse_srlg text with
+      | Error _ -> false
+      | Ok (net2, groups2) ->
+        String.equal text (Io.print_srlg net2 groups2)
+        && Array.for_all2
+             (fun a b -> List.sort_uniq Int.compare a = b)
+             groups groups2)
+
 let test_dot_export () =
   match Io.parse sample with
   | Error e -> Alcotest.fail e
@@ -122,6 +193,10 @@ let suite =
         Alcotest.test_case "parse errors" `Quick test_parse_errors;
         Alcotest.test_case "roundtrip" `Quick test_roundtrip;
         qtest prop_roundtrip_random;
+        Alcotest.test_case "srlg parse" `Quick test_srlg_parse;
+        Alcotest.test_case "srlg roundtrip" `Quick test_srlg_roundtrip;
+        Alcotest.test_case "srlg errors" `Quick test_srlg_errors;
+        qtest prop_srlg_roundtrip_random;
         Alcotest.test_case "dot export" `Quick test_dot_export;
       ] );
   ]

@@ -43,6 +43,10 @@ let golden_requests =
     (Sp.Release { id = 7 }, {|{"op": "release", "id": 7}|});
     (Sp.Fail_link { link = 4 }, {|{"op": "fail", "link": 4}|});
     (Sp.Repair_link { link = 4 }, {|{"op": "repair", "link": 4}|});
+    ( Sp.Fail_burst { links = [ 2; 5; 9 ] },
+      {|{"op": "fail_burst", "links": [2, 5, 9]}|} );
+    ( Sp.Repair_burst { links = [ 2; 5 ] },
+      {|{"op": "repair_burst", "links": [2, 5]}|} );
     (Sp.Query, {|{"op": "query"}|});
     (Sp.Snapshot, {|{"op": "snapshot"}|});
     ( Sp.Restore { state = "wdm 2 1\nline\n" },
@@ -62,6 +66,11 @@ let golden_responses =
     (Sp.Released { id = 3 }, {|{"ok": "released", "id": 3}|});
     (Sp.Link_failed { link = 1 }, {|{"ok": "failed", "link": 1}|});
     (Sp.Link_repaired { link = 1 }, {|{"ok": "repaired", "link": 1}|});
+    ( Sp.Burst_failed { links = [ 2; 5 ]; switched = 1; rerouted = 2; dropped = 0 },
+      {|{"ok": "burst_failed", "links": [2, 5], "switched": 1, "rerouted": 2, "dropped": 0}|}
+    );
+    ( Sp.Burst_repaired { links = [ 2; 5 ] },
+      {|{"ok": "burst_repaired", "links": [2, 5]}|} );
     ( Sp.Stats
         {
           Sp.st_nodes = 4;
@@ -117,6 +126,9 @@ let test_protocol_malformed () =
       ({|{"op": "admit", "src": 0, "dst": 2, "policy": "nope"}|}, Sp.Bad_request);
       ({|{"op": "release"}|}, Sp.Bad_request);
       ({|{"op": "restore"}|}, Sp.Bad_request);
+      ({|{"op": "fail_burst"}|}, Sp.Bad_request);
+      ({|{"op": "fail_burst", "links": 3}|}, Sp.Bad_request);
+      ({|{"op": "repair_burst", "links": [1, "a"]}|}, Sp.Bad_request);
     ]
   in
   List.iter
@@ -266,6 +278,58 @@ let test_core_round_ordering () =
   checki "queue.rejected" 2 (Metrics.counter (Obs.metrics obs) "queue.rejected");
   checki "serve.requests counts accepted" 1
     (Metrics.counter (Obs.metrics obs) "serve.requests")
+
+let test_core_bursts () =
+  let core = Sc.create (ring4 ()) in
+  let id0 =
+    match Sc.handle core (Sp.Admit { src = 0; dst = 2; policy = None }) with
+    | Sp.Admitted { id; _ } -> id
+    | r -> Alcotest.failf "admit: %s" (Sp.encode_response r)
+  in
+  (* Atomic validation: any bad member rejects the whole burst with no
+     state change. *)
+  (match Sc.handle core (Sp.Fail_burst { links = [ 0; 999 ] }) with
+   | Sp.Error { kind = Sp.Bad_state; _ } -> ()
+   | r -> Alcotest.failf "out-of-range burst: %s" (Sp.encode_response r));
+  (match Sc.handle core (Sp.Repair_burst { links = [ 0 ] }) with
+   | Sp.Error { kind = Sp.Bad_state; _ } -> ()
+   | r -> Alcotest.failf "repair of healthy link: %s" (Sp.encode_response r));
+  (match Sc.handle core Sp.Query with
+   | Sp.Stats s ->
+     checkb "rejected bursts left no state" true (s.Sp.st_failed_links = [])
+   | _ -> Alcotest.fail "query");
+  (* Fell the connection's entire primary at once: the reserved backup is
+     edge-disjoint and intact, so restoration switches and the
+     connection survives the correlated cut. *)
+  let prim =
+    match List.assoc_opt id0 (Sc.connections core) with
+    | Some sol -> Rr_wdm.Semilightpath.links sol.Types.primary
+    | None -> Alcotest.fail "connection missing"
+  in
+  (match Sc.handle core (Sp.Fail_burst { links = prim }) with
+   | Sp.Burst_failed { links; switched; rerouted; dropped } ->
+     checkb "links echoed sorted" true
+       (links = List.sort_uniq Int.compare prim);
+     checki "switched" 1 switched;
+     checki "rerouted" 0 rerouted;
+     checki "dropped" 0 dropped
+   | r -> Alcotest.failf "fail burst: %s" (Sp.encode_response r));
+  checki "connection survived" 1 (List.length (Sc.connections core));
+  (match Sc.handle core (Sp.Repair_burst { links = prim }) with
+   | Sp.Burst_repaired { links } ->
+     checkb "repairs echoed sorted" true
+       (links = List.sort_uniq Int.compare prim)
+   | r -> Alcotest.failf "repair burst: %s" (Sp.encode_response r));
+  (match Sc.handle core Sp.Query with
+   | Sp.Stats s ->
+     checkb "all repaired" true (s.Sp.st_failed_links = []);
+     checki "one connection" 1 s.Sp.st_connections
+   | _ -> Alcotest.fail "query");
+  (match Sc.handle core (Sp.Release { id = id0 }) with
+   | Sp.Released _ -> ()
+   | r -> Alcotest.failf "release: %s" (Sp.encode_response r));
+  checki "network drained after burst cycle" 0
+    (Net.total_in_use (Sc.network core))
 
 (* ------------------------------------------------------------------ *)
 (* Snapshot / restore                                                  *)
@@ -718,6 +782,7 @@ let suite =
       [
         Alcotest.test_case "request dispatch" `Quick test_core_basics;
         Alcotest.test_case "bounded queue ordering" `Quick test_core_round_ordering;
+        Alcotest.test_case "fail/repair bursts" `Quick test_core_bursts;
       ] );
     ( "serve.snapshot",
       [

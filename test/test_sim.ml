@@ -383,6 +383,154 @@ let test_sim_kitchen_sink () =
   checkb "failures happened" true (r.counters.failures_injected > 0);
   check Alcotest.int "argument untouched" 0 (Net.total_in_use net)
 
+(* ------------------------------------------------------------------ *)
+(* Survivability: per-link/SRLG/regional failure processes, partial
+   protection and restoration determinism                               *)
+
+(* The full failure suite at once, with per-link rates that harden every
+   third fibre — the configuration the survivability bench gates on. *)
+let surv_config policy =
+  let net = nsfnet_net 9 8 in
+  let m = Net.n_links net in
+  let rates = Array.init m (fun e -> if e mod 3 = 0 then 0.0 else 0.004) in
+  let wl = Workload.make ~arrival_rate:1.5 ~mean_holding:12.0 in
+  let groups =
+    Robust_routing.Srlg.conduits_of_topology ~rng:(Rng.create 26) net
+      ~conduits:8
+  in
+  ( net,
+    {
+      (Simulator.default_config policy wl) with
+      duration = 400.0;
+      seed = 29;
+      link_fail_rates = Some rates;
+      link_repair_rates = Some (Array.make m (1.0 /. 20.0));
+      srlg = Some (groups, 0.01);
+      regional = Some (0.004, 1);
+      reprovision_backup = true;
+      partial_protection =
+        Some (Robust_routing.Partial_protect.exposure_of_rates rates);
+    } )
+
+let test_sim_restoration_deterministic () =
+  (* Two runs of the same seeded config — per-link clocks, SRLG cuts,
+     regional outages, partial protection, re-provisioning — must agree
+     on every reported number, including the Erlang-time accounting. *)
+  let net, cfg = surv_config Router.Load_cost in
+  let r1 = Simulator.run net cfg in
+  let r2 = Simulator.run net cfg in
+  check Alcotest.int "admitted" r1.counters.admitted r2.counters.admitted;
+  check Alcotest.int "blocked" r1.counters.blocked r2.counters.blocked;
+  check Alcotest.int "dropped" r1.dropped r2.dropped;
+  check Alcotest.int "completed" r1.completed r2.completed;
+  check Alcotest.int "failures" r1.counters.failures_injected
+    r2.counters.failures_injected;
+  check Alcotest.int "srlg cuts" r1.srlg_failures r2.srlg_failures;
+  check Alcotest.int "regional outages" r1.regional_failures r2.regional_failures;
+  check Alcotest.int "switchovers" r1.counters.restorations_ok
+    r2.counters.restorations_ok;
+  check Alcotest.int "passive reroutes" r1.counters.passive_reroutes_ok
+    r2.counters.passive_reroutes_ok;
+  check Alcotest.int "reprovisioned" r1.backups_reprovisioned
+    r2.backups_reprovisioned;
+  check Alcotest.int "backup hops reserved" r1.backup_hops_reserved
+    r2.backup_hops_reserved;
+  check Alcotest.(float 1e-12) "carried time" r1.carried_time r2.carried_time;
+  check Alcotest.(float 1e-12) "lost time" r1.lost_time r2.lost_time;
+  check Alcotest.(float 1e-12) "availability" r1.availability r2.availability;
+  (* and the scenario actually exercised every failure process *)
+  checkb "link cuts happened" true (r1.counters.failures_injected > 0);
+  checkb "srlg cuts happened" true (r1.srlg_failures > 0);
+  checkb "regional outages happened" true (r1.regional_failures > 0);
+  check Alcotest.int "argument untouched" 0 (Net.total_in_use net)
+
+let test_sim_hardened_links_never_fail () =
+  let net = nsfnet_net 9 6 in
+  let m = Net.n_links net in
+  let mk rates =
+    {
+      (base_config Router.Cost_approx) with
+      seed = 33;
+      link_fail_rates = Some rates;
+    }
+  in
+  (* All-hardened plant: per-link clocks exist but never ring. *)
+  let r0 = Simulator.run net (mk (Array.make m 0.0)) in
+  check Alcotest.int "no failures on hardened plant" 0
+    r0.counters.failures_injected;
+  check Alcotest.int "no drops" 0 r0.dropped;
+  let r1 = Simulator.run net (mk (Array.make m 0.01)) in
+  checkb "exposed plant fails" true (r1.counters.failures_injected > 0)
+
+let test_sim_availability_accounting () =
+  (* availability = carried / (carried + lost), and a failure-free run
+     carries everything. *)
+  let net, cfg = surv_config Router.Cost_approx in
+  let r = Simulator.run net cfg in
+  checkb "availability in (0,1]" true
+    (r.availability > 0.0 && r.availability <= 1.0);
+  check
+    Alcotest.(float 1e-9)
+    "availability consistent with Erlang-time books"
+    (r.carried_time /. (r.carried_time +. r.lost_time))
+    r.availability;
+  let clean = Simulator.run net (base_config Router.Cost_approx) in
+  check Alcotest.(float 1e-9) "failure-free run fully available" 1.0
+    clean.availability;
+  check Alcotest.(float 1e-9) "nothing lost" 0.0 clean.lost_time
+
+let test_sim_partial_protection_reserves_less () =
+  (* Against the same exposure, segment detours cost at most as many
+     backup wavelength-links as full edge-disjoint pairs — and still
+     reserve something on an exposed plant. *)
+  let net = nsfnet_net 9 8 in
+  let m = Net.n_links net in
+  let rates = Array.init m (fun e -> if e mod 3 = 0 then 0.0 else 0.004) in
+  let wl = Workload.make ~arrival_rate:1.5 ~mean_holding:12.0 in
+  let mk partial =
+    {
+      (Simulator.default_config Router.Cost_approx wl) with
+      duration = 300.0;
+      seed = 43;
+      link_fail_rates = Some rates;
+      partial_protection =
+        (if partial then
+           Some (Robust_routing.Partial_protect.exposure_of_rates rates)
+         else None);
+    }
+  in
+  let full = Simulator.run net (mk false) in
+  let part = Simulator.run net (mk true) in
+  checkb "full protection reserves backups" true
+    (full.backup_hops_reserved > 0);
+  checkb
+    (Printf.sprintf "partial (%d) <= full (%d) backup wavelength-links"
+       part.backup_hops_reserved full.backup_hops_reserved)
+    true
+    (part.backup_hops_reserved <= full.backup_hops_reserved);
+  check Alcotest.int "argument untouched" 0 (Net.total_in_use net)
+
+let test_sim_failure_config_validation () =
+  let net = nsfnet_net 9 4 in
+  let bad rates =
+    { (base_config Router.Cost_approx) with link_fail_rates = Some rates }
+  in
+  Alcotest.check_raises "short rate array"
+    (Invalid_argument
+       "Simulator.run: link_fail_rates length must equal the link count")
+    (fun () -> ignore (Simulator.run net (bad [| 0.1 |])));
+  Alcotest.check_raises "negative rate"
+    (Invalid_argument "Simulator.run: link_fail_rates must be non-negative")
+    (fun () ->
+      ignore
+        (Simulator.run net (bad (Array.make (Net.n_links net) (-1.0)))));
+  Alcotest.check_raises "negative radius"
+    (Invalid_argument "Simulator.run: regional radius must be non-negative")
+    (fun () ->
+      ignore
+        (Simulator.run net
+           { (base_config Router.Cost_approx) with regional = Some (0.1, -1) }))
+
 let prop_sim_books_balance =
   QCheck.Test.make ~name:"offered = admitted + blocked; resources conserved"
     ~count:10 QCheck.small_int (fun seed ->
@@ -437,6 +585,16 @@ let suite =
         Alcotest.test_case "default all standard" `Quick test_sim_default_all_standard;
         Alcotest.test_case "warmup" `Quick test_sim_warmup_discards_transient;
         Alcotest.test_case "kitchen sink" `Quick test_sim_kitchen_sink;
+        Alcotest.test_case "restoration deterministic" `Quick
+          test_sim_restoration_deterministic;
+        Alcotest.test_case "hardened links never fail" `Quick
+          test_sim_hardened_links_never_fail;
+        Alcotest.test_case "availability accounting" `Quick
+          test_sim_availability_accounting;
+        Alcotest.test_case "partial protection reserves less" `Quick
+          test_sim_partial_protection_reserves_less;
+        Alcotest.test_case "failure config validation" `Quick
+          test_sim_failure_config_validation;
         qtest prop_sim_books_balance;
       ] );
   ]
