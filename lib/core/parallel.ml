@@ -75,7 +75,14 @@ let worker_loop t i =
     end
   done
 
-let recommended_jobs () = Domain.recommended_domain_count ()
+(* One memoized read: [Domain.recommended_domain_count] consults the OS
+   (affinity mask, cgroup quota), so repeated calls are both syscall
+   overhead and — if the mask changes mid-run — a way for [default_jobs]
+   and the oversubscription clamp to disagree about the machine width.
+   Forced once from the coordinating domain, never from workers. *)
+let recommended = lazy (Domain.recommended_domain_count ())
+
+let recommended_jobs () = Lazy.force recommended
 
 (* Batch speculation stops scaling past the request-level parallelism of
    typical batches, and every worker pins a shard (snapshot + aux cache)
@@ -168,8 +175,13 @@ let run t f =
    with a migration and exited early. *)
 let max_items = 0x3FFF_FFFF
 
+(* lint: no-alloc *)
 let pack lo hi = (lo lsl 31) lor hi
+
+(* lint: no-alloc *)
 let range_lo r = r lsr 31
+
+(* lint: no-alloc *)
 let range_hi r = r land 0x7FFF_FFFF
 
 let map ?(chunk = 1) t ~worker ~f arr =

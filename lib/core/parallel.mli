@@ -38,7 +38,9 @@ val size : t -> int
 (** Actual worker count (after any clamp). *)
 
 val recommended_jobs : unit -> int
-(** [Domain.recommended_domain_count ()]. *)
+(** [Domain.recommended_domain_count ()], read once and memoized: the
+    default width and the oversubscription clamp in {!create} must agree
+    on a single stable machine width for the process lifetime. *)
 
 val default_jobs : unit -> int
 (** [min 8 (recommended_jobs ())] — the recommended count clamped to a

@@ -1,0 +1,220 @@
+(* The interprocedural layer behind R6/R7/R8.
+
+   [Typed_pass] reduces every module to a {!file_summary}: one {!fn}
+   node per top-level binding (nested and local definitions merge their
+   facts into the enclosing top-level node) carrying outgoing call
+   edges, module-level mutable touches, allocation sites and the
+   [no-alloc] annotation bit, plus the file's worker-scope roots — the
+   project functions referenced from closures handed to
+   [Parallel.map]/[Parallel.run]/[Domain.spawn] or parked in pool
+   slots.  [link] stitches the summaries into one graph; [analyze]
+   walks it:
+
+   - R6: every node reachable from a worker root is in worker-domain
+     scope; its recorded mutable-global touches become findings
+     (justified sites were dropped at record time).
+   - R8: from every [(* lint: no-alloc *)] node, all transitively
+     reachable allocation sites become findings.
+
+   Edges are name-based.  A candidate is a normalized [Module.name]
+   pair: dune's [Lib__Module] mangling is undone per segment, local
+   [module N = Long.Path] aliases were expanded by the typed pass, and
+   only the last two segments are kept (wrapper-library prefixes such
+   as [Robust_routing.Parallel.map] carry no extra information).
+   Resolution tries the exact pair first; an unresolved prefix — a
+   functor parameter ([X.f]), a functor instance ([Inst.through]) or a
+   first-class-module alias — falls back to the bare value name when
+   that name is unique project-wide.  Prefixes naming known external
+   modules ({!Scope.extern_modules}) never fall back, so [List.map]
+   cannot capture a project [map]. *)
+
+type r6_site = { r6_line : int; r6_col : int; r6_message : string }
+type alloc_site = { al_line : int; al_col : int; al_what : string }
+
+type fn = {
+  fn_key : string;
+  fn_file : string;
+  fn_line : int;
+  fn_col : int;
+  mutable fn_edges : string list;
+  mutable fn_r6 : r6_site list;
+  mutable fn_allocs : alloc_site list;
+  mutable fn_no_alloc : bool;
+  mutable fn_is_fun : bool;
+}
+
+let mk_fn ~key ~file ~line ~col =
+  {
+    fn_key = key;
+    fn_file = file;
+    fn_line = line;
+    fn_col = col;
+    fn_edges = [];
+    fn_r6 = [];
+    fn_allocs = [];
+    fn_no_alloc = false;
+    fn_is_fun = false;
+  }
+
+type file_summary = {
+  fs_file : string;
+  fs_fns : fn list;
+  fs_roots : string list;
+}
+
+let empty_summary file = { fs_file = file; fs_fns = []; fs_roots = [] }
+
+(* ------------------------------------------------------------------ *)
+(* Path normalization                                                   *)
+
+(* Undo dune's name mangling on module segments: [Robust_routing__Parallel]
+   is the wrapped [Parallel].  Only module segments (leading capital) are
+   touched, so a value named [foo__bar] survives. *)
+let demangle seg =
+  let n = String.length seg in
+  if n = 0 || not (seg.[0] >= 'A' && seg.[0] <= 'Z') then seg
+  else begin
+    let cut = ref (-1) in
+    for i = 0 to n - 2 do
+      if seg.[i] = '_' && seg.[i + 1] = '_' then cut := i + 2
+    done;
+    if !cut >= 0 && !cut < n then
+      String.capitalize_ascii (String.sub seg !cut (n - !cut))
+    else seg
+  end
+
+let split_path name =
+  List.filter (fun s -> s <> "") (String.split_on_char '.' name)
+
+let normalize name =
+  let segs = List.map demangle (split_path name) in
+  let segs =
+    match List.rev segs with
+    | [] -> []
+    | [ a ] -> [ a ]
+    | a :: b :: _ -> [ b; a ]
+  in
+  String.concat "." segs
+
+(* ------------------------------------------------------------------ *)
+(* Linking and reachability                                             *)
+
+type t = {
+  nodes : (string, fn) Hashtbl.t;  (* key -> nodes (key collisions keep all) *)
+  bare : (string, string) Hashtbl.t;  (* value name -> candidate keys *)
+  roots : string list;
+}
+
+let link summaries =
+  let nodes = Hashtbl.create 256 in
+  let bare = Hashtbl.create 256 in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun f ->
+          Hashtbl.add nodes f.fn_key f;
+          match split_path f.fn_key with
+          | [ _; b ] ->
+            if not (List.mem f.fn_key (Hashtbl.find_all bare b)) then
+              Hashtbl.add bare b f.fn_key
+          | _ -> ())
+        s.fs_fns)
+    summaries;
+  { nodes; bare; roots = List.concat_map (fun s -> s.fs_roots) summaries }
+
+let resolve t cand =
+  match Hashtbl.find_all t.nodes cand with
+  | _ :: _ as fns -> fns
+  | [] -> (
+    match split_path cand with
+    | [ m; b ] when not (List.mem (demangle m) Scope.extern_modules) -> (
+      match List.sort_uniq String.compare (Hashtbl.find_all t.bare b) with
+      | [ key ] -> Hashtbl.find_all t.nodes key
+      | _ -> [])
+    | _ -> [])
+
+let reachable t seeds =
+  let expanded = Hashtbl.create 64 in  (* candidates already tried *)
+  let seen = Hashtbl.create 64 in      (* node keys already collected *)
+  let out = ref [] in
+  let rec go = function
+    | [] -> ()
+    | cand :: rest ->
+      if Hashtbl.mem expanded cand then go rest
+      else begin
+        Hashtbl.replace expanded cand ();
+        (* Collect each node once even when a bare-name fallback and the
+           exact key both resolve to it. *)
+        let fns =
+          List.filter (fun f -> not (Hashtbl.mem seen f.fn_key)) (resolve t cand)
+        in
+        List.iter
+          (fun f ->
+            Hashtbl.replace seen f.fn_key ();
+            Hashtbl.replace expanded f.fn_key ())
+          fns;
+        out := fns @ !out;
+        go (List.concat_map (fun f -> f.fn_edges) fns @ rest)
+      end
+  in
+  go seeds;
+  !out
+
+let in_worker_scope t key =
+  List.exists (fun f -> f.fn_key = key) (reachable t t.roots)
+
+(* ------------------------------------------------------------------ *)
+(* Analysis                                                             *)
+
+let analyze t ~rules =
+  let fs = ref [] in
+  let emit file line col rule msg =
+    if List.mem rule rules then
+      fs := Finding.v ~file ~line ~col rule msg :: !fs
+  in
+  if List.mem Finding.R6 rules then
+    List.iter
+      (fun f ->
+        List.iter
+          (fun s -> emit f.fn_file s.r6_line s.r6_col Finding.R6 s.r6_message)
+          f.fn_r6)
+      (reachable t t.roots);
+  if List.mem Finding.R8 rules then begin
+    (* Deterministic order is not needed here — the driver sorts — but
+       iterate over a sorted key list anyway so verbose traces are
+       stable across runs.  (* lint: ordered *) *)
+    let keys =
+      List.sort_uniq String.compare
+        (Hashtbl.fold (fun k _ acc -> k :: acc) t.nodes [])
+    in
+    List.iter
+      (fun key ->
+        List.iter
+          (fun f ->
+            if f.fn_no_alloc then begin
+              List.iter
+                (fun a ->
+                  emit f.fn_file a.al_line a.al_col Finding.R8
+                    (Printf.sprintf "allocation (%s) in (* lint: no-alloc *) %s"
+                       a.al_what f.fn_key))
+                f.fn_allocs;
+              List.iter
+                (fun g ->
+                  (* Allocation sites inside a top-level *value* binding
+                     run once at module initialization, not per call —
+                     referencing the value from a hot path is free. *)
+                  if g != f && g.fn_is_fun then
+                    List.iter
+                      (fun a ->
+                        emit g.fn_file a.al_line a.al_col Finding.R8
+                          (Printf.sprintf
+                             "allocation (%s) in %s, reachable from (* lint: \
+                              no-alloc *) %s"
+                             a.al_what g.fn_key f.fn_key))
+                      g.fn_allocs)
+                (reachable t f.fn_edges)
+            end)
+          (Hashtbl.find_all t.nodes key))
+      keys
+  end;
+  List.rev !fs

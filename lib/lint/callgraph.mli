@@ -1,0 +1,74 @@
+(** Interprocedural call graph over the project's typed ASTs.
+
+    The typed pass summarizes each module ({!file_summary}); [link]
+    stitches the summaries into one name-resolved graph; [analyze]
+    computes the transitive worker-domain scope and emits the
+    interprocedural findings:
+
+    - {b R6} — module-level mutable touches recorded in any function
+      reachable from a worker-scope root (a closure passed to
+      [Parallel.map]/[Parallel.run]/[Domain.spawn] or parked in a pool
+      slot).  Sites justified with [(* lint: domain-safe <reason> *)]
+      or mediated by a sanctioned type ({!Scope.sanctioned_type_heads})
+      were already dropped by the typed pass.
+    - {b R8} — allocation sites transitively reachable from a
+      [(* lint: no-alloc *)]-annotated binding.
+
+    (R7 — pool-slot escape — is closure-local and emitted directly by
+    the typed pass.) *)
+
+type r6_site = { r6_line : int; r6_col : int; r6_message : string }
+
+type alloc_site = {
+  al_line : int;
+  al_col : int;
+  al_what : string;  (** e.g. ["closure"], ["call to allocating Stdlib.List.rev"] *)
+}
+
+type fn = {
+  fn_key : string;  (** normalized [Module.name] of the top-level binding *)
+  fn_file : string;
+  fn_line : int;
+  fn_col : int;
+  mutable fn_edges : string list;  (** normalized callee candidates *)
+  mutable fn_r6 : r6_site list;  (** unjustified mutable-global touches *)
+  mutable fn_allocs : alloc_site list;
+  mutable fn_no_alloc : bool;  (** carries [(* lint: no-alloc *)] *)
+  mutable fn_is_fun : bool;
+      (** the binding is syntactically a function; a value binding's
+          allocation sites run once at module init and are exempt from
+          transitive R8 *)
+}
+
+val mk_fn : key:string -> file:string -> line:int -> col:int -> fn
+
+type file_summary = {
+  fs_file : string;
+  fs_fns : fn list;
+  fs_roots : string list;
+      (** worker-scope roots: normalized candidates referenced from
+          pool/spawn closures in this file *)
+}
+
+val empty_summary : string -> file_summary
+(** A summary with no nodes and no roots (the untyped fallback). *)
+
+val demangle : string -> string
+(** Undo dune name mangling on a module segment:
+    [demangle "Robust_routing__Parallel" = "Parallel"]. *)
+
+val normalize : string -> string
+(** Demangle every segment of a ['.']-separated path and keep the last
+    two: [normalize "Robust_routing__Parallel.map" = "Parallel.map"]. *)
+
+type t
+
+val link : file_summary list -> t
+
+val in_worker_scope : t -> string -> bool
+(** Whether the node with the given key is transitively reachable from a
+    worker-scope root (diagnostic helper). *)
+
+val analyze : t -> rules:Finding.rule list -> Finding.t list
+(** The interprocedural findings (R6 transitive + R8), gated on [rules].
+    Order is unspecified; the driver sorts. *)

@@ -6,7 +6,9 @@ type config = {
   rules : Finding.rule list;
   force_untyped : bool;
   emit_manifest : bool;
+  emit_rules : bool;
   update_baseline : bool;
+  json : bool;
   verbose : bool;
 }
 
@@ -19,9 +21,71 @@ let default =
     rules = Finding.all_rules;
     force_untyped = false;
     emit_manifest = false;
+    emit_rules = false;
     update_baseline = false;
+    json = false;
     verbose = false;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Rule registry                                                        *)
+
+let render_rules () =
+  let b = Buffer.create 256 in
+  Buffer.add_string b
+    "# rr_lint rule registry: one \"ID summary\" line per rule.  CI diffs\n\
+     # this against tools/rr_lint/rules.registry, so a new rule lands only\n\
+     # together with its registry entry (and its README/DESIGN docs).\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string b (Finding.rule_id r);
+      Buffer.add_char b ' ';
+      Buffer.add_string b (Finding.rule_summary r);
+      Buffer.add_char b '\n')
+    Finding.all_rules;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* JSON report                                                          *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let render_json ~files ~typed ~untyped ~total ~baselined ~stale fresh =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n  \"findings\": [";
+  List.iteri
+    (fun i (f : Finding.t) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Printf.sprintf
+           "\n    {\"file\": \"%s\", \"line\": %d, \"col\": %d, \"rule\": \
+            \"%s\", \"message\": \"%s\"}"
+           (json_escape f.file) f.line f.col
+           (Finding.rule_id f.rule)
+           (json_escape f.message)))
+    fresh;
+  if fresh <> [] then Buffer.add_string b "\n  ";
+  Buffer.add_string b
+    (Printf.sprintf
+       "],\n  \"files\": %d,\n  \"typed\": %d,\n  \"untyped\": %d,\n  \
+        \"total\": %d,\n  \"baselined\": %d,\n  \"new\": %d,\n  \
+        \"stale_baseline\": %d\n}\n"
+       files typed untyped total baselined (List.length fresh) stale);
+  Buffer.contents b
 
 (* ------------------------------------------------------------------ *)
 (* File-system walk                                                     *)
@@ -130,7 +194,11 @@ let run cfg =
     Printf.eprintf "rr_lint: %s\n" m;
     2
   in
-  if cfg.dirs = [] then usage_error "no directories to lint"
+  if cfg.emit_rules then begin
+    print_string (render_rules ());
+    0
+  end
+  else if cfg.dirs = [] then usage_error "no directories to lint"
   else if not (Sys.file_exists cfg.root && Sys.is_directory cfg.root) then
     usage_error (Printf.sprintf "root %S is not a directory" cfg.root)
   else begin
@@ -167,6 +235,7 @@ let run cfg =
         let source_info = Source_info.create ~root:cfg.root in
         let findings = ref [] in
         let probes = ref [] in
+        let summaries = ref [] in
         let covered : (string, unit) Hashtbl.t = Hashtbl.create 64 in
         let typed = ref 0 and untyped = ref 0 in
         (* Typed pass over every cmt whose source is in scope. *)
@@ -187,12 +256,13 @@ let run cfg =
                   incr typed;
                   if cfg.verbose then
                     Printf.eprintf "rr_lint: typed   %s (%s)\n" src cmt_rel;
-                  let fs, ps =
+                  let fs, ps, summary =
                     Typed_pass.scan ~source_info ~manifest ~rules:cfg.rules
                       ~file:src cmt
                   in
                   findings := fs :: !findings;
-                  probes := ps :: !probes
+                  probes := ps :: !probes;
+                  summaries := summary :: !summaries
                 | _ -> ()))
             (walk_all cfg.root "" []);
         (* Fallback for sources the cmt index does not cover. *)
@@ -225,8 +295,35 @@ let run cfg =
               (List.map (Filename.concat dir)
                  (walk (Filename.concat cfg.root dir) "" [])))
           cfg.dirs;
+        (* Interprocedural pass: stitch the per-module summaries into one
+           call graph and run the transitive rules over it.  R7 findings
+           are closure-local and were already emitted by the typed pass. *)
+        if cfg.verbose then
+          List.iter
+            (fun s ->
+              Printf.eprintf "rr_lint: graph   %s roots=[%s]\n"
+                s.Callgraph.fs_file
+                (String.concat "; " s.Callgraph.fs_roots);
+              List.iter
+                (fun f ->
+                  Printf.eprintf
+                    "rr_lint:   fn %s%s edges=[%s] r6=%d allocs=%d\n"
+                    f.Callgraph.fn_key
+                    (if f.Callgraph.fn_no_alloc then " [no-alloc]" else "")
+                    (String.concat "; " f.Callgraph.fn_edges)
+                    (List.length f.Callgraph.fn_r6)
+                    (List.length f.Callgraph.fn_allocs))
+                s.Callgraph.fs_fns)
+            (List.rev !summaries);
+        let interprocedural =
+          if
+            List.exists (fun r -> List.mem r cfg.rules) [ Finding.R6; Finding.R8 ]
+          then Callgraph.analyze (Callgraph.link !summaries) ~rules:cfg.rules
+          else []
+        in
         let findings =
-          List.sort_uniq Finding.compare (List.concat !findings)
+          List.sort_uniq Finding.compare
+            (interprocedural @ List.concat !findings)
         in
         let probes = List.concat !probes in
         if cfg.emit_manifest then begin
@@ -251,7 +348,6 @@ let run cfg =
             | Some b -> Hashtbl.mem b (Finding.baseline_key f)
           in
           let fresh = List.filter (fun f -> not (is_baselined f)) findings in
-          List.iter (fun f -> print_endline (Finding.to_string f)) fresh;
           let stale =
             match baseline with
             | None -> 0
@@ -264,15 +360,24 @@ let run cfg =
                 (fun k () n -> if Hashtbl.mem live k then n else n + 1)
                 b 0
           in
-          Printf.printf
-            "rr_lint: %d file(s) (%d typed, %d untyped), %d finding(s): %d \
-             baselined, %d new%s\n"
-            (Hashtbl.length covered) !typed !untyped (List.length findings)
-            (List.length findings - List.length fresh)
-            (List.length fresh)
-            (if stale > 0 then
-               Printf.sprintf " (%d stale baseline entrie(s))" stale
-             else "");
+          if cfg.json then
+            print_string
+              (render_json ~files:(Hashtbl.length covered) ~typed:!typed
+                 ~untyped:!untyped ~total:(List.length findings)
+                 ~baselined:(List.length findings - List.length fresh)
+                 ~stale fresh)
+          else begin
+            List.iter (fun f -> print_endline (Finding.to_string f)) fresh;
+            Printf.printf
+              "rr_lint: %d file(s) (%d typed, %d untyped), %d finding(s): %d \
+               baselined, %d new%s\n"
+              (Hashtbl.length covered) !typed !untyped (List.length findings)
+              (List.length findings - List.length fresh)
+              (List.length fresh)
+              (if stale > 0 then
+                 Printf.sprintf " (%d stale baseline entrie(s))" stale
+               else "")
+          end;
           if fresh <> [] then 1 else 0
         end
     end

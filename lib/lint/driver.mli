@@ -24,7 +24,9 @@ type config = {
   rules : Finding.rule list;    (** enabled rules *)
   force_untyped : bool;    (** skip cmt discovery: ppxlib fallback only *)
   emit_manifest : bool;    (** print a fresh probe manifest and stop *)
+  emit_rules : bool;       (** print the rule registry and stop *)
   update_baseline : bool;  (** rewrite [baseline] from current findings *)
+  json : bool;             (** machine-readable report instead of text *)
   verbose : bool;
 }
 

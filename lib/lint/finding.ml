@@ -1,4 +1,4 @@
-type rule = R1 | R2 | R3 | R4 | R5
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8
 
 let rule_id = function
   | R1 -> "R1"
@@ -6,6 +6,9 @@ let rule_id = function
   | R3 -> "R3"
   | R4 -> "R4"
   | R5 -> "R5"
+  | R6 -> "R6"
+  | R7 -> "R7"
+  | R8 -> "R8"
 
 let rule_of_string = function
   | "R1" -> Some R1
@@ -13,9 +16,22 @@ let rule_of_string = function
   | "R3" -> Some R3
   | "R4" -> Some R4
   | "R5" -> Some R5
+  | "R6" -> Some R6
+  | "R7" -> Some R7
+  | "R8" -> Some R8
   | _ -> None
 
-let all_rules = [ R1; R2; R3; R4; R5 ]
+let all_rules = [ R1; R2; R3; R4; R5; R6; R7; R8 ]
+
+let rule_summary = function
+  | R1 -> "polymorphic compare/equality in determinism scope"
+  | R2 -> "unordered Hashtbl.iter/fold in determinism scope"
+  | R3 -> "ghost-None: threaded optional label dropped at a call site"
+  | R4 -> "probe name literal outside the checked grammar/manifest"
+  | R5 -> "hot-kernel raise or float equality on the per-request path"
+  | R6 -> "module-level mutable state touched in worker-domain scope"
+  | R7 -> "pool-slot value escaping its worker domain"
+  | R8 -> "allocation reachable from a (* lint: no-alloc *) hot path"
 
 type t = {
   file : string;

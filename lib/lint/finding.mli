@@ -5,14 +5,18 @@
     baseline.  The baseline key deliberately omits [line]/[col]: edits
     elsewhere in a file must not resurrect a grandfathered finding. *)
 
-type rule = R1 | R2 | R3 | R4 | R5
+type rule = R1 | R2 | R3 | R4 | R5 | R6 | R7 | R8
 
 val rule_id : rule -> string
-(** ["R1"] .. ["R5"]. *)
+(** ["R1"] .. ["R8"]. *)
 
 val rule_of_string : string -> rule option
 
 val all_rules : rule list
+
+val rule_summary : rule -> string
+(** One-line description of the rule, as printed by [--emit-rules] and
+    recorded in [tools/rr_lint/rules.registry]. *)
 
 type t = {
   file : string;  (** path relative to the lint root, e.g. [lib/wdm/auxiliary.ml] *)

@@ -21,3 +21,42 @@ val optional_labels : string list
 val probe_functions : string list
 (** Suffixes of resolved paths whose second positional argument is a
     probe name ([Obs.stop], [Obs.add], …). *)
+
+(** {1 Domain-safety vocabulary (R6/R7/R8)}
+
+    All entries are [Module.name] suffixes matched against normalized
+    resolved paths (see {!Callgraph.normalize_path}). *)
+
+val pool_map_functions : string list
+(** [Parallel.map] — its [~worker]/[~f] closure arguments are
+    worker-scope roots. *)
+
+val pool_run_functions : string list
+(** [Parallel.run] — its last positional closure argument runs on every
+    pool domain. *)
+
+val pool_spawn_functions : string list
+(** Raw [Domain.spawn] — its closure argument is a worker-scope root. *)
+
+val slot_get_functions : string list
+(** [Parallel.get_state] — applications are R7 taint sources (the result
+    is a pool-slot value owned by the calling worker). *)
+
+val slot_set_functions : string list
+(** [Parallel.set_state] — the sanctioned sink for slot values. *)
+
+val mutable_type_heads : string list
+(** Type heads whose module-level values count as shared mutable state
+    for R6 ([ref], [array], [Hashtbl.t], …). *)
+
+val sanctioned_type_heads : string list
+(** Type heads exempt from R6: [Atomic.t], [Parallel.slot],
+    [Parallel.t], [Mutex.t]. *)
+
+val extern_modules : string list
+(** Stdlib/runtime module names the call graph never resolves bare-name
+    fallbacks into. *)
+
+val allocating_externs : string list
+(** External functions known to allocate — the R8 denylist, matched as
+    suffixes of fully-qualified resolved paths. *)

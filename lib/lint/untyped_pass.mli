@@ -4,7 +4,10 @@
     of R1 ([List.mem]/[Hashtbl.hash] are banned by name; the
     type-sensitive [=]/[compare] checks need the typed pass), R4, and R5
     (where the float-equality check degrades to literal-operand
-    detection).  R3 needs callee types and is typed-only. *)
+    detection).  R3 needs callee types and is typed-only, as are the
+    interprocedural rules R6–R8: without a [.cmt] there is no resolved
+    call graph, so untyped files contribute nothing to worker-domain
+    scope. *)
 
 val scan :
   source_info:Source_info.t ->

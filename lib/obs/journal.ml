@@ -46,6 +46,7 @@ let total t = t.total
 let retained t = min t.total (capacity t)
 let dropped t = t.total - retained t
 
+(* lint: no-alloc *)
 let record t ~t_ns ~tid ~req ~a ~b name =
   let i = t.total land t.mask in
   t.names.(i) <- name;

@@ -13,6 +13,7 @@ let width t = t.width
 let check t i =
   if i < 0 || i >= t.width then invalid_arg "Bitset: element out of range"
 
+(* lint: no-alloc *)
 let mem t i =
   check t i;
   let w = i / bits_per_word and b = i mod bits_per_word in

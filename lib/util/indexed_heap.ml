@@ -23,6 +23,7 @@ let priority t k =
   if not (mem t k) then raise Not_found;
   t.prio.(t.pos.(k))
 
+(* lint: no-alloc *)
 let swap t i j =
   let ki = t.keys.(i) and kj = t.keys.(j) in
   let pi = t.prio.(i) and pj = t.prio.(j) in
@@ -30,6 +31,7 @@ let swap t i j =
   t.prio.(i) <- pj; t.prio.(j) <- pi;
   t.pos.(kj) <- i; t.pos.(ki) <- j
 
+(* lint: no-alloc *)
 let rec sift_up t i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
@@ -39,16 +41,19 @@ let rec sift_up t i =
     end
   end
 
+(* lint: no-alloc *)
 let rec sift_down t i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < t.size && t.prio.(l) < t.prio.(!smallest) then smallest := l;
-  if r < t.size && t.prio.(r) < t.prio.(!smallest) then smallest := r;
-  if !smallest <> i then begin
-    swap t i !smallest;
-    sift_down t !smallest
+  let smallest = if l < t.size && t.prio.(l) < t.prio.(i) then l else i in
+  let smallest =
+    if r < t.size && t.prio.(r) < t.prio.(smallest) then r else smallest
+  in
+  if smallest <> i then begin
+    swap t i smallest;
+    sift_down t smallest
   end
 
+(* lint: no-alloc *)
 let insert t k p =
   if k < 0 || k >= Array.length t.pos then invalid_arg "Indexed_heap.insert: key out of range";
   if t.pos.(k) >= 0 then invalid_arg "Indexed_heap.insert: key already queued";
@@ -59,6 +64,7 @@ let insert t k p =
   t.pos.(k) <- i;
   sift_up t i
 
+(* lint: no-alloc *)
 let decrease t k p =
   if not (mem t k) then invalid_arg "Indexed_heap.decrease: key not queued";
   let i = t.pos.(k) in
@@ -66,6 +72,7 @@ let decrease t k p =
   t.prio.(i) <- p;
   sift_up t i
 
+(* lint: no-alloc *)
 let insert_or_decrease t k p =
   if mem t k then begin
     if p < t.prio.(t.pos.(k)) then decrease t k p

@@ -46,14 +46,20 @@ let reset t n =
   t.gen <- t.gen + 1
 
 let dist t i = if t.stamp.(i) = t.gen then t.dist_a.(i) else infinity
+
+(* lint: no-alloc *)
 let pred t i = if t.stamp.(i) = t.gen then t.pred_a.(i) else -1
+
+(* lint: no-alloc *)
 let is_set t i = t.stamp.(i) = t.gen
 
+(* lint: no-alloc *)
 let set t i d p =
   t.dist_a.(i) <- d;
   t.pred_a.(i) <- p;
   t.stamp.(i) <- t.gen
 
+(* lint: no-alloc *)
 let generation t = t.gen
 
 let heap t n =
@@ -78,5 +84,8 @@ let mark_reset t n =
   end;
   t.mark_gen <- t.mark_gen + 1
 
+(* lint: no-alloc *)
 let mark t i = t.mark_stamp.(i) <- t.mark_gen
+
+(* lint: no-alloc *)
 let marked t i = t.mark_stamp.(i) = t.mark_gen

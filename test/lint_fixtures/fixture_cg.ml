@@ -1,0 +1,50 @@
+(* Call-graph edge cases: worker-scope R6 findings must flow through a
+   functor instance, a mutually recursive group, a partial application,
+   and survive a first-class-module unpack in the same closure. *)
+
+module Parallel = struct
+  type t = { size : int }
+
+  let run (t : t) (f : int -> unit) = f t.size
+end
+
+let counters : int array = Array.make 4 0
+
+module type S = sig
+  val idx : int
+end
+
+(* The worker reaches [bump] only through the instance name [Inst]. *)
+module Make (M : S) = struct
+  let bump () = counters.(M.idx) <- counters.(M.idx) + 1
+end
+
+module Inst = Make (struct
+  let idx = 0
+end)
+
+(* Mutually recursive: only [cg_even] is referenced from the closure. *)
+let rec cg_even n = if n = 0 then cg_tick () else cg_odd (n - 1)
+and cg_odd n = if n = 1 then cg_tick () else cg_even (n - 1)
+and cg_tick () = counters.(1) <- counters.(1) + 1
+
+(* Partial application: the closure sees only the partial [add_two]. *)
+let add_at i n = counters.(i) <- counters.(i) + n
+let add_two = add_at 2
+
+(* First-class module: unpacked inside worker scope; allocates nothing
+   mutable, so it must not produce findings. *)
+let pick (m : (module S)) =
+  let module M = (val m) in
+  M.idx
+
+let drive pool =
+  Parallel.run pool (fun w ->
+      Inst.bump ();
+      cg_even w;
+      add_two w;
+      ignore
+        (pick
+           (module struct
+             let idx = 3
+           end : S)))

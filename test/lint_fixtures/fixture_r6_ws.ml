@@ -1,0 +1,44 @@
+(* Seeded bug for R6: the work-stealing range scheduler with its Atomic
+   cells stripped.  The per-worker [lo, hi) ranges live in plain
+   module-level int arrays, so an owner pop racing a thief install is a
+   lost update.  Every touch of the arrays happens in functions reachable
+   from the closure passed to [Parallel.run] — the interprocedural walk
+   must flag each one. *)
+
+module Parallel = struct
+  type t = { size : int }
+
+  let create size = { size }
+  let run (t : t) (f : int -> unit) = f (t.size - 1)
+end
+
+let ws_lo : int array = Array.make 8 0
+let ws_hi : int array = Array.make 8 0
+
+let take_own w =
+  let lo = ws_lo.(w) in
+  if lo < ws_hi.(w) then begin
+    ws_lo.(w) <- lo + 1;
+    lo
+  end
+  else -1
+
+let steal w victim =
+  let lo = ws_lo.(victim) and hi = ws_hi.(victim) in
+  if hi > lo then begin
+    let keep = (hi - lo) / 2 in
+    ws_hi.(victim) <- lo + keep;
+    ws_lo.(w) <- lo + keep
+  end
+
+let seeds : int array = Array.make 8 0
+
+let read_seed w =
+  (* lint: domain-safe written once before the pool starts *)
+  seeds.(w)
+
+let drive pool =
+  Parallel.run pool (fun w ->
+      ignore (take_own w);
+      ignore (read_seed w);
+      steal w ((w + 1) mod 8))

@@ -1,0 +1,34 @@
+(* Seeded bug for R7: pool-slot state escaping its worker domain.  The
+   mapped function leaks the slot value three ways — stores it into a
+   module-level ref, returns it from the closure, and the ref store also
+   touches module-level mutable state in worker scope (R6). *)
+
+module Parallel = struct
+  type t = { size : int }
+  type 'a slot = { mutable cell : 'a option }
+
+  let slot () = { cell = None }
+  let get_state (_ : t) (s : 'a slot) ~worker:(_ : int) : 'a option = s.cell
+  let set_state (_ : t) (s : 'a slot) ~worker:(_ : int) v = s.cell <- Some v
+
+  let map (t : t) ~worker ~f arr =
+    let st = worker t.size in
+    Array.map (fun x -> f st x) arr
+end
+
+type shard = { mutable hits : int }
+
+let captured : shard option ref = ref None
+let shard_slot : shard Parallel.slot = Parallel.slot ()
+
+let route_all pool reqs =
+  Parallel.map pool
+    ~worker:(fun w ->
+      match Parallel.get_state pool shard_slot ~worker:w with
+      | Some sh -> sh
+      | None -> { hits = 0 })
+    ~f:(fun sh req ->
+      sh.hits <- sh.hits + req;
+      captured := Some sh;
+      sh)
+    reqs

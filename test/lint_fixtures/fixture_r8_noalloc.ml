@@ -1,0 +1,27 @@
+(* R8 coverage: direct allocation under a [no-alloc] annotation,
+   transitive allocation through a callee, an allocating stdlib call, an
+   exempt error path, and an exempt module-init value binding. *)
+
+let table : int array = Array.make 16 0
+
+(* Allocation-free: reads module state, raises only on the error path. *)
+(* lint: no-alloc *)
+let lookup i =
+  if i < 0 then invalid_arg "lookup";
+  table.(i)
+
+(* Direct hit: boxes an option on the hot path. *)
+(* lint: no-alloc *)
+let lookup_opt i = if i >= 0 && i < 16 then Some table.(i) else None
+
+let pair_of x = (x, table.(x))
+
+(* Transitive hit: the tuple in [pair_of] is two calls away. *)
+(* lint: no-alloc *)
+let sum_pair x =
+  let a, b = pair_of x in
+  a + b
+
+(* Extern hit: [Array.copy] allocates. *)
+(* lint: no-alloc *)
+let snapshot () = Array.copy table

@@ -8,6 +8,7 @@
 let exe = Filename.concat ".." (Filename.concat "tools" "rr_lint/main.exe")
 let scratch = "lint_scratch"
 let scratch_clean = "lint_scratch_clean"
+let scratch_ipc = "lint_scratch_ipc"
 
 (* The scratch layout: fixture source -> path inside [scratch].  The R2
    fixture lands on lib/graph/suurballe.ml — re-introducing the PR 4
@@ -20,6 +21,16 @@ let staged_fixtures =
     ("lint_fixtures/fixture_r3.ml", "lib/wdm/fixture_r3.ml");
     ("lint_fixtures/fixture_r4.ml", "lib/core/fixture_r4.ml");
     ("lint_fixtures/fixture_r5.ml", "lib/graph/dijkstra.ml");
+  ]
+
+(* The interprocedural tree (R6/R7/R8 + call-graph edge cases) is staged
+   separately so the exact-output tests above keep their file counts. *)
+let ipc_fixtures =
+  [
+    ("lint_fixtures/fixture_r6_ws.ml", "lib/core/ws_ranges.ml");
+    ("lint_fixtures/fixture_r7_slot.ml", "lib/core/slot_leak.ml");
+    ("lint_fixtures/fixture_r8_noalloc.ml", "lib/core/hotpath.ml");
+    ("lint_fixtures/fixture_cg.ml", "lib/core/cg_cases.ml");
   ]
 
 let read_file path =
@@ -63,7 +74,8 @@ let staged =
        (Filename.concat scratch "probes.manifest")
        "kernel.dijkstra\n";
      stage scratch_clean
-       [ ("lint_fixtures/fixture_clean.ml", "lib/core/fixture_clean.ml") ])
+       [ ("lint_fixtures/fixture_clean.ml", "lib/core/fixture_clean.ml") ];
+     stage scratch_ipc ipc_fixtures)
 
 let run_lint args =
   Lazy.force staged;
@@ -138,6 +150,65 @@ let r3_line =
   "lib/wdm/fixture_r3.ml:11:2 [R3] ?obs is in scope but not forwarded to \
    callee (which accepts ?obs); pass ?obs or justify with (* lint: \
    no-thread *)"
+
+(* R6 diagnostics share one long message shape; build them. *)
+let r6_line file line col name thead =
+  Printf.sprintf
+    "%s:%d:%d [R6] module-level mutable '%s' (%s) accessed in worker-domain \
+     scope; mediate with Atomic or a pool slot, or justify with (* lint: \
+     domain-safe <reason> *)"
+    file line col name thead
+
+let ws = "lib/core/ws_ranges.ml"
+let cg = "lib/core/cg_cases.ml"
+
+let r6_ws_lines =
+  [
+    r6_line ws 19 11 "Ws_ranges.ws_lo" "array";
+    r6_line ws 20 10 "Ws_ranges.ws_hi" "array";
+    r6_line ws 21 4 "Ws_ranges.ws_lo" "array";
+    r6_line ws 27 11 "Ws_ranges.ws_lo" "array";
+    r6_line ws 27 35 "Ws_ranges.ws_hi" "array";
+    r6_line ws 30 4 "Ws_ranges.ws_hi" "array";
+    r6_line ws 31 4 "Ws_ranges.ws_lo" "array";
+  ]
+
+(* Findings flow through the functor instance (Make.bump via Inst), the
+   mutually recursive group (cg_tick two hops from the closure) and the
+   partial application (add_at via add_two); the justified [seeds] read
+   and the first-class-module unpack produce nothing. *)
+let r6_cg_lines =
+  [
+    r6_line cg 19 16 "Cg_cases.counters" "array";
+    r6_line cg 19 36 "Cg_cases.counters" "array";
+    r6_line cg 29 17 "Cg_cases.counters" "array";
+    r6_line cg 29 33 "Cg_cases.counters" "array";
+    r6_line cg 32 17 "Cg_cases.counters" "array";
+    r6_line cg 32 33 "Cg_cases.counters" "array";
+  ]
+
+let r6_slot_line =
+  r6_line "lib/core/slot_leak.ml" 32 6 "Slot_leak.captured" "Stdlib.ref"
+
+let r7_lines =
+  [
+    "lib/core/slot_leak.ml:32:6 [R7] pool-slot value stored into \
+     module-level 'Slot_leak.captured' escapes its worker; slot state must \
+     stay domain-local (use Parallel.set_state)";
+    "lib/core/slot_leak.ml:33:6 [R7] pool-slot value returned from the \
+     worker closure escapes its domain; copy the payload out instead of the \
+     slot state";
+  ]
+
+let r8_lines =
+  [
+    "lib/core/hotpath.ml:15:44 [R8] allocation (Some construction) in (* \
+     lint: no-alloc *) Hotpath.lookup_opt";
+    "lib/core/hotpath.ml:17:16 [R8] allocation (tuple construction) in \
+     Hotpath.pair_of, reachable from (* lint: no-alloc *) Hotpath.sum_pair";
+    "lib/core/hotpath.ml:27:18 [R8] allocation (call to allocating \
+     Array.copy) in (* lint: no-alloc *) Hotpath.snapshot";
+  ]
 
 let summary ~files ~typed ~untyped ~total ~baselined ~fresh =
   Printf.sprintf
@@ -229,6 +300,87 @@ let test_untyped_fallback () =
         summary ~files:5 ~typed:0 ~untyped:5 ~total:11 ~baselined:0 ~fresh:11;
       ]
 
+(* ------------------------------------------------------------------ *)
+(* Interprocedural rules (R6/R7/R8)                                     *)
+
+let ipc_summary = summary ~files:4 ~typed:4 ~untyped:0
+
+let test_ipc_exact () =
+  check_run "ipc"
+    (Printf.sprintf "--root %s lib" scratch_ipc)
+    ~code:1
+    ~lines:
+      (r6_cg_lines @ r8_lines
+      @ [ r6_slot_line ]
+      @ r7_lines @ r6_ws_lines
+      @ [ ipc_summary ~total:19 ~baselined:0 ~fresh:19 ])
+
+(* The acceptance check for R6: stripping the Atomics off the
+   work-stealing ranges is flagged at every touch, through the call
+   graph, with every other rule disabled. *)
+let test_r6_catches_ws_bug () =
+  check_run "r6-only"
+    (Printf.sprintf "--root %s --only R6 lib" scratch_ipc)
+    ~code:1
+    ~lines:
+      (r6_cg_lines
+      @ [ r6_slot_line ]
+      @ r6_ws_lines
+      @ [ ipc_summary ~total:14 ~baselined:0 ~fresh:14 ])
+
+(* The acceptance check for R7: a pool-slot shard leaked to a
+   module-level ref and returned from the mapped function. *)
+let test_r7_catches_slot_leak () =
+  check_run "r7-only"
+    (Printf.sprintf "--root %s --only R7 lib" scratch_ipc)
+    ~code:1
+    ~lines:(r7_lines @ [ ipc_summary ~total:2 ~baselined:0 ~fresh:2 ])
+
+let test_r8_no_alloc () =
+  check_run "r8-only"
+    (Printf.sprintf "--root %s --only R8 lib" scratch_ipc)
+    ~code:1
+    ~lines:(r8_lines @ [ ipc_summary ~total:3 ~baselined:0 ~fresh:3 ])
+
+let test_json_report () =
+  check_run "json"
+    (Printf.sprintf "--root %s --only R7 --json lib" scratch_ipc)
+    ~code:1
+    ~lines:
+      [
+        "{";
+        "  \"findings\": [";
+        "    {\"file\": \"lib/core/slot_leak.ml\", \"line\": 32, \"col\": 6, \
+         \"rule\": \"R7\", \"message\": \"pool-slot value stored into \
+         module-level 'Slot_leak.captured' escapes its worker; slot state \
+         must stay domain-local (use Parallel.set_state)\"},";
+        "    {\"file\": \"lib/core/slot_leak.ml\", \"line\": 33, \"col\": 6, \
+         \"rule\": \"R7\", \"message\": \"pool-slot value returned from the \
+         worker closure escapes its domain; copy the payload out instead of \
+         the slot state\"}";
+        "  ],";
+        "  \"files\": 4,";
+        "  \"typed\": 4,";
+        "  \"untyped\": 0,";
+        "  \"total\": 2,";
+        "  \"baselined\": 0,";
+        "  \"new\": 2,";
+        "  \"stale_baseline\": 0";
+        "}";
+      ]
+
+(* --emit-rules must match the checked-in registry byte for byte; CI
+   diffs the two, so a rule change without a registry update fails. *)
+let test_rules_registry_current () =
+  let code, lines = run_lint "--emit-rules" in
+  Alcotest.(check int) "emit-rules exit code" 0 code;
+  let registry =
+    String.split_on_char '\n'
+      (read_file (Filename.concat ".." "tools/rr_lint/rules.registry"))
+    |> List.filter (fun l -> l <> "")
+  in
+  Alcotest.(check (list string)) "registry is current" registry lines
+
 let test_misuse_exits_two () =
   List.iter
     (fun (name, args) ->
@@ -238,6 +390,7 @@ let test_misuse_exits_two () =
       ("unknown flag", "--bogus lib");
       ("missing dir", Printf.sprintf "--root %s nosuchdir" scratch);
       ("unknown rule", Printf.sprintf "--root %s --rules R9 lib" scratch);
+      ("unknown only rule", Printf.sprintf "--root %s --only R9 lib" scratch);
       ("no dirs", Printf.sprintf "--root %s" scratch);
       ("missing baseline", Printf.sprintf "--root %s --baseline nosuch.baseline lib" scratch);
     ]
@@ -255,6 +408,17 @@ let suite =
           test_baseline_suppression;
         Alcotest.test_case "clean tree exits 0" `Quick test_clean_tree_exit_zero;
         Alcotest.test_case "untyped fallback" `Quick test_untyped_fallback;
+        Alcotest.test_case "interprocedural diagnostics are exact" `Quick
+          test_ipc_exact;
+        Alcotest.test_case "R6 catches the stripped-Atomic ranges" `Quick
+          test_r6_catches_ws_bug;
+        Alcotest.test_case "R7 catches the slot leak" `Quick
+          test_r7_catches_slot_leak;
+        Alcotest.test_case "R8 catches hot-path allocations" `Quick
+          test_r8_no_alloc;
+        Alcotest.test_case "--json report is exact" `Quick test_json_report;
+        Alcotest.test_case "rules registry is current" `Quick
+          test_rules_registry_current;
         Alcotest.test_case "misuse exits 2" `Quick test_misuse_exits_two;
       ] );
   ]

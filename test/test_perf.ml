@@ -467,6 +467,27 @@ let test_parallel_clamp_and_defaults () =
   checkb "default_jobs = recommended with ceiling 8" true
     (RR.Parallel.default_jobs () = min 8 recommended)
 
+(* [recommended_jobs] is one memoized read of
+   [Domain.recommended_domain_count]: the default width and the
+   oversubscription clamp must agree on a single stable machine width
+   for the process lifetime, including when read concurrently. *)
+let test_recommended_jobs_memoized () =
+  let first = RR.Parallel.recommended_jobs () in
+  for _ = 1 to 100 do
+    checkb "repeated reads are stable" true
+      (RR.Parallel.recommended_jobs () = first)
+  done;
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () -> RR.Parallel.recommended_jobs ()))
+  in
+  List.iter
+    (fun d ->
+      checkb "concurrent reads agree" true (Domain.join d = first))
+    domains;
+  checkb "default_jobs derives from the memoized width" true
+    (RR.Parallel.default_jobs () = min 8 first)
+
 let suite =
   [
     ( "perf.workspace",
@@ -505,5 +526,7 @@ let suite =
           test_parallel_slot_state_persists;
         Alcotest.test_case "clamp and defaults" `Quick
           test_parallel_clamp_and_defaults;
+        Alcotest.test_case "recommended_jobs memoized" `Quick
+          test_recommended_jobs_memoized;
       ] );
   ]

@@ -7,10 +7,12 @@
 let usage () =
   prerr_endline
     "usage: rr_lint [--root DIR] [--baseline FILE] [--manifest FILE]\n\
-    \               [--rules R1,R2,...] [--untyped] [--emit-manifest]\n\
-    \               [--update-baseline] [--verbose] DIR...\n\
+    \               [--rules R1,R2,...] [--only RULE] [--json] [--untyped]\n\
+    \               [--emit-manifest] [--emit-rules] [--update-baseline]\n\
+    \               [--verbose] DIR...\n\
      rules: R1 poly-compare  R2 hashtbl-order  R3 optional-threading\n\
-    \       R4 probe-names   R5 hot-path-purity"
+    \       R4 probe-names   R5 hot-path-purity R6 worker-mutable-state\n\
+    \       R7 slot-escape   R8 no-alloc-paths  (list: --emit-rules)"
 
 let die msg =
   Printf.eprintf "rr_lint: %s\n" msg;
@@ -43,11 +45,25 @@ let () =
       if rules = [] then die "--rules expects at least one rule";
       cfg := { !cfg with Rr_lint.Driver.rules = rules };
       parse rest
+    | "--only" :: v :: rest ->
+      (* Single-rule runs for triage: `--only R6`.  Equivalent to
+         --rules R6, kept separate so it cannot be combined by accident
+         with a list that silently re-enables other rules. *)
+      (match Rr_lint.Finding.rule_of_string (String.trim v) with
+       | Some rule -> cfg := { !cfg with Rr_lint.Driver.rules = [ rule ] }
+       | None -> die (Printf.sprintf "unknown rule %S" v));
+      parse rest
+    | "--json" :: rest ->
+      cfg := { !cfg with Rr_lint.Driver.json = true };
+      parse rest
     | "--untyped" :: rest ->
       cfg := { !cfg with Rr_lint.Driver.force_untyped = true };
       parse rest
     | "--emit-manifest" :: rest ->
       cfg := { !cfg with Rr_lint.Driver.emit_manifest = true };
+      parse rest
+    | "--emit-rules" :: rest ->
+      cfg := { !cfg with Rr_lint.Driver.emit_rules = true };
       parse rest
     | "--update-baseline" :: rest ->
       cfg := { !cfg with Rr_lint.Driver.update_baseline = true };
@@ -55,7 +71,7 @@ let () =
     | "--verbose" :: rest ->
       cfg := { !cfg with Rr_lint.Driver.verbose = true };
       parse rest
-    | ("--root" | "--baseline" | "--manifest" | "--rules") :: [] ->
+    | ("--root" | "--baseline" | "--manifest" | "--rules" | "--only") :: [] ->
       die "flag expects a value"
     | flag :: _ when String.length flag > 2 && String.sub flag 0 2 = "--" ->
       die (Printf.sprintf "unknown flag %S" flag)
@@ -64,7 +80,8 @@ let () =
       parse rest
   in
   parse (List.tl (Array.to_list Sys.argv));
-  if !dirs = [] then die "no directories to lint";
+  if !dirs = [] && not !cfg.Rr_lint.Driver.emit_rules then
+    die "no directories to lint";
   let code =
     Rr_lint.Driver.run { !cfg with Rr_lint.Driver.dirs = List.rev !dirs }
   in
